@@ -1,0 +1,13 @@
+//! Figure 10: middle/bottom-layer scaling for the 10240-atom BN-doped CNT.
+use cbs_parallel::{ParallelLayout, ScalingLayer};
+fn main() {
+    println!("=== Figure 10: scaling, BN-doped (8,0) CNT (10240 atoms) ===");
+    let sys = cbs_bench::systems::cnt80();
+    let mut model = cbs_bench::experiments::calibrated_model(&sys, 16, 6000.0);
+    model.workload.dimension = sys.hamiltonian.dim() * 320;
+    println!("modelled dimension: {} grid points", model.workload.dimension);
+    let base = ParallelLayout { rhs_groups: 16, quadrature_groups: 1, domains: 64, threads_per_process: 4 };
+    cbs_bench::experiments::scaling_figure(&model, "Fig 10(a)", base, ScalingLayer::Quadrature, &[1, 2, 4, 8, 16, 32]);
+    let base = ParallelLayout { rhs_groups: 16, quadrature_groups: 32, domains: 1, threads_per_process: 4 };
+    cbs_bench::experiments::scaling_figure(&model, "Fig 10(b)", base, ScalingLayer::Domain, &[2, 4, 8, 16, 32, 64]);
+}

@@ -1,0 +1,9 @@
+//! Figure 4: serial runtime and memory usage, OBM vs QEP/Sakurai-Sugiura,
+//! for bulk Al(100) and the (6,6) CNT at E = EF.
+fn main() {
+    println!("=== Figure 4: serial performance, OBM vs QEP/SS ===");
+    println!("(grid scale factor CBS_SCALE = {})", cbs_bench::systems::scale_factor());
+    for sys in cbs_bench::experiments::serial_systems() {
+        cbs_bench::experiments::fig4_compare(&sys);
+    }
+}

@@ -1,0 +1,7 @@
+//! Figure 5: BiCG residual histories at every quadrature point z_j.
+fn main() {
+    println!("=== Figure 5: BiCG convergence behaviour per quadrature point ===");
+    for sys in cbs_bench::experiments::serial_systems() {
+        cbs_bench::experiments::fig5_convergence(&sys);
+    }
+}

@@ -1,0 +1,16 @@
+//! Figure 9: strong scaling for the BN-doped (8,0) CNT with 1024 atoms.
+use cbs_parallel::{ParallelLayout, ScalingLayer};
+fn main() {
+    println!("=== Figure 9: three-layer strong scaling, BN-doped (8,0) CNT (1024 atoms) ===");
+    let sys = cbs_bench::systems::cnt80();
+    let mut model = cbs_bench::experiments::calibrated_model(&sys, 16, 2000.0);
+    // The 1024-atom supercell is 32 repeats of the 32-atom cell along z.
+    model.workload.dimension = sys.hamiltonian.dim() * 32;
+    println!("modelled dimension: {} grid points", model.workload.dimension);
+    let base = ParallelLayout { rhs_groups: 1, quadrature_groups: 32, domains: 4, threads_per_process: 17 };
+    cbs_bench::experiments::scaling_figure(&model, "Fig 9(a)", base, ScalingLayer::RightHandSides, &[1, 2, 4, 8, 16]);
+    let base = ParallelLayout { rhs_groups: 16, quadrature_groups: 1, domains: 4, threads_per_process: 17 };
+    cbs_bench::experiments::scaling_figure(&model, "Fig 9(b)", base, ScalingLayer::Quadrature, &[1, 2, 4, 8, 16, 32]);
+    let base = ParallelLayout { rhs_groups: 16, quadrature_groups: 32, domains: 1, threads_per_process: 17 };
+    cbs_bench::experiments::scaling_figure(&model, "Fig 9(c)", base, ScalingLayer::Domain, &[1, 2, 4, 8, 16]);
+}

@@ -1,0 +1,7 @@
+//! Table 1: breakdown of the computational cost of the proposed method.
+fn main() {
+    println!("=== Table 1: cost breakdown of the QEP/SS method ===");
+    for sys in cbs_bench::experiments::serial_systems() {
+        cbs_bench::experiments::table1_breakdown(&sys);
+    }
+}

@@ -1,0 +1,14 @@
+//! Table 2: elapsed time of 1000 BiCG iterations when 64 cores are split
+//! between OpenMP threads and bottom-layer domains.
+fn main() {
+    println!("=== Table 2: intra-node thread / domain split ===");
+    let small = cbs_bench::systems::cnt80();
+    let model = cbs_bench::experiments::calibrated_model(&small, 1, 1000.0);
+    cbs_bench::experiments::table2_intranode(&model, "(8,0) CNT, 32 atoms");
+    let mut medium = model;
+    medium.workload.dimension = small.hamiltonian.dim() * 32;
+    cbs_bench::experiments::table2_intranode(&medium, "BN-doped (8,0) CNT, 1024 atoms");
+    let mut large = model;
+    large.workload.dimension = small.hamiltonian.dim() * 320;
+    cbs_bench::experiments::table2_intranode(&large, "BN-doped (8,0) CNT, 10240 atoms");
+}

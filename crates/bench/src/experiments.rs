@@ -1,0 +1,270 @@
+//! One function per paper table/figure; the `src/bin/*` harness binaries are
+//! thin wrappers around these.  Every function prints a plain-text table to
+//! stdout in the same layout as the corresponding figure/table of the paper
+//! and returns the key numbers so integration tests can assert on them.
+
+use cbs_core::{compute_cbs, solve_qep, QepProblem, SsConfig};
+use cbs_dft::band_structure;
+use cbs_linalg::Complex64;
+use cbs_obm::{obm_solve, ObmConfig};
+use cbs_parallel::{
+    measure_bicg_iteration_cost, MachineModel, ParallelLayout, PerformanceModel, ScalingLayer,
+    WorkloadModel,
+};
+use cbs_sparse::LinearOperator;
+
+use crate::systems::{self, BenchSystem};
+
+fn ss_config() -> SsConfig {
+    SsConfig {
+        n_int: 32,
+        n_mm: 8,
+        n_rh: env_usize("CBS_NRH", 8),
+        bicg_tolerance: 1e-10,
+        residual_cutoff: 1e-4,
+        ..SsConfig::paper()
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Serial head-to-head of QEP/SS vs OBM on one system (one bar group of
+/// Figure 4).  Returns `(ss_seconds, obm_seconds, ss_bytes, obm_bytes)`.
+pub fn fig4_compare(sys: &BenchSystem) -> (f64, f64, usize, usize) {
+    let h = &sys.hamiltonian;
+    let energy = sys.fermi;
+    let h00 = h.h00();
+    let h01 = h.h01();
+    let problem = QepProblem::new(&h00, &h01, energy, h.period());
+
+    let t0 = std::time::Instant::now();
+    let ss = solve_qep(&problem, &ss_config());
+    let ss_seconds = t0.elapsed().as_secs_f64();
+    // SS memory: sparse blocks + the moment/source workspace O(M N).
+    let m_hat = ss_config().subspace_size();
+    let ss_bytes = h.memory_bytes()
+        + (2 * ss_config().n_mm * ss_config().n_rh + ss_config().n_rh) * h.dim() * 16
+        + m_hat * m_hat * 16;
+
+    let h00_csr = h.h00_csr();
+    let h01_csr = h.h01_csr();
+    let t1 = std::time::Instant::now();
+    let obm = obm_solve(&h00_csr, &h01_csr, energy, &ObmConfig::default());
+    let obm_seconds = t1.elapsed().as_secs_f64();
+
+    println!("-- {} (N = {}, E = {:.4} Ha) --", sys.name, h.dim(), energy);
+    println!("   method    runtime [s]   memory [MB]   eigenvalues in annulus");
+    println!(
+        "   OBM       {:>10.3}   {:>10.3}   {}",
+        obm_seconds,
+        obm.memory_bytes as f64 / 1e6,
+        obm.lambdas.len()
+    );
+    println!(
+        "   QEP/SS    {:>10.3}   {:>10.3}   {}",
+        ss_seconds,
+        ss_bytes as f64 / 1e6,
+        ss.eigenpairs.len()
+    );
+    println!(
+        "   speed-up x{:.1}, memory reduction x{:.1}",
+        obm_seconds / ss_seconds.max(1e-12),
+        obm.memory_bytes as f64 / ss_bytes.max(1) as f64
+    );
+    (ss_seconds, obm_seconds, ss_bytes, obm.memory_bytes)
+}
+
+/// Table 1: cost breakdown of the proposed method for one system.
+pub fn table1_breakdown(sys: &BenchSystem) -> (f64, f64, f64) {
+    let h = &sys.hamiltonian;
+    let t0 = std::time::Instant::now();
+    let h00 = h.h00();
+    let h01 = h.h01();
+    let setup = t0.elapsed().as_secs_f64();
+    let problem = QepProblem::new(&h00, &h01, sys.fermi, h.period());
+    let ss = solve_qep(&problem, &ss_config());
+    println!("-- {} --", sys.name);
+    println!("   read/setup matrix data [s]   {:>10.3}", setup);
+    println!("   solve linear equations [s]   {:>10.3}", ss.timings.linear_solve_seconds);
+    println!("   extract eigenpairs     [s]   {:>10.3}", ss.timings.extraction_seconds);
+    (setup, ss.timings.linear_solve_seconds, ss.timings.extraction_seconds)
+}
+
+/// Figure 5: BiCG residual histories at every quadrature point (first RHS).
+/// Returns the iteration counts per quadrature point.
+pub fn fig5_convergence(sys: &BenchSystem) -> Vec<usize> {
+    let h = &sys.hamiltonian;
+    let h00 = h.h00();
+    let h01 = h.h01();
+    let problem = QepProblem::new(&h00, &h01, sys.fermi, h.period());
+    let config = ss_config();
+    let ss = solve_qep(&problem, &config);
+    println!("-- {}: BiCG convergence at each quadrature point z_j --", sys.name);
+    println!("   j   iterations   final residual");
+    let mut iters = Vec::new();
+    for j in 0..config.n_int {
+        let hist = &ss.solve_histories[j * config.n_rh];
+        iters.push(hist.iterations());
+        println!("  {:>2}   {:>10}   {:.3e}", j, hist.iterations(), hist.final_residual());
+    }
+    let max = iters.iter().max().copied().unwrap_or(0);
+    let min = iters.iter().min().copied().unwrap_or(0);
+    println!("   spread: min {min}, max {max} (uniform convergence across z_j)");
+    iters
+}
+
+/// Figure 6: real-k CBS solutions vs the conventional band structure.
+/// Returns the worst absolute energy-distance of a propagating CBS point to
+/// the reference bands (hartree).
+pub fn fig6_cbs_vs_bands(sys: &BenchSystem, n_energies: usize) -> f64 {
+    let h = &sys.hamiltonian;
+    let bands = band_structure(h, 21, 40.min(h.dim()));
+    let (emin, emax) = (sys.fermi - 0.15, sys.fermi + 0.15);
+    let energies: Vec<f64> = (0..n_energies)
+        .map(|i| emin + (emax - emin) * i as f64 / (n_energies - 1).max(1) as f64)
+        .collect();
+    let h00 = h.h00();
+    let h01 = h.h01();
+    let run = compute_cbs(&h00, &h01, h.period(), &energies, &ss_config());
+    println!("-- {}: complex band structure --", sys.name);
+    println!("   E [Ha]      Re k [1/bohr]   Im k [1/bohr]   |λ|        type");
+    let mut worst = 0.0f64;
+    for p in &run.cbs.points {
+        let kind = if p.propagating { "propagating" } else { "evanescent" };
+        println!(
+            "   {:>8.4}   {:>12.6}   {:>12.6}   {:>8.5}   {}",
+            p.energy,
+            p.k_re,
+            p.k_im,
+            p.lambda.abs(),
+            kind
+        );
+        if p.propagating {
+            worst = worst.max(bands.distance_to_bands(p.k_re.abs(), p.energy));
+        }
+    }
+    println!(
+        "   propagating states: {}, evanescent: {}",
+        run.cbs.propagating().count(),
+        run.cbs.evanescent().count()
+    );
+    println!("   worst distance of a real-k solution to the reference bands: {worst:.2e} Ha");
+    worst
+}
+
+/// Calibrate a performance model from a real measurement on `sys`.
+pub fn calibrated_model(sys: &BenchSystem, n_rh: usize, bicg_iterations: f64) -> PerformanceModel {
+    let h = &sys.hamiltonian;
+    let h00 = h.h00();
+    let h01 = h.h01();
+    let problem = QepProblem::new(&h00, &h01, sys.fermi, h.period());
+    let contour = ss_config().contour();
+    let z = contour.outer_points()[0].z;
+    let op = problem.operator(z);
+    let iters = 50;
+    let seconds = measure_bicg_iteration_cost(&op, iters, 99);
+    let per_point = seconds / (iters as f64 * h.dim() as f64);
+    PerformanceModel {
+        machine: MachineModel::oakforest_pacs(),
+        workload: WorkloadModel {
+            dimension: h.dim(),
+            nnz_per_row: h.nnz() as f64 / h.dim() as f64,
+            plane_size: h.grid.nx * h.grid.ny,
+            nf: h.fd.nf,
+            n_int: 32,
+            n_rh,
+            bicg_iterations,
+            seconds_per_point_iteration: per_point,
+            convergence_spread: 0.2,
+        },
+    }
+}
+
+/// Figures 8-10: strong scaling of one layer.  Prints measured-calibration
+/// information plus the model prediction and returns `(processes, speedup)`.
+pub fn scaling_figure(
+    model: &PerformanceModel,
+    label: &str,
+    base: ParallelLayout,
+    layer: ScalingLayer,
+    counts: &[usize],
+) -> Vec<(usize, f64)> {
+    println!("-- {label}: strong scaling of the {:?} layer (performance model) --", layer);
+    println!("   processes   time [s]    speed-up   ideal");
+    let sweep = model.scaling_sweep(base, layer, counts);
+    let mut out = Vec::new();
+    for (i, &(p, t, s)) in sweep.iter().enumerate() {
+        let ideal = p as f64 / sweep[0].0 as f64;
+        println!("   {:>9}   {:>9.2}   {:>8.2}   {:>5.1}", p, t, s, ideal);
+        let _ = i;
+        out.push((p, s));
+    }
+    out
+}
+
+/// Table 2: intra-node split between threads and domains at a fixed core
+/// count.  Returns `(threads, domains, seconds)` rows.
+pub fn table2_intranode(model: &PerformanceModel, label: &str) -> Vec<(usize, usize, f64)> {
+    println!("-- Table 2 ({label}): 1000 BiCG iterations on 64 cores --");
+    println!("   #OpenMP   #N_dm   elapsed [s] (model)");
+    let mut rows = Vec::new();
+    for &(t, d) in &[(1usize, 64usize), (2, 32), (4, 16), (8, 8), (16, 4), (32, 2), (64, 1)] {
+        let secs = model.intranode_time(t, d, 1000.0);
+        println!("   {:>7}   {:>5}   {:>10.3}", t, d, secs);
+        rows.push((t, d, secs));
+    }
+    let best = rows.iter().min_by(|a, b| a.2.partial_cmp(&b.2).unwrap()).unwrap();
+    println!("   best split: {} threads x {} domains", best.0, best.1);
+    rows
+}
+
+/// Figure 11: CBS of the isolated tube and the bundles around the Fermi
+/// energy.  Returns the number of propagating channels found per system.
+pub fn fig11_bundles(n_energies: usize) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for sys in [systems::cnt80(), systems::crystalline_bundle_system()] {
+        let h = &sys.hamiltonian;
+        let h00 = h.h00();
+        let h01 = h.h01();
+        let energies: Vec<f64> = (0..n_energies)
+            .map(|i| {
+                sys.fermi - 0.037 + 0.074 * i as f64 / (n_energies - 1).max(1) as f64
+            })
+            .collect();
+        let config = SsConfig { n_rh: 4, ..ss_config() };
+        let run = compute_cbs(&h00, &h01, h.period(), &energies, &config);
+        let channels = run.cbs.propagating().count();
+        println!(
+            "-- {}: {} atoms, {} propagating / {} evanescent states over {} energies --",
+            sys.name,
+            sys.structure.natoms(),
+            channels,
+            run.cbs.evanescent().count(),
+            n_energies
+        );
+        out.push((sys.name.clone(), channels));
+    }
+    out
+}
+
+/// Helper shared by fig4/fig5/table1 binaries: the two serial-test systems.
+pub fn serial_systems() -> Vec<BenchSystem> {
+    vec![systems::al100(), systems::cnt66()]
+}
+
+/// Report a QEP operator's memory next to the dense equivalent (sanity print
+/// used by several binaries).
+pub fn memory_summary(sys: &BenchSystem) {
+    let h = &sys.hamiltonian;
+    let dense = h.dim() * h.dim() * std::mem::size_of::<Complex64>();
+    println!(
+        "   {}: sparse blocks {:.2} MB vs dense {:.2} MB ({} grid points)",
+        sys.name,
+        h.memory_bytes() as f64 / 1e6,
+        dense as f64 / 1e6,
+        h.dim()
+    );
+    let _ = h.h00().memory_bytes();
+}

@@ -1,0 +1,223 @@
+//! The complex-band-structure driver: sweep the scan energy, solve the QEP
+//! at each energy with the Sakurai-Sugiura method, and convert the Bloch
+//! factors into complex wave numbers.
+//!
+//! This is the user-facing entry point that reproduces the paper's Figures 6
+//! and 11: `k(E)` curves with a real branch (propagating states, `|λ| = 1`)
+//! and imaginary branches (evanescent states).
+
+use serde::{Deserialize, Serialize};
+
+use cbs_linalg::Complex64;
+use cbs_sparse::LinearOperator;
+
+use crate::qep::QepProblem;
+use crate::ss::{solve_qep, SsConfig, SsResult};
+
+/// Tolerance on `| |λ| - 1 |` below which a state is classified as
+/// propagating (a real-k Bloch state).
+pub const PROPAGATING_TOLERANCE: f64 = 1e-6;
+
+/// One solution of the CBS at one energy.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CbsPoint {
+    /// Scan energy (hartree).
+    pub energy: f64,
+    /// The Bloch factor `λ`.
+    pub lambda: Complex64,
+    /// Real part of the wave number `k` (1/bohr), folded into `(-π/a, π/a]`.
+    pub k_re: f64,
+    /// Imaginary part of the wave number (1/bohr); zero for propagating
+    /// states, positive for states decaying in the `+z` direction.
+    pub k_im: f64,
+    /// `true` when `|λ| = 1` within [`PROPAGATING_TOLERANCE`].
+    pub propagating: bool,
+    /// QEP residual of the eigenpair.
+    pub residual: f64,
+}
+
+/// Complex band structure over a set of scan energies.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ComplexBandStructure {
+    /// All solutions found, grouped by nothing in particular; filter by
+    /// energy or use the helper methods.
+    pub points: Vec<CbsPoint>,
+    /// The scan energies, in the order they were processed.
+    pub energies: Vec<f64>,
+}
+
+impl ComplexBandStructure {
+    /// Solutions at a particular energy (by index into `energies`).
+    pub fn at_energy(&self, index: usize) -> impl Iterator<Item = &CbsPoint> {
+        let e = self.energies[index];
+        self.points.iter().filter(move |p| p.energy == e)
+    }
+
+    /// Only the propagating (real-k) states.
+    pub fn propagating(&self) -> impl Iterator<Item = &CbsPoint> {
+        self.points.iter().filter(|p| p.propagating)
+    }
+
+    /// Only the evanescent states.
+    pub fn evanescent(&self) -> impl Iterator<Item = &CbsPoint> {
+        self.points.iter().filter(|p| !p.propagating)
+    }
+
+    /// Number of propagating modes at each scan energy — the "number of
+    /// conducting channels" curve used in transport analyses.
+    pub fn channel_counts(&self) -> Vec<(f64, usize)> {
+        self.energies
+            .iter()
+            .map(|&e| (e, self.points.iter().filter(|p| p.energy == e && p.propagating).count()))
+            .collect()
+    }
+}
+
+/// Aggregated statistics of a CBS sweep (feeds the benchmark reports).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct CbsStatistics {
+    /// Total BiCG iterations over the whole sweep.
+    pub total_bicg_iterations: usize,
+    /// Total operator applications.
+    pub total_matvecs: usize,
+    /// Seconds in linear solves.
+    pub linear_solve_seconds: f64,
+    /// Seconds in eigenpair extraction.
+    pub extraction_seconds: f64,
+    /// Total eigenpairs accepted.
+    pub accepted: usize,
+    /// Total candidates discarded by the residual filter.
+    pub discarded: usize,
+}
+
+/// Result of [`compute_cbs`].
+#[derive(Clone, Debug)]
+pub struct CbsRun {
+    /// The band structure itself.
+    pub cbs: ComplexBandStructure,
+    /// Aggregated solver statistics.
+    pub stats: CbsStatistics,
+    /// The per-energy Sakurai-Sugiura results (histories, ranks, …).
+    pub per_energy: Vec<SsResult>,
+}
+
+/// Fold a real wave number into the first Brillouin zone `(-π/a, π/a]`.
+fn fold_k(k: f64, a: f64) -> f64 {
+    let g = 2.0 * std::f64::consts::PI / a;
+    let mut kk = k % g;
+    if kk > g / 2.0 {
+        kk -= g;
+    }
+    if kk <= -g / 2.0 {
+        kk += g;
+    }
+    kk
+}
+
+/// Compute the complex band structure of the block Hamiltonian described by
+/// `h00`/`h01` over the given scan energies.
+///
+/// `period` is the lattice constant along the transport direction (bohr).
+pub fn compute_cbs(
+    h00: &dyn LinearOperator,
+    h01: &dyn LinearOperator,
+    period: f64,
+    energies: &[f64],
+    config: &SsConfig,
+) -> CbsRun {
+    let mut cbs = ComplexBandStructure { points: Vec::new(), energies: energies.to_vec() };
+    let mut stats = CbsStatistics::default();
+    let mut per_energy = Vec::with_capacity(energies.len());
+
+    for &energy in energies {
+        let problem = QepProblem::new(h00, h01, energy, period);
+        let result = solve_qep(&problem, config);
+        stats.total_bicg_iterations += result.total_bicg_iterations;
+        stats.total_matvecs += result.total_matvecs;
+        stats.linear_solve_seconds += result.timings.linear_solve_seconds;
+        stats.extraction_seconds += result.timings.extraction_seconds;
+        stats.accepted += result.eigenpairs.len();
+        stats.discarded += result.discarded;
+
+        for pair in &result.eigenpairs {
+            let (k_re, k_im) = problem.lambda_to_k(pair.lambda);
+            let propagating = (pair.lambda.abs() - 1.0).abs() < PROPAGATING_TOLERANCE;
+            cbs.points.push(CbsPoint {
+                energy,
+                lambda: pair.lambda,
+                k_re: fold_k(k_re, period),
+                k_im,
+                propagating,
+                residual: pair.residual,
+            });
+        }
+        per_energy.push(result);
+    }
+    CbsRun { cbs, stats, per_energy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_linalg::{c64, CMatrix};
+    use cbs_sparse::DenseOp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fold_k_maps_into_first_zone() {
+        let a = 2.0;
+        let g = std::f64::consts::PI / a;
+        assert!((fold_k(0.3, a) - 0.3).abs() < 1e-14);
+        assert!(fold_k(2.0 * g + 0.1, a) - 0.1 < 1e-12);
+        assert!(fold_k(1.7, a).abs() <= g + 1e-12);
+        assert!(fold_k(-1.7, a).abs() <= g + 1e-12);
+    }
+
+    #[test]
+    fn cbs_sweep_produces_classified_points() {
+        let n = 10;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(601);
+        let a = CMatrix::random(n, n, &mut rng);
+        let h00 = (&a + &a.adjoint()).scale(c64(0.5, 0.0));
+        let h01 = CMatrix::random(n, n, &mut rng).scale(c64(0.3, 0.0));
+        let op00 = DenseOp::new(h00);
+        let op01 = DenseOp::new(h01);
+        let energies = [-0.3, 0.0, 0.3];
+        let config = SsConfig {
+            n_rh: 6,
+            n_mm: 6,
+            bicg_tolerance: 1e-11,
+            residual_cutoff: 1e-6,
+            majority_stop: false,
+            ..SsConfig::small()
+        };
+        let run = compute_cbs(&op00, &op01, 1.7, &energies, &config);
+        assert_eq!(run.cbs.energies.len(), 3);
+        assert_eq!(run.per_energy.len(), 3);
+        assert!(run.stats.total_bicg_iterations > 0);
+        assert_eq!(
+            run.stats.accepted,
+            run.cbs.points.len(),
+            "every accepted eigenpair becomes a CBS point"
+        );
+        let g_half = std::f64::consts::PI / 1.7;
+        for p in &run.cbs.points {
+            // k_re folded into the first Brillouin zone.
+            assert!(p.k_re.abs() <= g_half + 1e-9);
+            // Classification consistent with |λ|.
+            assert_eq!(p.propagating, (p.lambda.abs() - 1.0).abs() < PROPAGATING_TOLERANCE);
+            // λ and k are consistent: |λ| = exp(-k_im * a).
+            assert!(((-p.k_im * 1.7).exp() - p.lambda.abs()).abs() < 1e-9);
+            assert!(p.residual <= config.residual_cutoff);
+        }
+        // Channel counts cover every energy.
+        let counts = run.cbs.channel_counts();
+        assert_eq!(counts.len(), 3);
+        let total_prop: usize = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total_prop, run.cbs.propagating().count());
+        assert_eq!(
+            run.cbs.points.len(),
+            run.cbs.propagating().count() + run.cbs.evanescent().count()
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! The ring-shaped integration contour of the Sakurai-Sugiura method.
+//!
+//! The physically relevant eigenvalues satisfy `λ_min < |λ| < 1/λ_min`
+//! (paper Eq. 5): the propagating states on the unit circle plus the slowly
+//! decaying evanescent states.  Following Miyata et al. (paper §3.2), the
+//! contour is the boundary of that annulus — the outer circle of radius
+//! `1/λ_min` traversed counter-clockwise minus the inner circle of radius
+//! `λ_min`.  The trapezoidal rule on each circle gives the quadrature nodes
+//!
+//! ```text
+//! z_j^(1) = λ_min^{-1} e^{iθ_j},   z_j^(2) = λ_min e^{iθ_j},
+//! θ_j = 2π (j - 1/2)/N_int,        ω_j = z_j / N_int,
+//! ```
+//!
+//! and the inner-circle nodes are exactly `1 / conj(z_j^(1))`, which is why
+//! the dual BiCG solutions can serve them.
+
+use serde::{Deserialize, Serialize};
+
+use cbs_linalg::Complex64;
+
+/// One quadrature node of the ring contour.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct QuadraturePoint {
+    /// Index `j` along the circle.
+    pub index: usize,
+    /// The node `z_j`.
+    pub z: Complex64,
+    /// The trapezoidal weight `ω_j = z_j / N_int` (sign included: negative
+    /// for the inner circle, which is traversed with opposite orientation).
+    pub weight: Complex64,
+    /// `true` for the outer circle, `false` for the inner circle.
+    pub outer: bool,
+}
+
+/// The two-circle (annulus) contour.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RingContour {
+    /// Inner radius `λ_min` (the paper uses 0.5).
+    pub lambda_min: f64,
+    /// Number of quadrature points per circle (`N_int`, the paper uses 32).
+    pub n_int: usize,
+}
+
+impl RingContour {
+    /// Create a contour, validating `0 < λ_min < 1`.
+    pub fn new(lambda_min: f64, n_int: usize) -> Self {
+        assert!(lambda_min > 0.0 && lambda_min < 1.0, "λ_min must lie in (0, 1)");
+        assert!(n_int >= 2, "need at least two quadrature points per circle");
+        Self { lambda_min, n_int }
+    }
+
+    /// Outer radius `1/λ_min`.
+    pub fn outer_radius(&self) -> f64 {
+        1.0 / self.lambda_min
+    }
+
+    /// Inner radius `λ_min`.
+    pub fn inner_radius(&self) -> f64 {
+        self.lambda_min
+    }
+
+    /// `true` if `λ` lies strictly inside the annulus (with an optional
+    /// relative margin to tolerate quadrature leakage at the boundary).
+    pub fn contains(&self, lambda: Complex64, margin: f64) -> bool {
+        let r = lambda.abs();
+        r > self.inner_radius() * (1.0 + margin) && r < self.outer_radius() * (1.0 - margin)
+    }
+
+    /// Quadrature angle `θ_j`.
+    fn theta(&self, j: usize) -> f64 {
+        2.0 * std::f64::consts::PI * (j as f64 + 0.5) / self.n_int as f64
+    }
+
+    /// The outer-circle nodes (these are the only linear systems actually
+    /// solved; the inner circle reuses their dual solutions).
+    pub fn outer_points(&self) -> Vec<QuadraturePoint> {
+        (0..self.n_int)
+            .map(|j| {
+                let z = Complex64::polar(self.outer_radius(), self.theta(j));
+                QuadraturePoint { index: j, z, weight: z / self.n_int as f64, outer: true }
+            })
+            .collect()
+    }
+
+    /// The inner-circle nodes, with the orientation sign folded into the
+    /// weight (the annulus integral subtracts the inner circle).
+    pub fn inner_points(&self) -> Vec<QuadraturePoint> {
+        (0..self.n_int)
+            .map(|j| {
+                let z = Complex64::polar(self.inner_radius(), self.theta(j));
+                QuadraturePoint {
+                    index: j,
+                    z,
+                    weight: -(z / self.n_int as f64),
+                    outer: false,
+                }
+            })
+            .collect()
+    }
+
+    /// All `2 N_int` nodes (outer then inner).
+    pub fn all_points(&self) -> Vec<QuadraturePoint> {
+        let mut pts = self.outer_points();
+        pts.extend(self.inner_points());
+        pts
+    }
+
+    /// The inner node paired with outer node `j`: `z^(2)_j = 1 / conj(z^(1)_j)`.
+    pub fn paired_inner(&self, outer: &QuadraturePoint) -> QuadraturePoint {
+        debug_assert!(outer.outer);
+        let z = Complex64::ONE / outer.z.conj();
+        QuadraturePoint {
+            index: outer.index,
+            z,
+            weight: -(z / self.n_int as f64),
+            outer: false,
+        }
+    }
+
+    /// Numerically evaluate the filter function
+    /// `f_k(λ) = (1/2πi) ∮ z^k/(z - λ) dz` with this quadrature.  For exact
+    /// integration it is `λ^k` inside the annulus and `0` outside; this is
+    /// the quantity the tests use to validate the nodes and weights.
+    pub fn filter_value(&self, k: usize, lambda: Complex64) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for p in self.all_points() {
+            acc += p.weight * p.z.powi(k as i32) / (p.z - lambda);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_linalg::c64;
+
+    #[test]
+    fn radii_and_point_counts() {
+        let c = RingContour::new(0.5, 32);
+        assert_eq!(c.outer_radius(), 2.0);
+        assert_eq!(c.inner_radius(), 0.5);
+        assert_eq!(c.outer_points().len(), 32);
+        assert_eq!(c.inner_points().len(), 32);
+        assert_eq!(c.all_points().len(), 64);
+        for p in c.outer_points() {
+            assert!((p.z.abs() - 2.0).abs() < 1e-14);
+            assert!(p.outer);
+        }
+        for p in c.inner_points() {
+            assert!((p.z.abs() - 0.5).abs() < 1e-14);
+            assert!(!p.outer);
+        }
+    }
+
+    #[test]
+    fn inner_nodes_are_inverse_conjugates_of_outer_nodes() {
+        let c = RingContour::new(0.5, 16);
+        let outer = c.outer_points();
+        let inner = c.inner_points();
+        for (o, i) in outer.iter().zip(&inner) {
+            let expect = Complex64::ONE / o.z.conj();
+            assert!((i.z - expect).abs() < 1e-14);
+            let paired = c.paired_inner(o);
+            assert!((paired.z - i.z).abs() < 1e-14);
+            assert!((paired.weight - i.weight).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn membership_test() {
+        let c = RingContour::new(0.5, 8);
+        assert!(c.contains(c64(1.0, 0.0), 0.0));
+        assert!(c.contains(c64(0.0, -1.5), 0.0));
+        assert!(!c.contains(c64(0.1, 0.0), 0.0));
+        assert!(!c.contains(c64(3.0, 0.0), 0.0));
+        // Margin shrinks the annulus.
+        assert!(!c.contains(c64(1.95, 0.0), 0.05));
+    }
+
+    #[test]
+    fn quadrature_reproduces_moments_of_poles_inside() {
+        // f_k(λ) = λ^k for λ in the annulus, 0 outside (up to the exponential
+        // accuracy of the trapezoid rule).
+        let c = RingContour::new(0.5, 64);
+        for &lambda in &[c64(0.9, 0.3), c64(-1.2, 0.4), c64(0.0, 0.7)] {
+            for k in 0..6usize {
+                let got = c.filter_value(k, lambda);
+                let want = lambda.powi(k as i32);
+                assert!(
+                    (got - want).abs() < 1e-6 * (1.0 + want.abs()),
+                    "inside: k={k}, λ={lambda:?}, got {got:?}, want {want:?}"
+                );
+            }
+        }
+        for &lambda in &[c64(0.2, 0.1), c64(2.6, 0.5), c64(0.05, 0.0)] {
+            for k in 0..6usize {
+                let got = c.filter_value(k, lambda);
+                assert!(
+                    got.abs() < 1e-4,
+                    "outside: k={k}, λ={lambda:?}, got {got:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_lambda_min_rejected() {
+        let _ = RingContour::new(1.5, 8);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cbs-core
+//!
+//! The paper's primary contribution: computing the complex band structure
+//! (CBS) of a 1-D periodic system by casting the real-space Kohn-Sham
+//! equation as a quadratic eigenvalue problem (QEP) and solving it with the
+//! Sakurai-Sugiura contour-integral method restricted to the physically
+//! relevant annulus `λ_min < |λ| < 1/λ_min`.
+//!
+//! Main entry points:
+//!
+//! * [`QepProblem`] — the matrix-free operator `P(z) = -z⁻¹H₀₁† + (E-H₀₀) - zH₀₁`,
+//! * [`RingContour`] — the two-circle quadrature of the annulus,
+//! * [`SsConfig`] / [`solve_qep`] — Algorithm 1 of the paper (moments, block
+//!   Hankel matrices, SVD filtering, reduced eigenproblem),
+//! * [`compute_cbs`] — the energy sweep that produces `k(E)` with its
+//!   propagating and evanescent branches.
+//!
+//! The linear systems at the quadrature nodes are solved matrix-free with
+//! the dual BiCG from `cbs-solver`, exploiting `P(z)† = P(1/z̄)` so only the
+//! outer-circle systems are ever iterated.
+
+#![warn(missing_docs)]
+
+pub mod cbs;
+pub mod contour;
+pub mod qep;
+pub mod ss;
+
+pub use cbs::{
+    compute_cbs, CbsPoint, CbsRun, CbsStatistics, ComplexBandStructure, PROPAGATING_TOLERANCE,
+};
+pub use contour::{QuadraturePoint, RingContour};
+pub use qep::{QepOperator, QepProblem};
+pub use ss::{solve_qep, QepEigenpair, SsConfig, SsResult, SsTimings};

@@ -1,0 +1,257 @@
+//! The quadratic eigenvalue problem (QEP) of the complex band structure.
+//!
+//! Substituting the Bloch condition `|ψ_{n+l}⟩ = λ^l |ψ_n⟩` into the
+//! real-space Kohn-Sham equation gives (paper Eq. 4)
+//!
+//! ```text
+//! P(λ) |ψ⟩ = [ -λ⁻¹ H₁₀ + (E - H₀₀) - λ H₀₁ ] |ψ⟩ = 0,   H₁₀ = H₀₁†.
+//! ```
+//!
+//! `QepProblem` bundles the two Hamiltonian blocks with the scan energy `E`
+//! and exposes the shifted operator `P(z)` matrix-free, together with the
+//! structural identity `P(z)† = P(1/z̄)` that the dual-BiCG trick exploits.
+
+use cbs_linalg::{CVector, Complex64};
+use cbs_sparse::LinearOperator;
+
+/// The QEP `P(λ)ψ = 0` for a fixed scan energy.
+pub struct QepProblem<'a> {
+    h00: &'a dyn LinearOperator,
+    h01: &'a dyn LinearOperator,
+    /// Scan energy `E` (hartree).
+    pub energy: f64,
+    /// Lattice period `a` along the transport direction (bohr); used to
+    /// convert `λ = exp(i k a)` into a wave number.
+    pub period: f64,
+}
+
+impl<'a> QepProblem<'a> {
+    /// Build the problem from the two Hamiltonian block operators.
+    pub fn new(
+        h00: &'a dyn LinearOperator,
+        h01: &'a dyn LinearOperator,
+        energy: f64,
+        period: f64,
+    ) -> Self {
+        assert_eq!(h00.nrows(), h00.ncols(), "H00 must be square");
+        assert_eq!(h01.nrows(), h01.ncols(), "H01 must be square");
+        assert_eq!(h00.nrows(), h01.nrows(), "H00 and H01 must have the same size");
+        assert!(period > 0.0, "period must be positive");
+        Self { h00, h01, energy, period }
+    }
+
+    /// Dimension of the blocks.
+    pub fn dim(&self) -> usize {
+        self.h00.nrows()
+    }
+
+    /// The matrix-free operator `P(z)` at the complex shift `z`.
+    pub fn operator(&self, z: Complex64) -> QepOperator<'a, '_> {
+        QepOperator { problem: self, z }
+    }
+
+    /// Apply `P(z)` to a vector, writing into `y` (no allocation besides the
+    /// internal scratch buffer).
+    pub fn apply(&self, z: Complex64, x: &[Complex64], y: &mut [Complex64]) {
+        let n = self.dim();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        let mut tmp = vec![Complex64::ZERO; n];
+        // y = (E - H00) x
+        self.h00.apply(x, y);
+        let e = Complex64::real(self.energy);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = e * *xi - *yi;
+        }
+        // y -= z * H01 x
+        self.h01.apply(x, &mut tmp);
+        for (yi, ti) in y.iter_mut().zip(&tmp) {
+            *yi -= z * *ti;
+        }
+        // y -= z^{-1} * H10 x = z^{-1} * H01† x
+        let zinv = z.inv();
+        self.h01.apply_adjoint(x, &mut tmp);
+        for (yi, ti) in y.iter_mut().zip(&tmp) {
+            *yi -= zinv * *ti;
+        }
+    }
+
+    /// Apply `P(z)†` to a vector.  By the block symmetry this equals
+    /// `P(1/z̄)` applied to the vector, which is what makes the dual BiCG
+    /// solutions reusable for the inner contour circle.
+    pub fn apply_adjoint(&self, z: Complex64, x: &[Complex64], y: &mut [Complex64]) {
+        self.apply(Complex64::ONE / z.conj(), x, y);
+    }
+
+    /// Relative residual `||P(λ)ψ|| / (||P(λ)||_est ||ψ||)` of a candidate
+    /// eigenpair; used to filter spurious solutions of the projected problem.
+    pub fn residual(&self, lambda: Complex64, psi: &CVector) -> f64 {
+        let n = self.dim();
+        let mut r = vec![Complex64::ZERO; n];
+        self.apply(lambda, psi.as_slice(), &mut r);
+        let rnorm = r.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        // Rough scale estimate of ||P(λ)||: |E| + ||H00|| + (|λ| + 1/|λ|) ||H01||,
+        // with the operator norms estimated by one application to a constant vector.
+        let ones = CVector::from_vec(vec![Complex64::ONE; n]);
+        let h00_scale = self.h00.apply_vec(&ones).norm() / (n as f64).sqrt();
+        let h01_scale = self.h01.apply_vec(&ones).norm() / (n as f64).sqrt();
+        let scale = self.energy.abs()
+            + h00_scale
+            + (lambda.abs() + 1.0 / lambda.abs()) * h01_scale
+            + 1e-300;
+        rnorm / (scale * psi.norm().max(1e-300))
+    }
+
+    /// Convert an eigenvalue `λ = exp(i k a)` into the complex wave number
+    /// `k = -i ln(λ) / a`, returned as `(Re k, Im k)` in 1/bohr.
+    pub fn lambda_to_k(&self, lambda: Complex64) -> (f64, f64) {
+        let ln = lambda.ln();
+        // k = -i (ln|λ| + i arg λ)/a = (arg λ - i ln|λ|)/a
+        (ln.im / self.period, -ln.re / self.period)
+    }
+}
+
+/// A matrix-free view of `P(z)` implementing [`LinearOperator`], suitable
+/// for handing to the Krylov solvers.
+pub struct QepOperator<'a, 'p> {
+    problem: &'p QepProblem<'a>,
+    z: Complex64,
+}
+
+impl QepOperator<'_, '_> {
+    /// The shift at which this operator is evaluated.
+    pub fn shift(&self) -> Complex64 {
+        self.z
+    }
+}
+
+impl LinearOperator for QepOperator<'_, '_> {
+    fn nrows(&self) -> usize {
+        self.problem.dim()
+    }
+    fn ncols(&self) -> usize {
+        self.problem.dim()
+    }
+    fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
+        self.problem.apply(self.z, x, y);
+    }
+    fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
+        self.problem.apply_adjoint(self.z, x, y);
+    }
+    fn memory_bytes(&self) -> usize {
+        self.problem.h00.memory_bytes() + self.problem.h01.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_linalg::{c64, CMatrix};
+    use cbs_sparse::{adjoint_defect, DenseOp};
+    use rand::SeedableRng;
+
+    fn random_blocks(n: usize, seed: u64) -> (CMatrix, CMatrix) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a = CMatrix::random(n, n, &mut rng);
+        let h00 = &a + &a.adjoint(); // Hermitian
+        let h01 = CMatrix::random(n, n, &mut rng).scale(c64(0.3, 0.0));
+        (h00, h01)
+    }
+
+    #[test]
+    fn operator_matches_dense_expression() {
+        let n = 12;
+        let (h00, h01) = random_blocks(n, 401);
+        let op00 = DenseOp::new(h00.clone());
+        let op01 = DenseOp::new(h01.clone());
+        let qep = QepProblem::new(&op00, &op01, 0.37, 2.0);
+        let z = c64(0.8, 0.45);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(402);
+        let x = CVector::random(n, &mut rng);
+
+        // Dense reference: P(z) = -z^{-1} H01† + (E - H00) - z H01.
+        let mut p = CMatrix::identity(n).scale(c64(0.37, 0.0));
+        p = &p - &h00;
+        p = &p - &h01.scale(z);
+        p = &p - &h01.adjoint().scale(z.inv());
+        let want = p.matvec(&x);
+
+        let got = qep.operator(z).apply_vec(&x);
+        assert!((&got - &want).norm() < 1e-11 * want.norm());
+    }
+
+    #[test]
+    fn adjoint_identity_p_dagger_equals_p_of_inverse_conjugate() {
+        let n = 10;
+        let (h00, h01) = random_blocks(n, 403);
+        let op00 = DenseOp::new(h00);
+        let op01 = DenseOp::new(h01);
+        let qep = QepProblem::new(&op00, &op01, -0.2, 1.5);
+        let z = c64(1.7, -0.6);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(404);
+        // ⟨P(z) x, y⟩ = ⟨x, P(z)† y⟩ with P(z)† implemented as P(1/z̄).
+        let op = qep.operator(z);
+        assert!(adjoint_defect(&op, 8, &mut rng) < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_zero_for_true_eigenpair() {
+        // Build a tiny problem whose eigenpair is known: with H01 = 0 the QEP
+        // degenerates to (E - H00)ψ = 0 for any λ, so use H01 = small and a
+        // 2x2 analytic case instead: H00 = diag(e1, e2), H01 = diag(t, 0).
+        // For ψ = e1-direction, P(λ)ψ = (E - e1 - t(λ + 1/λ̄... )) — easier to
+        // just verify consistency: pick λ, ψ from the dense linearization.
+        let n = 6;
+        let (h00, h01) = random_blocks(n, 405);
+        let op00 = DenseOp::new(h00.clone());
+        let op01 = DenseOp::new(h01.clone());
+        let energy = 0.1;
+        let qep = QepProblem::new(&op00, &op01, energy, 1.0);
+
+        // Dense linearization: λ² H01 ψ - λ (E - H00) ψ + H10 ψ = 0
+        //  A = [[0, I], [-H10, E - H00]],  B = [[I, 0], [0, H01]].
+        let h10 = h01.adjoint();
+        let e_minus_h00 = &CMatrix::identity(n).scale(c64(energy, 0.0)) - &h00;
+        let mut a = CMatrix::zeros(2 * n, 2 * n);
+        a.set_block(0, n, &CMatrix::identity(n));
+        a.set_block(n, 0, &h10.scale(c64(-1.0, 0.0)));
+        a.set_block(n, n, &e_minus_h00);
+        let mut b = CMatrix::zeros(2 * n, 2 * n);
+        b.set_block(0, 0, &CMatrix::identity(n));
+        b.set_block(n, n, &h01);
+        let ge = cbs_linalg::generalized_eigen(&a, &b).unwrap();
+        let mut checked = 0;
+        for (lambda, vec2n) in ge.finite_pairs() {
+            if lambda.abs() < 0.2 || lambda.abs() > 5.0 {
+                continue;
+            }
+            let psi: CVector = (0..n).map(|i| vec2n[i]).collect();
+            if psi.norm() < 1e-8 {
+                continue;
+            }
+            let r = qep.residual(lambda, &psi);
+            assert!(r < 1e-7, "λ = {lambda:?}, residual {r}");
+            checked += 1;
+        }
+        assert!(checked > 0, "linearization produced no usable eigenpairs");
+    }
+
+    #[test]
+    fn lambda_to_k_conversion() {
+        let n = 4;
+        let (h00, h01) = random_blocks(n, 406);
+        let op00 = DenseOp::new(h00);
+        let op01 = DenseOp::new(h01);
+        let a = 2.5;
+        let qep = QepProblem::new(&op00, &op01, 0.0, a);
+        // Propagating state: λ = exp(i k a) with k real.
+        let k = 0.7;
+        let (kre, kim) = qep.lambda_to_k(Complex64::cis(k * a));
+        assert!((kre - k).abs() < 1e-12);
+        assert!(kim.abs() < 1e-12);
+        // Evanescent state: λ = ρ exp(iθ), Im k = -ln ρ / a > 0 for ρ < 1.
+        let (kre2, kim2) = qep.lambda_to_k(Complex64::polar(0.5, 0.3));
+        assert!((kre2 - 0.3 / a).abs() < 1e-12);
+        assert!((kim2 - (-(0.5f64).ln() / a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,510 @@
+//! The Sakurai-Sugiura (block-Hankel) eigensolver for the CBS quadratic
+//! eigenvalue problem — Algorithm 1 of the paper.
+//!
+//! Steps (for one scan energy `E`):
+//!
+//! 1. Solve the `N_int` shifted systems `P(z_j^(1)) Y_j^(1) = V` with BiCG;
+//!    the dual solutions of the same iterations solve
+//!    `P(z_j^(1))† Y_j^(2) = V`, i.e. the systems at the inner-circle nodes
+//!    `z_j^(2) = 1/conj(z_j^(1))` (paper §3.2).
+//! 2. Accumulate the complex moments `Ŝ_k = Σ_j ω_j z_j^k Y_j` over both
+//!    circles and the projected moments `µ̂_k = V† Ŝ_k`.
+//! 3. Build the block Hankel matrices `T̂`, `T̂^<`, filter with an SVD at
+//!    threshold `δ`, solve the reduced `m̂ × m̂` eigenproblem and recover the
+//!    eigenvectors as `Ŝ W₁ Σ₁⁻¹ φ`.
+//! 4. Keep only eigenpairs inside the annulus whose explicit QEP residual is
+//!    small.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use cbs_linalg::{svd, CMatrix, CVector, Complex64};
+use cbs_solver::{bicg_dual, ConvergenceHistory, SolverOptions};
+
+use crate::contour::RingContour;
+use crate::qep::QepProblem;
+
+/// Parameters of the Sakurai-Sugiura solve (paper notation).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SsConfig {
+    /// Number of quadrature points per circle (`N_int`).
+    pub n_int: usize,
+    /// Number of complex moments (`N_mm`).
+    pub n_mm: usize,
+    /// Number of random right-hand sides / source vectors (`N_rh`).
+    pub n_rh: usize,
+    /// Relative singular-value threshold `δ` for the low-rank filtering.
+    pub delta: f64,
+    /// Inner radius `λ_min` of the target annulus.
+    pub lambda_min: f64,
+    /// Relative residual tolerance of the BiCG solves.
+    pub bicg_tolerance: f64,
+    /// Iteration cap of the BiCG solves.
+    pub bicg_max_iterations: usize,
+    /// Residual threshold above which recovered eigenpairs are discarded as
+    /// spurious.
+    pub residual_cutoff: f64,
+    /// Seed of the random source block `V`.
+    pub seed: u64,
+    /// Enable the paper's load-balancing rule: once more than half of the
+    /// quadrature points have converged, the stragglers are stopped early.
+    pub majority_stop: bool,
+}
+
+impl Default for SsConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl SsConfig {
+    /// The parameter set used throughout the paper's serial experiments:
+    /// `N_int = 32, N_mm = 8, N_rh = 16, δ = 1e-10, λ_min = 0.5`, BiCG
+    /// tolerance `1e-10`.
+    pub fn paper() -> Self {
+        Self {
+            n_int: 32,
+            n_mm: 8,
+            n_rh: 16,
+            delta: 1e-10,
+            lambda_min: 0.5,
+            bicg_tolerance: 1e-10,
+            bicg_max_iterations: 20_000,
+            residual_cutoff: 1e-5,
+            seed: 0x5a5a_5a5a,
+            majority_stop: true,
+        }
+    }
+
+    /// A cheaper configuration for unit tests and examples on small systems.
+    pub fn small() -> Self {
+        Self { n_int: 16, n_mm: 4, n_rh: 8, ..Self::paper() }
+    }
+
+    /// Maximum number of eigenvalues the projected problem can represent.
+    pub fn subspace_size(&self) -> usize {
+        self.n_mm * self.n_rh
+    }
+
+    /// The contour implied by this configuration.
+    pub fn contour(&self) -> RingContour {
+        RingContour::new(self.lambda_min, self.n_int)
+    }
+
+    /// Solver options handed to BiCG.
+    pub fn solver_options(&self) -> SolverOptions {
+        SolverOptions {
+            tolerance: self.bicg_tolerance,
+            max_iterations: self.bicg_max_iterations,
+            record_history: true,
+        }
+    }
+}
+
+/// One converged eigenpair of the QEP.
+#[derive(Clone, Debug)]
+pub struct QepEigenpair {
+    /// The Bloch factor `λ = exp(i k a)`.
+    pub lambda: Complex64,
+    /// The periodic part of the wave function on the unit-cell grid.
+    pub psi: CVector,
+    /// Relative residual of the pair.
+    pub residual: f64,
+}
+
+/// Timing breakdown of one Sakurai-Sugiura solve (the rows of the paper's
+/// Table 1).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct SsTimings {
+    /// Seconds spent assembling / reading the operator (outside this crate;
+    /// filled in by the callers that load or build Hamiltonians).
+    pub setup_seconds: f64,
+    /// Seconds spent solving the shifted linear systems (step 1).
+    pub linear_solve_seconds: f64,
+    /// Seconds spent extracting eigenpairs (steps 2-4).
+    pub extraction_seconds: f64,
+}
+
+/// Everything produced by one Sakurai-Sugiura solve.
+#[derive(Clone, Debug)]
+pub struct SsResult {
+    /// Eigenpairs inside the annulus that passed the residual filter.
+    pub eigenpairs: Vec<QepEigenpair>,
+    /// Numerical rank `m̂` selected by the SVD threshold.
+    pub numerical_rank: usize,
+    /// Singular values of the block Hankel matrix (diagnostics).
+    pub hankel_singular_values: Vec<f64>,
+    /// Per-quadrature-point convergence histories of the primal systems
+    /// (one entry per `(j, rhs)` pair) — the curves of the paper's Figure 5.
+    pub solve_histories: Vec<ConvergenceHistory>,
+    /// Total number of BiCG iterations summed over all systems.
+    pub total_bicg_iterations: usize,
+    /// Total number of operator applications.
+    pub total_matvecs: usize,
+    /// Timing breakdown.
+    pub timings: SsTimings,
+    /// Eigenpairs discarded by the residual filter (diagnostics).
+    pub discarded: usize,
+}
+
+impl SsResult {
+    /// The eigenvalues only.
+    pub fn lambdas(&self) -> Vec<Complex64> {
+        self.eigenpairs.iter().map(|p| p.lambda).collect()
+    }
+}
+
+/// Solve the QEP for all eigenvalues in the annulus with the Sakurai-Sugiura
+/// method.
+pub fn solve_qep(problem: &QepProblem<'_>, config: &SsConfig) -> SsResult {
+    let n = problem.dim();
+    let contour = config.contour();
+    let opts = config.solver_options();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    // Random source block V (N x N_rh).
+    let v_cols: Vec<CVector> = (0..config.n_rh).map(|_| CVector::random(n, &mut rng)).collect();
+
+    // --- Step 1: shifted linear solves (the dominant cost). -------------
+    let t_solve = std::time::Instant::now();
+    let outer = contour.outer_points();
+    let n_moments = 2 * config.n_mm;
+
+    // Moment accumulators Ŝ_k (N x N_rh each), stored as columns.
+    let mut s_moments: Vec<Vec<CVector>> =
+        vec![vec![CVector::zeros(n); config.n_rh]; n_moments];
+    let mut histories = Vec::with_capacity(config.n_int * config.n_rh);
+    let mut total_iters = 0usize;
+    let mut total_matvecs = 0usize;
+
+    // The paper's load-balancing rule needs to know how many quadrature
+    // points have fully converged; sequential execution processes them in
+    // order, so the count is simply tracked as we go.  (The threaded
+    // executors in `cbs-parallel` share the same rule through the
+    // external-stop callback.)
+    let mut converged_points = 0usize;
+    // Largest iteration count among the solves that did converge; once the
+    // majority rule kicks in, the stragglers are capped at this budget
+    // (they are already well below the tolerance thanks to the uniform
+    // convergence across quadrature points, cf. Figure 5).
+    let mut converged_iter_cap = 0usize;
+
+    for point in &outer {
+        let op = problem.operator(point.z);
+        let inner_point = contour.paired_inner(point);
+        let mut point_converged = true;
+        for (rhs_idx, v) in v_cols.iter().enumerate() {
+            let allow_early = config.majority_stop && converged_points * 2 > config.n_int;
+            let cap = converged_iter_cap.max(1);
+            let stop_cb = move |iter: usize| iter >= cap;
+            let external: Option<&(dyn Fn(usize) -> bool + Sync)> =
+                if allow_early { Some(&stop_cb) } else { None };
+            let res = bicg_dual(&op, v, v, &opts, external);
+            if res.history.converged() {
+                converged_iter_cap = converged_iter_cap.max(res.history.iterations());
+            }
+            total_iters += res.history.iterations();
+            total_matvecs += res.history.matvecs;
+            point_converged &= res.history.converged() && res.dual_history.converged();
+
+            // Accumulate the moments for this (j, rhs) pair:
+            //   outer:  + ω_j z_j^k  Y^(1)
+            //   inner:  - ω'_j z'^k  Y^(2)   (sign already in the weight)
+            let mut zk_outer = point.weight;
+            let mut zk_inner = inner_point.weight;
+            for k in 0..n_moments {
+                s_moments[k][rhs_idx].axpy(zk_outer, &res.x);
+                s_moments[k][rhs_idx].axpy(zk_inner, &res.dual_x);
+                zk_outer *= point.z;
+                zk_inner *= inner_point.z;
+            }
+            histories.push(res.history);
+        }
+        if point_converged {
+            converged_points += 1;
+        }
+    }
+    let linear_solve_seconds = t_solve.elapsed().as_secs_f64();
+
+    // --- Steps 2-4: moment matrices, Hankel SVD, reduced eigenproblem. ---
+    let t_extract = std::time::Instant::now();
+
+    // µ̂_k = V† Ŝ_k  (N_rh x N_rh).
+    let mu: Vec<CMatrix> = (0..n_moments)
+        .map(|k| {
+            CMatrix::from_fn(config.n_rh, config.n_rh, |r, c| v_cols[r].dot(&s_moments[k][c]))
+        })
+        .collect();
+
+    let m = config.n_mm;
+    let dim = m * config.n_rh;
+    // Block Hankel matrices: T̂[i][j] = µ̂_{i+j},  T̂^<[i][j] = µ̂_{i+j+1}.
+    let mut t_hankel = CMatrix::zeros(dim, dim);
+    let mut t_shift = CMatrix::zeros(dim, dim);
+    for bi in 0..m {
+        for bj in 0..m {
+            t_hankel.set_block(bi * config.n_rh, bj * config.n_rh, &mu[bi + bj]);
+            t_shift.set_block(bi * config.n_rh, bj * config.n_rh, &mu[bi + bj + 1]);
+        }
+    }
+
+    // Low-rank filtering.
+    let decomposition = svd(&t_hankel).expect("SVD of the block Hankel matrix failed");
+    let rank = decomposition.numerical_rank(config.delta).max(1).min(dim);
+    let u1 = decomposition.u.take_columns(rank);
+    let w1 = decomposition.v.take_columns(rank);
+    let sigma_inv: Vec<f64> =
+        decomposition.singular_values.iter().take(rank).map(|&s| 1.0 / s).collect();
+
+    // Reduced matrix  U₁† T̂^< W₁ Σ₁⁻¹  (rank x rank).
+    let mut reduced = u1.adjoint_mul(&t_shift.matmul(&w1));
+    for r in 0..rank {
+        for c in 0..rank {
+            reduced[(r, c)] = reduced[(r, c)] * sigma_inv[c];
+        }
+    }
+    let eig = cbs_linalg::eigen(&reduced).expect("reduced eigenproblem failed");
+
+    // Eigenvector recovery: ψ = Ŝ W₁ Σ₁⁻¹ φ with Ŝ = [Ŝ_0 … Ŝ_{m-1}].
+    // Compute  c = W₁ Σ₁⁻¹ φ  (dim x 1) per eigenpair and combine columns.
+    let mut eigenpairs = Vec::new();
+    let mut discarded = 0usize;
+    for (idx, &lambda) in eig.values.iter().enumerate() {
+        if !contour.contains(lambda, 0.0) {
+            discarded += 1;
+            continue;
+        }
+        let phi = eig.vectors.column(idx);
+        // c = W1 * (Σ⁻¹ φ)
+        let mut scaled_phi = CVector::zeros(rank);
+        for r in 0..rank {
+            scaled_phi[r] = phi[r] * sigma_inv[r];
+        }
+        let mut coeff = CVector::zeros(dim);
+        for r in 0..dim {
+            let mut acc = Complex64::ZERO;
+            for c in 0..rank {
+                acc += w1[(r, c)] * scaled_phi[c];
+            }
+            coeff[r] = acc;
+        }
+        // ψ = Σ_{k, rhs} coeff[k*N_rh + rhs] * Ŝ_k[:, rhs]
+        let mut psi = CVector::zeros(n);
+        for k in 0..m {
+            for rhs in 0..config.n_rh {
+                let c = coeff[k * config.n_rh + rhs];
+                if c.abs() > 0.0 {
+                    psi.axpy(c, &s_moments[k][rhs]);
+                }
+            }
+        }
+        let (psi, norm) = psi.normalized();
+        if norm == 0.0 {
+            discarded += 1;
+            continue;
+        }
+        let residual = problem.residual(lambda, &psi);
+        if residual <= config.residual_cutoff {
+            eigenpairs.push(QepEigenpair { lambda, psi, residual });
+        } else {
+            discarded += 1;
+        }
+    }
+    // Deterministic ordering: by |λ| then phase.
+    eigenpairs.sort_by(|a, b| {
+        (a.lambda.abs(), a.lambda.arg())
+            .partial_cmp(&(b.lambda.abs(), b.lambda.arg()))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let extraction_seconds = t_extract.elapsed().as_secs_f64();
+
+    SsResult {
+        eigenpairs,
+        numerical_rank: rank,
+        hankel_singular_values: decomposition.singular_values,
+        solve_histories: histories,
+        total_bicg_iterations: total_iters,
+        total_matvecs,
+        timings: SsTimings {
+            setup_seconds: 0.0,
+            linear_solve_seconds,
+            extraction_seconds,
+        },
+        discarded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_linalg::{c64, generalized_eigen};
+    use cbs_sparse::DenseOp;
+    use rand::SeedableRng;
+
+    /// Reference: all QEP eigenvalues by dense linearization
+    ///   λ² H01 ψ - λ (E - H00) ψ + H10 ψ = 0.
+    fn qep_eigenvalues_dense(h00: &CMatrix, h01: &CMatrix, energy: f64) -> Vec<Complex64> {
+        let n = h00.nrows();
+        let h10 = h01.adjoint();
+        let e_minus = &CMatrix::identity(n).scale(c64(energy, 0.0)) - h00;
+        let mut a = CMatrix::zeros(2 * n, 2 * n);
+        a.set_block(0, n, &CMatrix::identity(n));
+        a.set_block(n, 0, &h10.scale(c64(-1.0, 0.0)));
+        a.set_block(n, n, &e_minus);
+        let mut b = CMatrix::zeros(2 * n, 2 * n);
+        b.set_block(0, 0, &CMatrix::identity(n));
+        b.set_block(n, n, h01);
+        generalized_eigen(&a, &b)
+            .unwrap()
+            .finite_pairs()
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    fn random_qep(n: usize, seed: u64) -> (CMatrix, CMatrix) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a = CMatrix::random(n, n, &mut rng);
+        // Hermitian on-cell block with a definite scale.
+        let h00 = (&a + &a.adjoint()).scale(c64(0.5, 0.0));
+        // Coupling block, moderately small so the spectrum has a mix of
+        // propagating and evanescent solutions.
+        let h01 = CMatrix::random(n, n, &mut rng).scale(c64(0.35, 0.0));
+        (h00, h01)
+    }
+
+    #[test]
+    fn ss_finds_all_annulus_eigenvalues_of_a_small_dense_qep() {
+        let n = 16;
+        let (h00, h01) = random_qep(n, 501);
+        let energy = 0.2;
+        let reference: Vec<Complex64> = qep_eigenvalues_dense(&h00, &h01, energy)
+            .into_iter()
+            .filter(|l| {
+                let r = l.abs();
+                r > 0.5 && r < 2.0
+            })
+            .collect();
+        assert!(!reference.is_empty(), "reference spectrum in the annulus is empty");
+        assert!(reference.len() <= 32, "too many target eigenvalues for the test subspace");
+
+        let op00 = DenseOp::new(h00.clone());
+        let op01 = DenseOp::new(h01.clone());
+        let qep = QepProblem::new(&op00, &op01, energy, 1.0);
+        let config = SsConfig {
+            n_int: 32,
+            n_mm: 8,
+            n_rh: 8,
+            delta: 1e-12,
+            lambda_min: 0.5,
+            bicg_tolerance: 1e-12,
+            bicg_max_iterations: 5_000,
+            residual_cutoff: 1e-6,
+            seed: 7,
+            majority_stop: false,
+        };
+        let result = solve_qep(&qep, &config);
+
+        // Every reference eigenvalue (away from the contour, where quadrature
+        // filtering degrades) must be found to good accuracy.
+        let mut matched = 0;
+        for r in &reference {
+            let rad = r.abs();
+            if rad < 0.55 || rad > 1.8 {
+                continue; // too close to the contour for a strict test
+            }
+            let best = result
+                .eigenpairs
+                .iter()
+                .map(|p| (p.lambda - *r).abs())
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 1e-6, "reference λ = {r:?} missed (best distance {best:.2e})");
+            matched += 1;
+        }
+        assert!(matched > 0, "no reference eigenvalue was strictly inside the annulus");
+
+        // And every accepted pair must genuinely solve the QEP.
+        for p in &result.eigenpairs {
+            assert!(p.residual < 1e-6, "residual {}", p.residual);
+            assert!(config.contour().contains(p.lambda, 0.0));
+        }
+        assert!(result.numerical_rank >= matched);
+        assert!(result.total_bicg_iterations > 0);
+    }
+
+    #[test]
+    fn eigenvalues_come_in_reciprocal_conjugate_pairs() {
+        // For Hermitian blocks and real E, if λ is an eigenvalue then so is
+        // 1/conj(λ) (time-reversal-like symmetry of the CBS).  The solver
+        // must reproduce the pairing.
+        let n = 12;
+        let (h00, h01) = random_qep(n, 502);
+        let op00 = DenseOp::new(h00);
+        let op01 = DenseOp::new(h01);
+        let qep = QepProblem::new(&op00, &op01, 0.05, 1.0);
+        let config = SsConfig {
+            n_rh: 8,
+            n_mm: 6,
+            bicg_tolerance: 1e-12,
+            residual_cutoff: 1e-6,
+            majority_stop: false,
+            ..SsConfig::small()
+        };
+        let result = solve_qep(&qep, &config);
+        assert!(!result.eigenpairs.is_empty());
+        for p in &result.eigenpairs {
+            let partner = Complex64::ONE / p.lambda.conj();
+            if !config.contour().contains(partner, 0.02) {
+                continue;
+            }
+            let best = result
+                .eigenpairs
+                .iter()
+                .map(|q| (q.lambda - partner).abs())
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                best < 1e-5 * (1.0 + partner.abs()),
+                "partner of {:?} not found (distance {best:.2e})",
+                p.lambda
+            );
+        }
+    }
+
+    #[test]
+    fn empty_annulus_yields_no_eigenpairs() {
+        // With E far outside the spectrum of the band, the QEP has no
+        // solutions near the unit circle: all |λ| are either tiny or huge.
+        let n = 10;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(503);
+        let a = CMatrix::random(n, n, &mut rng);
+        let h00 = (&a + &a.adjoint()).scale(c64(0.1, 0.0));
+        let h01 = CMatrix::random(n, n, &mut rng).scale(c64(0.01, 0.0));
+        let op00 = DenseOp::new(h00);
+        let op01 = DenseOp::new(h01);
+        // Energy far above the narrow band.
+        let qep = QepProblem::new(&op00, &op01, 50.0, 1.0);
+        let config = SsConfig { majority_stop: false, ..SsConfig::small() };
+        let result = solve_qep(&qep, &config);
+        assert!(
+            result.eigenpairs.is_empty(),
+            "unexpected eigenpairs: {:?}",
+            result.lambdas()
+        );
+    }
+
+    #[test]
+    fn timings_and_histories_are_populated() {
+        let n = 8;
+        let (h00, h01) = random_qep(n, 504);
+        let op00 = DenseOp::new(h00);
+        let op01 = DenseOp::new(h01);
+        let qep = QepProblem::new(&op00, &op01, 0.0, 1.0);
+        let config = SsConfig { n_int: 8, n_mm: 4, n_rh: 4, majority_stop: false, ..SsConfig::small() };
+        let result = solve_qep(&qep, &config);
+        assert_eq!(result.solve_histories.len(), config.n_int * config.n_rh);
+        assert!(result.timings.linear_solve_seconds >= 0.0);
+        assert!(result.timings.extraction_seconds >= 0.0);
+        assert!(result.total_matvecs >= result.total_bicg_iterations);
+        assert_eq!(result.hankel_singular_values.len(), config.subspace_size());
+    }
+}

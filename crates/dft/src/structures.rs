@@ -1,0 +1,367 @@
+//! Generators for the atomic structures used in the paper's experiments:
+//! bulk Al(100), armchair and zigzag carbon nanotubes, BN-doped nanotubes,
+//! z-direction supercells, and nanotube bundles.
+//!
+//! Lengths are in bohr (1 Å = 1.8897259886 bohr).  Structures are returned
+//! with a lateral cell large enough to decouple periodic images (vacuum
+//! padding for isolated tubes) and with the crystalline period along `z`.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::atoms::{Atom, AtomicStructure, Element};
+
+/// Bohr per angstrom.
+pub const BOHR_PER_ANGSTROM: f64 = 1.889_725_988_6;
+
+/// Graphene C-C bond length (angstrom).
+const CC_BOND_ANGSTROM: f64 = 1.42;
+
+/// Van der Waals gap between nanotube walls in a bundle (angstrom).
+const BUNDLE_GAP_ANGSTROM: f64 = 3.35;
+
+/// Bulk fcc aluminium oriented along (100): the conventional cubic cell with
+/// 4 atoms, transport along the cube edge.  `repeat_z` stacks that cell along
+/// z (the paper's serial test uses one cell, 4 atoms).
+pub fn bulk_al_100(repeat_z: usize) -> AtomicStructure {
+    assert!(repeat_z >= 1);
+    let a0 = 4.05 * BOHR_PER_ANGSTROM; // fcc lattice constant of Al
+    // fcc conventional cell: corners + face centres, expressed in [0, a0).
+    let frac = [
+        [0.0, 0.0, 0.0],
+        [0.5, 0.5, 0.0],
+        [0.5, 0.0, 0.5],
+        [0.0, 0.5, 0.5],
+    ];
+    let mut atoms = Vec::new();
+    for r in 0..repeat_z {
+        for f in frac {
+            atoms.push(Atom::new(
+                Element::Al,
+                [
+                    f[0] * a0 + 0.25 * a0,
+                    f[1] * a0 + 0.25 * a0,
+                    (f[2] + r as f64) * a0,
+                ],
+            ));
+        }
+    }
+    AtomicStructure {
+        name: if repeat_z == 1 {
+            "Al(100)".to_string()
+        } else {
+            format!("Al(100) x{repeat_z}")
+        },
+        atoms,
+        lateral: (a0, a0),
+        period: a0 * repeat_z as f64,
+    }
+}
+
+/// Ideal single-wall carbon nanotube `(n, m)` with `m = n` (armchair) or
+/// `m = 0` (zigzag).  Chiral tubes are not needed by the paper and are
+/// rejected.  `vacuum` is the lateral padding (bohr) added on each side of
+/// the tube.
+pub fn carbon_nanotube(n: usize, m: usize, vacuum: f64) -> AtomicStructure {
+    assert!(m == n || m == 0, "only armchair (n,n) and zigzag (n,0) tubes are supported");
+    assert!(n >= 2);
+    let a_cc = CC_BOND_ANGSTROM * BOHR_PER_ANGSTROM;
+    let a_g = a_cc * 3.0_f64.sqrt(); // graphene lattice constant
+    let (radius, period, natoms) = if m == n {
+        // Armchair: period a_g, 4n atoms.
+        (a_g * (3.0 * (n * n) as f64).sqrt() / (2.0 * std::f64::consts::PI), a_g, 4 * n)
+    } else {
+        // Zigzag: period sqrt(3) a_g, 4n atoms.
+        (
+            a_g * n as f64 / (2.0 * std::f64::consts::PI),
+            a_g * 3.0_f64.sqrt(),
+            4 * n,
+        )
+    };
+
+    // Build by rolling the graphene rectangle that tiles the tube surface.
+    // For both achiral families the atoms can be written directly in
+    // cylinder coordinates (φ, z).
+    let mut sites: Vec<(f64, f64)> = Vec::with_capacity(natoms);
+    if m == n {
+        // Armchair (n,n): 2n dimers around the circumference, two rings per period.
+        for i in 0..(2 * n) {
+            let phi0 = 2.0 * std::f64::consts::PI * i as f64 / (2 * n) as f64;
+            let dphi = a_cc / radius; // bond along circumference spans this angle
+            if i % 2 == 0 {
+                sites.push((phi0, 0.0));
+                sites.push((phi0 + dphi, 0.0));
+            } else {
+                sites.push((phi0, period / 2.0));
+                sites.push((phi0 + dphi, period / 2.0));
+            }
+        }
+    } else {
+        // Zigzag (n,0): n hexagon columns around the circumference, four
+        // inequivalent z planes per period.
+        let z1 = 0.0;
+        let z2 = a_cc * 0.5;
+        let z3 = a_cc * 1.5;
+        let z4 = a_cc * 2.0;
+        for i in 0..n {
+            let phi0 = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            let half = std::f64::consts::PI / n as f64;
+            sites.push((phi0, z1));
+            sites.push((phi0 + half, z2));
+            sites.push((phi0 + half, z3));
+            sites.push((phi0, z4));
+        }
+    }
+
+    let center = radius + vacuum;
+    let lateral = 2.0 * (radius + vacuum);
+    let atoms: Vec<Atom> = sites
+        .into_iter()
+        .map(|(phi, z)| {
+            Atom::new(
+                Element::C,
+                [
+                    center + radius * phi.cos(),
+                    center + radius * phi.sin(),
+                    z.rem_euclid(period),
+                ],
+            )
+        })
+        .collect();
+    assert_eq!(atoms.len(), natoms);
+    AtomicStructure {
+        name: format!("({n},{m}) CNT"),
+        atoms,
+        lateral: (lateral, lateral),
+        period,
+    }
+}
+
+/// Repeat a structure `times` along the transport direction, producing a
+/// supercell with `times * natoms` atoms (used for the 1024- and 10240-atom
+/// BN-doped tubes).
+pub fn supercell_z(base: &AtomicStructure, times: usize) -> AtomicStructure {
+    assert!(times >= 1);
+    let mut atoms = Vec::with_capacity(base.atoms.len() * times);
+    for r in 0..times {
+        let shift = r as f64 * base.period;
+        for a in &base.atoms {
+            atoms.push(Atom::new(a.element, [a.position[0], a.position[1], a.position[2] + shift]));
+        }
+    }
+    AtomicStructure {
+        name: format!("{} x{times}", base.name),
+        atoms,
+        lateral: base.lateral,
+        period: base.period * times as f64,
+    }
+}
+
+/// Randomly substitute `n_pairs` boron-nitrogen pairs into a carbon
+/// structure (the paper's BN-doped CNTs are made "by randomly inserting
+/// boron and nitrogen into a pristine (8,0) CNT").
+pub fn bn_dope(base: &AtomicStructure, n_pairs: usize, seed: u64) -> AtomicStructure {
+    let carbon_sites: Vec<usize> = base
+        .atoms
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.element == Element::C)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        2 * n_pairs <= carbon_sites.len(),
+        "not enough carbon sites to dope {n_pairs} B-N pairs"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut shuffled = carbon_sites;
+    shuffled.shuffle(&mut rng);
+    let mut atoms = base.atoms.clone();
+    for (count, &site) in shuffled.iter().take(2 * n_pairs).enumerate() {
+        atoms[site].element = if count % 2 == 0 { Element::B } else { Element::N };
+    }
+    AtomicStructure {
+        name: format!("BN-doped {}", base.name),
+        atoms,
+        lateral: base.lateral,
+        period: base.period,
+    }
+}
+
+/// A bundle of seven parallel tubes (one central tube surrounded by six) in
+/// a hexagonal arrangement, isolated by lateral vacuum — the "7 bundle" of
+/// the paper's application section.
+pub fn bundle7(n: usize, m: usize, vacuum: f64) -> AtomicStructure {
+    let single = carbon_nanotube(n, m, 0.0);
+    let radius = single.lateral.0 / 2.0;
+    let spacing = 2.0 * radius + BUNDLE_GAP_ANGSTROM * BOHR_PER_ANGSTROM;
+    // Hexagonal positions of the 7 tube axes, centred at the origin.
+    let mut centers = vec![[0.0_f64, 0.0_f64]];
+    for i in 0..6 {
+        let ang = std::f64::consts::PI / 3.0 * i as f64;
+        centers.push([spacing * ang.cos(), spacing * ang.sin()]);
+    }
+    let min_x = centers.iter().map(|c| c[0]).fold(f64::INFINITY, f64::min) - radius - vacuum;
+    let max_x = centers.iter().map(|c| c[0]).fold(f64::NEG_INFINITY, f64::max) + radius + vacuum;
+    let min_y = centers.iter().map(|c| c[1]).fold(f64::INFINITY, f64::min) - radius - vacuum;
+    let max_y = centers.iter().map(|c| c[1]).fold(f64::NEG_INFINITY, f64::max) + radius + vacuum;
+
+    let mut atoms = Vec::with_capacity(7 * single.atoms.len());
+    for c in &centers {
+        for a in &single.atoms {
+            atoms.push(Atom::new(
+                a.element,
+                [
+                    a.position[0] - radius + c[0] - min_x,
+                    a.position[1] - radius + c[1] - min_y,
+                    a.position[2],
+                ],
+            ));
+        }
+    }
+    AtomicStructure {
+        name: format!("({n},{m}) CNT 7-bundle"),
+        atoms,
+        lateral: (max_x - min_x, max_y - min_y),
+        period: single.period,
+    }
+}
+
+/// A crystalline bundle: tubes on a two-dimensional hexagonal lattice with a
+/// two-tube rectangular unit cell (64 atoms for the (8,0) tube, matching the
+/// paper's "crystalline bundle").
+pub fn crystalline_bundle(n: usize, m: usize) -> AtomicStructure {
+    let single = carbon_nanotube(n, m, 0.0);
+    let radius = single.lateral.0 / 2.0;
+    let spacing = 2.0 * radius + BUNDLE_GAP_ANGSTROM * BOHR_PER_ANGSTROM;
+    // Rectangular cell of the 2-D hexagonal lattice: (spacing, sqrt(3)*spacing)
+    // containing two tubes, one at the corner and one at the centre.
+    let lx = spacing;
+    let ly = spacing * 3.0_f64.sqrt();
+    let centers = [[0.25 * lx, 0.25 * ly], [0.75 * lx, 0.75 * ly]];
+    let mut atoms = Vec::with_capacity(2 * single.atoms.len());
+    for c in centers {
+        for a in &single.atoms {
+            let mut x = a.position[0] - radius + c[0];
+            let mut y = a.position[1] - radius + c[1];
+            x = x.rem_euclid(lx);
+            y = y.rem_euclid(ly);
+            atoms.push(Atom::new(a.element, [x, y, a.position[2]]));
+        }
+    }
+    AtomicStructure {
+        name: format!("({n},{m}) CNT crystalline bundle"),
+        atoms,
+        lateral: (lx, ly),
+        period: single.period,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn al_cell_has_four_atoms() {
+        let s = bulk_al_100(1);
+        assert_eq!(s.natoms(), 4);
+        assert!(s.validate().is_ok());
+        assert!((s.period - 4.05 * BOHR_PER_ANGSTROM).abs() < 1e-12);
+        let s3 = bulk_al_100(3);
+        assert_eq!(s3.natoms(), 12);
+        assert!(s3.validate().is_ok());
+    }
+
+    #[test]
+    fn armchair_66_has_24_atoms() {
+        let s = carbon_nanotube(6, 6, 8.0);
+        assert_eq!(s.natoms(), 24);
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
+        // Armchair period is the graphene lattice constant (~2.46 A).
+        assert!((s.period / BOHR_PER_ANGSTROM - 2.46).abs() < 0.02);
+    }
+
+    #[test]
+    fn zigzag_80_has_32_atoms() {
+        let s = carbon_nanotube(8, 0, 8.0);
+        assert_eq!(s.natoms(), 32);
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
+        // Zigzag period ~4.26 A.
+        assert!((s.period / BOHR_PER_ANGSTROM - 4.26).abs() < 0.03);
+    }
+
+    #[test]
+    fn tube_atoms_lie_on_a_cylinder() {
+        let s = carbon_nanotube(8, 0, 6.0);
+        let cx = s.lateral.0 / 2.0;
+        let cy = s.lateral.1 / 2.0;
+        let radii: Vec<f64> = s
+            .atoms
+            .iter()
+            .map(|a| ((a.position[0] - cx).powi(2) + (a.position[1] - cy).powi(2)).sqrt())
+            .collect();
+        let rmin = radii.iter().cloned().fold(f64::INFINITY, f64::min);
+        let rmax = radii.iter().cloned().fold(0.0, f64::max);
+        assert!((rmax - rmin) < 1e-9, "radius spread {}", rmax - rmin);
+    }
+
+    #[test]
+    fn nearest_neighbour_distance_is_a_bond_length() {
+        let s = carbon_nanotube(6, 6, 6.0);
+        let a_cc = CC_BOND_ANGSTROM * BOHR_PER_ANGSTROM;
+        // For each atom find the nearest other atom (with z periodicity).
+        for (i, a) in s.atoms.iter().enumerate() {
+            let mut dmin = f64::INFINITY;
+            for (j, b) in s.atoms.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                for shift in [-1.0, 0.0, 1.0] {
+                    let dz = b.position[2] + shift * s.period - a.position[2];
+                    let dx = b.position[0] - a.position[0];
+                    let dy = b.position[1] - a.position[1];
+                    dmin = dmin.min((dx * dx + dy * dy + dz * dz).sqrt());
+                }
+            }
+            // Curvature shortens chords slightly; allow 10%.
+            assert!((dmin - a_cc).abs() / a_cc < 0.1, "atom {i}: nn distance {dmin} vs {a_cc}");
+        }
+    }
+
+    #[test]
+    fn supercell_scales_atom_count_and_period() {
+        let base = carbon_nanotube(8, 0, 8.0);
+        let sc = supercell_z(&base, 32);
+        assert_eq!(sc.natoms(), 1024);
+        assert!((sc.period - 32.0 * base.period).abs() < 1e-9);
+        assert!(sc.validate().is_ok());
+    }
+
+    #[test]
+    fn bn_doping_preserves_atom_count_and_balances_species() {
+        let base = supercell_z(&carbon_nanotube(8, 0, 8.0), 4);
+        let doped = bn_dope(&base, 16, 42);
+        assert_eq!(doped.natoms(), base.natoms());
+        let comp = doped.composition();
+        let count = |e: Element| comp.iter().find(|(el, _)| *el == e).map(|(_, c)| *c).unwrap_or(0);
+        assert_eq!(count(Element::B), 16);
+        assert_eq!(count(Element::N), 16);
+        assert_eq!(count(Element::C), base.natoms() - 32);
+        // Deterministic for a fixed seed.
+        let doped2 = bn_dope(&base, 16, 42);
+        assert_eq!(doped, doped2);
+        // Different seed gives a different arrangement.
+        let doped3 = bn_dope(&base, 16, 43);
+        assert_ne!(doped, doped3);
+    }
+
+    #[test]
+    fn bundle_counts_match_paper() {
+        let b7 = bundle7(8, 0, 8.0);
+        assert_eq!(b7.natoms(), 7 * 32); // 224 atoms of (8,0) x 7 tubes
+        assert!(b7.validate().is_ok(), "{:?}", b7.validate());
+        let cb = crystalline_bundle(8, 0);
+        assert_eq!(cb.natoms(), 64);
+        assert!(cb.validate().is_ok(), "{:?}", cb.validate());
+    }
+}

@@ -1,0 +1,309 @@
+//! Domain decomposition of the real-space grid for the bottom layer of the
+//! paper's hierarchical parallelism.
+//!
+//! The grid is split into `ndx × ndy × ndz` box-shaped domains.  Each domain
+//! owns a contiguous index range of grid points; applying the
+//! finite-difference Laplacian near a domain boundary requires "halo" points
+//! owned by neighbouring domains.  This module only computes the geometry —
+//! which points each domain owns and which halo points it must receive from
+//! whom — so that the threaded executor in `cbs-parallel` and the analytic
+//! communication model can share one source of truth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid3d::Grid3;
+use crate::stencil::FdOrder;
+
+/// One box-shaped domain of the decomposition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Domain {
+    /// Domain id in `0..n_domains`.
+    pub id: usize,
+    /// Owned index range along x: `[x0, x1)`.
+    pub xr: (usize, usize),
+    /// Owned index range along y: `[y0, y1)`.
+    pub yr: (usize, usize),
+    /// Owned index range along z: `[z0, z1)`.
+    pub zr: (usize, usize),
+}
+
+impl Domain {
+    /// Number of grid points owned by this domain.
+    pub fn npoints(&self) -> usize {
+        (self.xr.1 - self.xr.0) * (self.yr.1 - self.yr.0) * (self.zr.1 - self.zr.0)
+    }
+
+    /// Whether the global point `(i, j, k)` is owned by this domain.
+    pub fn contains(&self, i: usize, j: usize, k: usize) -> bool {
+        i >= self.xr.0 && i < self.xr.1 && j >= self.yr.0 && j < self.yr.1 && k >= self.zr.0 && k < self.zr.1
+    }
+}
+
+/// A message in the halo-exchange plan: `from` sends the listed global grid
+/// indices to `to` before a stencil application.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HaloMessage {
+    /// Sending domain id.
+    pub from: usize,
+    /// Receiving domain id.
+    pub to: usize,
+    /// Global linear indices of the grid points to transfer.
+    pub indices: Vec<usize>,
+}
+
+/// A full domain decomposition of a grid.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DomainDecomposition {
+    /// The decomposed grid.
+    pub grid: Grid3,
+    /// Number of domains along each axis.
+    pub shape: (usize, usize, usize),
+    /// The domains, indexed by id.
+    pub domains: Vec<Domain>,
+    /// Owner domain of every global grid point.
+    owner: Vec<usize>,
+}
+
+impl DomainDecomposition {
+    /// Split `grid` into `ndx × ndy × ndz` domains of (near-)equal size.
+    ///
+    /// Each axis is divided into contiguous chunks whose lengths differ by at
+    /// most one; this mirrors the paper's grid-point domain decomposition
+    /// along the z direction for the large systems.
+    pub fn new(grid: Grid3, ndx: usize, ndy: usize, ndz: usize) -> Self {
+        assert!(ndx >= 1 && ndy >= 1 && ndz >= 1, "need at least one domain per axis");
+        assert!(
+            ndx <= grid.nx && ndy <= grid.ny && ndz <= grid.nz,
+            "cannot have more domains than grid points along an axis"
+        );
+        let splits = |n: usize, parts: usize| -> Vec<(usize, usize)> {
+            let base = n / parts;
+            let extra = n % parts;
+            let mut out = Vec::with_capacity(parts);
+            let mut start = 0;
+            for p in 0..parts {
+                let len = base + usize::from(p < extra);
+                out.push((start, start + len));
+                start += len;
+            }
+            out
+        };
+        let xs = splits(grid.nx, ndx);
+        let ys = splits(grid.ny, ndy);
+        let zs = splits(grid.nz, ndz);
+        let mut domains = Vec::with_capacity(ndx * ndy * ndz);
+        for &zr in &zs {
+            for &yr in &ys {
+                for &xr in &xs {
+                    let id = domains.len();
+                    domains.push(Domain { id, xr, yr, zr });
+                }
+            }
+        }
+        let mut owner = vec![0usize; grid.npoints()];
+        for d in &domains {
+            for k in d.zr.0..d.zr.1 {
+                for j in d.yr.0..d.yr.1 {
+                    for i in d.xr.0..d.xr.1 {
+                        owner[grid.index(i, j, k)] = d.id;
+                    }
+                }
+            }
+        }
+        Self { grid, shape: (ndx, ndy, ndz), domains, owner }
+    }
+
+    /// Decompose along z only (the paper's choice for the CNT systems).
+    pub fn along_z(grid: Grid3, ndz: usize) -> Self {
+        Self::new(grid, 1, 1, ndz)
+    }
+
+    /// Number of domains.
+    pub fn n_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Owner domain id of a global linear index.
+    pub fn owner_of(&self, idx: usize) -> usize {
+        self.owner[idx]
+    }
+
+    /// Global linear indices owned by domain `id`, in grid order.
+    pub fn owned_indices(&self, id: usize) -> Vec<usize> {
+        let d = &self.domains[id];
+        let mut out = Vec::with_capacity(d.npoints());
+        for k in d.zr.0..d.zr.1 {
+            for j in d.yr.0..d.yr.1 {
+                for i in d.xr.0..d.xr.1 {
+                    out.push(self.grid.index(i, j, k));
+                }
+            }
+        }
+        out
+    }
+
+    /// Halo points that domain `id` needs from other domains to apply a
+    /// finite-difference stencil of half-width `fd.nf`.
+    ///
+    /// Lateral (x, y) directions wrap periodically; the z direction is open
+    /// within the cell (inter-cell coupling is handled by the `H₀₁` block,
+    /// not by halo exchange).
+    pub fn halo_indices(&self, id: usize, fd: FdOrder) -> Vec<usize> {
+        let d = &self.domains[id];
+        let nf = fd.nf as isize;
+        let g = &self.grid;
+        let mut needed: Vec<usize> = Vec::new();
+        let mut mark = vec![false; g.npoints()];
+        for k in d.zr.0..d.zr.1 {
+            for j in d.yr.0..d.yr.1 {
+                for i in d.xr.0..d.xr.1 {
+                    for o in -nf..=nf {
+                        if o == 0 {
+                            continue;
+                        }
+                        // x neighbour (periodic)
+                        let xi = g.wrap_x(i as isize + o);
+                        let xidx = g.index(xi, j, k);
+                        if self.owner[xidx] != id && !mark[xidx] {
+                            mark[xidx] = true;
+                            needed.push(xidx);
+                        }
+                        // y neighbour (periodic)
+                        let yj = g.wrap_y(j as isize + o);
+                        let yidx = g.index(i, yj, k);
+                        if self.owner[yidx] != id && !mark[yidx] {
+                            mark[yidx] = true;
+                            needed.push(yidx);
+                        }
+                        // z neighbour (open within the cell)
+                        let kk = k as isize + o;
+                        if kk >= 0 && kk < g.nz as isize {
+                            let zidx = g.index(i, j, kk as usize);
+                            if self.owner[zidx] != id && !mark[zidx] {
+                                mark[zidx] = true;
+                                needed.push(zidx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        needed.sort_unstable();
+        needed
+    }
+
+    /// The full halo-exchange plan for a stencil of half-width `fd.nf`:
+    /// one message per (sender, receiver) pair that actually transfers data.
+    pub fn halo_plan(&self, fd: FdOrder) -> Vec<HaloMessage> {
+        let mut plan = Vec::new();
+        for to in 0..self.n_domains() {
+            let halo = self.halo_indices(to, fd);
+            // Group by owner.
+            let mut by_owner: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+            for idx in halo {
+                by_owner.entry(self.owner[idx]).or_default().push(idx);
+            }
+            for (from, indices) in by_owner {
+                plan.push(HaloMessage { from, to, indices });
+            }
+        }
+        plan
+    }
+
+    /// Total number of grid-point values exchanged per stencil application —
+    /// the communication volume that feeds the performance model.
+    pub fn halo_volume(&self, fd: FdOrder) -> usize {
+        self.halo_plan(fd).iter().map(|m| m.indices.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_partition_the_grid() {
+        let g = Grid3::isotropic(7, 6, 10, 0.5);
+        let dd = DomainDecomposition::new(g, 2, 3, 4);
+        assert_eq!(dd.n_domains(), 24);
+        let total: usize = dd.domains.iter().map(|d| d.npoints()).sum();
+        assert_eq!(total, g.npoints());
+        // Every point owned by exactly one domain, consistent with contains().
+        for idx in 0..g.npoints() {
+            let (i, j, k) = g.coords(idx);
+            let owners: Vec<usize> =
+                dd.domains.iter().filter(|d| d.contains(i, j, k)).map(|d| d.id).collect();
+            assert_eq!(owners.len(), 1);
+            assert_eq!(owners[0], dd.owner_of(idx));
+        }
+    }
+
+    #[test]
+    fn owned_indices_match_owner_map() {
+        let g = Grid3::isotropic(4, 4, 8, 0.5);
+        let dd = DomainDecomposition::along_z(g, 4);
+        for id in 0..dd.n_domains() {
+            for idx in dd.owned_indices(id) {
+                assert_eq!(dd.owner_of(idx), id);
+            }
+        }
+    }
+
+    #[test]
+    fn single_domain_has_no_halo() {
+        let g = Grid3::isotropic(6, 6, 6, 0.5);
+        let dd = DomainDecomposition::new(g, 1, 1, 1);
+        assert!(dd.halo_indices(0, FdOrder::new(4)).is_empty());
+        assert_eq!(dd.halo_volume(FdOrder::new(4)), 0);
+    }
+
+    #[test]
+    fn z_split_halo_is_plane_shaped() {
+        let g = Grid3::isotropic(4, 4, 12, 0.5);
+        let dd = DomainDecomposition::along_z(g, 3);
+        let fd = FdOrder::new(2);
+        // Middle domain needs nf planes from each side: 2 * 2 * (4*4) points.
+        let halo = dd.halo_indices(1, fd);
+        assert_eq!(halo.len(), 2 * fd.nf * 16);
+        // End domains touch only one neighbour in z.
+        assert_eq!(dd.halo_indices(0, fd).len(), fd.nf * 16);
+        assert_eq!(dd.halo_indices(2, fd).len(), fd.nf * 16);
+    }
+
+    #[test]
+    fn halo_plan_messages_are_consistent() {
+        let g = Grid3::isotropic(6, 6, 9, 0.5);
+        let dd = DomainDecomposition::new(g, 2, 1, 3);
+        let fd = FdOrder::new(1);
+        let plan = dd.halo_plan(fd);
+        for msg in &plan {
+            assert_ne!(msg.from, msg.to);
+            for &idx in &msg.indices {
+                assert_eq!(dd.owner_of(idx), msg.from);
+            }
+        }
+        let volume: usize = plan.iter().map(|m| m.indices.len()).sum();
+        assert_eq!(volume, dd.halo_volume(fd));
+        assert!(volume > 0);
+    }
+
+    #[test]
+    fn lateral_periodic_wrap_creates_halo_between_edge_domains() {
+        let g = Grid3::isotropic(8, 4, 4, 0.5);
+        let dd = DomainDecomposition::new(g, 2, 1, 1);
+        let fd = FdOrder::new(1);
+        // Domain 0 owns x in [0,4), domain 1 owns [4,8); the periodic wrap in
+        // x means each needs points from the other on both faces.
+        let halo0 = dd.halo_indices(0, fd);
+        assert!(halo0.iter().all(|&idx| dd.owner_of(idx) == 1));
+        let expected = 2 * 4 * 4; // two faces of ny*nz points at nf=1
+        assert_eq!(halo0.len(), expected);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_domains_rejected() {
+        let g = Grid3::isotropic(4, 4, 4, 0.5);
+        let _ = DomainDecomposition::along_z(g, 5);
+    }
+}

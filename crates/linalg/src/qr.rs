@@ -1,0 +1,240 @@
+//! Householder QR factorization for dense complex matrices.
+//!
+//! Used for orthonormalizing subspace bases (e.g. the recovered eigenvector
+//! blocks of the Sakurai-Sugiura method) and for least-squares solves in the
+//! diagnostics.
+
+use crate::complex::Complex64;
+use crate::matrix::CMatrix;
+use crate::vector::CVector;
+use crate::LinalgError;
+
+/// Compact-WY-free Householder QR: stores the reflectors and `R`.
+#[derive(Clone, Debug)]
+pub struct QrDecomposition {
+    /// Householder vectors, one per column eliminated (length `m`, leading
+    /// zeros below the pivot row).
+    reflectors: Vec<CVector>,
+    /// The scalar `tau` for each reflector (`H = I - tau v v†`).
+    taus: Vec<Complex64>,
+    /// Upper-triangular factor, shape `(min(m,n), n)`.
+    r: CMatrix,
+    m: usize,
+    n: usize,
+}
+
+impl QrDecomposition {
+    /// Factor an `m x n` matrix with `m >= n`.
+    pub fn new(a: &CMatrix) -> Result<Self, LinalgError> {
+        let (m, n) = (a.nrows(), a.ncols());
+        if m < n {
+            return Err(LinalgError::InvalidDimensions {
+                context: "QR requires nrows >= ncols",
+            });
+        }
+        let mut work = a.clone();
+        let mut reflectors = Vec::with_capacity(n);
+        let mut taus = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Build the Householder vector from column k, rows k..m.
+            let mut v = CVector::zeros(m);
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                v[i] = work[(i, k)];
+                norm_sq += v[i].norm_sqr();
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                reflectors.push(CVector::zeros(m));
+                taus.push(Complex64::ZERO);
+                continue;
+            }
+            let x0 = v[k];
+            // alpha = -sign(x0) * ||x||, with complex sign = x0/|x0|.
+            let phase = if x0.abs() > 0.0 { x0 / Complex64::real(x0.abs()) } else { Complex64::ONE };
+            let alpha = -phase * norm;
+            v[k] -= alpha;
+            let vnorm_sq: f64 = (k..m).map(|i| v[i].norm_sqr()).sum();
+            let tau = if vnorm_sq > 0.0 {
+                Complex64::real(2.0 / vnorm_sq)
+            } else {
+                Complex64::ZERO
+            };
+
+            // Apply H = I - tau v v† to the remaining columns of `work`.
+            for j in k..n {
+                let mut dot = Complex64::ZERO;
+                for i in k..m {
+                    dot += v[i].conj() * work[(i, j)];
+                }
+                let s = tau * dot;
+                for i in k..m {
+                    let vi = v[i];
+                    work[(i, j)] -= s * vi;
+                }
+            }
+            reflectors.push(v);
+            taus.push(tau);
+        }
+
+        let r = work.block(0, 0, n, n);
+        Ok(Self { reflectors, taus, r, m, n })
+    }
+
+    /// The upper-triangular factor `R` (n x n).
+    pub fn r(&self) -> &CMatrix {
+        &self.r
+    }
+
+    /// Apply `Q†` to a vector of length `m`.
+    pub fn apply_q_adjoint(&self, x: &CVector) -> CVector {
+        assert_eq!(x.len(), self.m);
+        let mut y = x.clone();
+        for (v, &tau) in self.reflectors.iter().zip(&self.taus) {
+            if tau == Complex64::ZERO {
+                continue;
+            }
+            let mut dot = Complex64::ZERO;
+            for i in 0..self.m {
+                dot += v[i].conj() * y[i];
+            }
+            let s = tau * dot;
+            for i in 0..self.m {
+                y[i] -= s * v[i];
+            }
+        }
+        y
+    }
+
+    /// Apply `Q` to a vector of length `m`.
+    pub fn apply_q(&self, x: &CVector) -> CVector {
+        assert_eq!(x.len(), self.m);
+        let mut y = x.clone();
+        for (v, &tau) in self.reflectors.iter().zip(&self.taus).rev() {
+            if tau == Complex64::ZERO {
+                continue;
+            }
+            // Q = H_1 H_2 ... H_n with Hermitian H_k, so applying in reverse
+            // order gives Q x.
+            let mut dot = Complex64::ZERO;
+            for i in 0..self.m {
+                dot += v[i].conj() * y[i];
+            }
+            let s = tau * dot;
+            for i in 0..self.m {
+                y[i] -= s * v[i];
+            }
+        }
+        y
+    }
+
+    /// Explicit thin `Q` (m x n) with orthonormal columns.
+    pub fn thin_q(&self) -> CMatrix {
+        let mut q = CMatrix::zeros(self.m, self.n);
+        for j in 0..self.n {
+            let e = CVector::unit(self.m, j);
+            q.set_column(j, &self.apply_q(&e));
+        }
+        q
+    }
+
+    /// Least-squares solve `min ||A x - b||` via `R x = Q† b`.
+    pub fn solve_least_squares(&self, b: &CVector) -> Result<CVector, LinalgError> {
+        let qtb = self.apply_q_adjoint(b);
+        let mut x = CVector::zeros(self.n);
+        for i in (0..self.n).rev() {
+            let mut acc = qtb[i];
+            for j in (i + 1)..self.n {
+                acc -= self.r[(i, j)] * x[j];
+            }
+            let d = self.r[(i, i)];
+            if d.abs() < 1e-300 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = acc / d;
+        }
+        Ok(x)
+    }
+}
+
+/// Orthonormalize the columns of `a` (thin Q of its QR factorization).
+pub fn orthonormalize_columns(a: &CMatrix) -> Result<CMatrix, LinalgError> {
+    Ok(QrDecomposition::new(a)?.thin_q())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn qr_reconstructs_matrix() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        let a = CMatrix::random(8, 5, &mut rng);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let q = qr.thin_q();
+        let recon = q.matmul(qr.r());
+        assert!((&recon - &a).fro_norm() < 1e-11 * a.fro_norm().max(1.0));
+    }
+
+    #[test]
+    fn thin_q_has_orthonormal_columns() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(22);
+        let a = CMatrix::random(9, 4, &mut rng);
+        let q = orthonormalize_columns(&a).unwrap();
+        let gram = q.adjoint_mul(&q);
+        assert!((&gram - &CMatrix::identity(4)).fro_norm() < 1e-11);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        let a = CMatrix::random(6, 6, &mut rng);
+        let qr = QrDecomposition::new(&a).unwrap();
+        for i in 0..6 {
+            for j in 0..i {
+                assert!(qr.r()[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_on_square_system() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(24);
+        let a = CMatrix::random(7, 7, &mut rng);
+        let x_true = CVector::random(7, &mut rng);
+        let b = a.matvec(&x_true);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        assert!((&x - &x_true).norm() / x_true.norm() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_on_overdetermined_system() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(25);
+        let a = CMatrix::random(10, 4, &mut rng);
+        let x_true = CVector::random(4, &mut rng);
+        let b = a.matvec(&x_true);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        // Consistent system: exact recovery.
+        assert!((&x - &x_true).norm() / x_true.norm() < 1e-10);
+    }
+
+    #[test]
+    fn q_adjoint_is_inverse_of_q() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(26);
+        let a = CMatrix::random(8, 8, &mut rng);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = CVector::random(8, &mut rng);
+        let roundtrip = qr.apply_q_adjoint(&qr.apply_q(&x));
+        assert!((&roundtrip - &x).norm() < 1e-11);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = CMatrix::zeros(3, 5);
+        assert!(QrDecomposition::new(&a).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Singular value decomposition of dense complex matrices by one-sided
+//! Jacobi rotations.
+//!
+//! The Sakurai-Sugiura method needs the SVD of the block Hankel matrix
+//! (dimension `N_rh * N_mm`, i.e. on the order of 100) to perform the
+//! low-rank filtering with threshold `δ`; one-sided Jacobi is simple, very
+//! accurate for small singular values, and entirely adequate at this size.
+
+use crate::complex::Complex64;
+use crate::matrix::CMatrix;
+use crate::vector::CVector;
+use crate::LinalgError;
+
+/// Thin singular value decomposition `A = U Σ V†`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors, `m x r` where `r = min(m, n)`.
+    pub u: CMatrix,
+    /// Singular values in non-increasing order (length `r`).
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `n x r`.
+    pub v: CMatrix,
+}
+
+impl Svd {
+    /// Number of singular values above `threshold * sigma_max` (the paper's
+    /// numerical-rank criterion with threshold `δ`).
+    pub fn numerical_rank(&self, threshold: f64) -> usize {
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        if smax == 0.0 {
+            return 0;
+        }
+        self.singular_values.iter().take_while(|&&s| s > threshold * smax).count()
+    }
+
+    /// Reconstruct `A` from the factors (mostly for testing).
+    pub fn reconstruct(&self) -> CMatrix {
+        let r = self.singular_values.len();
+        let mut us = self.u.clone();
+        for j in 0..r {
+            let s = self.singular_values[j];
+            for i in 0..us.nrows() {
+                us[(i, j)] = us[(i, j)] * s;
+            }
+        }
+        us.matmul(&self.v.adjoint())
+    }
+}
+
+/// Compute the thin SVD of `a` by one-sided Jacobi.
+///
+/// Works for any shape; for `m < n` the decomposition is computed on the
+/// adjoint and the factors are swapped back.
+pub fn svd(a: &CMatrix) -> Result<Svd, LinalgError> {
+    let (m, n) = (a.nrows(), a.ncols());
+    if m < n {
+        let t = svd(&a.adjoint())?;
+        return Ok(Svd { u: t.v, singular_values: t.singular_values, v: t.u });
+    }
+    if n == 0 {
+        return Ok(Svd { u: CMatrix::zeros(m, 0), singular_values: vec![], v: CMatrix::zeros(0, 0) });
+    }
+
+    // Work on the columns of `work`; accumulate the right rotations in `v`.
+    let mut work = a.clone();
+    let mut v = CMatrix::identity(n);
+    let tol = 1e-14;
+    let max_sweeps = 60;
+    let mut converged = false;
+
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries for the column pair.
+                let mut app = 0.0f64;
+                let mut aqq = 0.0f64;
+                let mut apq = Complex64::ZERO;
+                for i in 0..m {
+                    let cp = work[(i, p)];
+                    let cq = work[(i, q)];
+                    app += cp.norm_sqr();
+                    aqq += cq.norm_sqr();
+                    apq += cp.conj() * cq;
+                }
+                let denom = (app * aqq).sqrt();
+                if denom == 0.0 || apq.abs() <= tol * denom {
+                    continue;
+                }
+                off = off.max(apq.abs() / denom);
+
+                // Phase that makes the off-diagonal Gram entry real positive.
+                let phase = apq / Complex64::real(apq.abs());
+                let g = apq.abs();
+                // Real Jacobi rotation for [[app, g], [g, aqq]].
+                let tau = (aqq - app) / (2.0 * g);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+
+                // Column update: q-column first absorbs the phase conjugate so
+                // the pair becomes effectively real, then the plane rotation.
+                //   new_p = c * a_p - s * (a_q * conj(phase))
+                //   new_q = s * a_p + c * (a_q * conj(phase))
+                let ph = phase.conj();
+                for i in 0..m {
+                    let cp = work[(i, p)];
+                    let cq = work[(i, q)] * ph;
+                    work[(i, p)] = cp * c - cq * s;
+                    work[(i, q)] = cp * s + cq * c;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)] * ph;
+                    v[(i, p)] = vp * c - vq * s;
+                    v[(i, q)] = vp * s + vq * c;
+                }
+            }
+        }
+        if off <= tol {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        // One-sided Jacobi essentially always converges; reaching the sweep
+        // budget indicates pathological input (NaN/Inf).
+        if work.as_slice().iter().any(|z| !z.is_finite()) {
+            return Err(LinalgError::NoConvergence { iterations: max_sweeps });
+        }
+    }
+
+    // Extract singular values and left vectors, then sort descending.
+    let mut cols: Vec<(f64, CVector, CVector)> = (0..n)
+        .map(|j| {
+            let col = work.column(j);
+            let sigma = col.norm();
+            let u = if sigma > 0.0 {
+                let mut u = col.clone();
+                u.scale(Complex64::real(1.0 / sigma));
+                u
+            } else {
+                CVector::zeros(m)
+            };
+            (sigma, u, v.column(j))
+        })
+        .collect();
+    cols.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut u_mat = CMatrix::zeros(m, n);
+    let mut v_mat = CMatrix::zeros(n, n);
+    let mut sv = Vec::with_capacity(n);
+    for (j, (sigma, uj, vj)) in cols.into_iter().enumerate() {
+        sv.push(sigma);
+        u_mat.set_column(j, &uj);
+        v_mat.set_column(j, &vj);
+    }
+    Ok(Svd { u: u_mat, singular_values: sv, v: v_mat })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reconstruction_of_random_matrix() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(41);
+        for &(m, n) in &[(6usize, 6usize), (9, 4), (4, 9)] {
+            let a = CMatrix::random(m, n, &mut rng);
+            let s = svd(&a).unwrap();
+            let err = (&s.reconstruct() - &a).fro_norm() / a.fro_norm();
+            assert!(err < 1e-11, "({m},{n}) reconstruction error {err}");
+        }
+    }
+
+    #[test]
+    fn singular_vectors_are_orthonormal() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let a = CMatrix::random(8, 5, &mut rng);
+        let s = svd(&a).unwrap();
+        let gu = s.u.adjoint_mul(&s.u);
+        let gv = s.v.adjoint_mul(&s.v);
+        assert!((&gu - &CMatrix::identity(5)).fro_norm() < 1e-10);
+        assert!((&gv - &CMatrix::identity(5)).fro_norm() < 1e-10);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(43);
+        let a = CMatrix::random(7, 7, &mut rng);
+        let s = svd(&a).unwrap();
+        for w in s.singular_values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(s.singular_values.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let a = CMatrix::from_diag(&[c64(3.0, 0.0), c64(0.0, -4.0), c64(1.0, 0.0)]);
+        let s = svd(&a).unwrap();
+        assert!((s.singular_values[0] - 4.0).abs() < 1e-12);
+        assert!((s.singular_values[1] - 3.0).abs() < 1e-12);
+        assert!((s.singular_values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_matrix_detected() {
+        // Build a rank-2 matrix of size 6x6.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(44);
+        let b = CMatrix::random(6, 2, &mut rng);
+        let c = CMatrix::random(2, 6, &mut rng);
+        let a = b.matmul(&c);
+        let s = svd(&a).unwrap();
+        assert_eq!(s.numerical_rank(1e-10), 2);
+        assert!(s.singular_values[2] < 1e-10 * s.singular_values[0]);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_singular_values() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(45);
+        let a = CMatrix::random(5, 8, &mut rng);
+        let s = svd(&a).unwrap();
+        let fro_sv: f64 = s.singular_values.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((fro_sv - a.fro_norm()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = CMatrix::zeros(4, 3);
+        let s = svd(&a).unwrap();
+        assert!(s.singular_values.iter().all(|&x| x == 0.0));
+        assert_eq!(s.numerical_rank(1e-12), 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # cbs-obm
+//!
+//! The overbridging-boundary-matching (OBM) / transfer-matrix baseline that
+//! the paper compares against (Fujimoto & Hirose, Phys. Rev. B 67, 195315).
+//!
+//! Given the periodic blocks `H₀₀`, `H₀₁` and a scan energy, the method
+//! computes the interface columns of the cell Green function
+//! `(E - H₀₀)⁻¹` iteratively, assembles a dense generalized eigenproblem of
+//! dimension `2·Nx·Ny·N_f` on the boundary planes, and solves it densely.
+//! Its O(N²) memory and O(N³) time are the baseline costs of the paper's
+//! Figure 4; the cross-validation against the Sakurai-Sugiura solver in the
+//! tests doubles as a correctness check for both.
+
+#![warn(missing_docs)]
+
+pub mod interface;
+pub mod solver;
+
+pub use interface::Interface;
+pub use solver::{obm_solve, ObmConfig, ObmResult};

@@ -1,0 +1,132 @@
+//! The three-layer parallel hierarchy of the Sakurai-Sugiura method
+//! (paper §3.3 and Figure 3):
+//!
+//! * **top layer** — the `N_rh` right-hand sides are independent,
+//! * **middle layer** — the `N_int` quadrature points are independent,
+//! * **bottom layer** — each linear solve is domain-decomposed over the grid.
+//!
+//! `ParallelLayout` describes how many processes are assigned to each layer;
+//! `ParallelLayout::assign` implements the paper's rule that upper layers are
+//! filled first because they need no communication.
+
+use serde::{Deserialize, Serialize};
+
+/// Assignment of processes to the three layers (plus threads inside each
+/// bottom-layer process, the "OpenMP" threads of Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelLayout {
+    /// Process groups across right-hand sides (top layer).
+    pub rhs_groups: usize,
+    /// Process groups across quadrature points (middle layer).
+    pub quadrature_groups: usize,
+    /// Processes per linear solve, i.e. domains of the grid decomposition
+    /// (bottom layer, `N_dm` in the paper).
+    pub domains: usize,
+    /// Threads per process (intra-node shared-memory parallelism).
+    pub threads_per_process: usize,
+}
+
+impl ParallelLayout {
+    /// A fully serial layout.
+    pub fn serial() -> Self {
+        Self { rhs_groups: 1, quadrature_groups: 1, domains: 1, threads_per_process: 1 }
+    }
+
+    /// Total number of MPI-like processes.
+    pub fn total_processes(&self) -> usize {
+        self.rhs_groups * self.quadrature_groups * self.domains
+    }
+
+    /// Total number of cores used.
+    pub fn total_cores(&self) -> usize {
+        self.total_processes() * self.threads_per_process
+    }
+
+    /// The paper's assignment rule: given `processes` processes and the
+    /// problem parameters, fill the top layer first (no communication, best
+    /// load balance), then the middle layer, and only then the bottom layer.
+    pub fn assign(processes: usize, n_rh: usize, n_int: usize) -> Self {
+        assert!(processes >= 1);
+        let rhs_groups = processes.min(n_rh);
+        let remaining = processes / rhs_groups;
+        let quadrature_groups = remaining.min(n_int);
+        let domains = (remaining / quadrature_groups).max(1);
+        Self { rhs_groups, quadrature_groups, domains, threads_per_process: 1 }
+    }
+
+    /// Work items (quadrature point, right-hand side) handled by process
+    /// group `(rhs_group, quad_group)` under a block-cyclic distribution.
+    pub fn work_items(
+        &self,
+        rhs_group: usize,
+        quad_group: usize,
+        n_rh: usize,
+        n_int: usize,
+    ) -> Vec<(usize, usize)> {
+        let mut items = Vec::new();
+        let mut j = quad_group;
+        while j < n_int {
+            let mut r = rhs_group;
+            while r < n_rh {
+                items.push((j, r));
+                r += self.rhs_groups;
+            }
+            j += self.quadrature_groups;
+        }
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_multiply() {
+        let l = ParallelLayout {
+            rhs_groups: 16,
+            quadrature_groups: 32,
+            domains: 4,
+            threads_per_process: 17,
+        };
+        assert_eq!(l.total_processes(), 2048);
+        assert_eq!(l.total_cores(), 2048 * 17);
+    }
+
+    #[test]
+    fn assignment_fills_top_layer_first() {
+        // Fewer processes than N_rh: everything goes to the top layer.
+        let l = ParallelLayout::assign(8, 16, 32);
+        assert_eq!((l.rhs_groups, l.quadrature_groups, l.domains), (8, 1, 1));
+        // Exactly N_rh * N_int: top and middle saturated, no domains.
+        let l = ParallelLayout::assign(16 * 32, 16, 32);
+        assert_eq!((l.rhs_groups, l.quadrature_groups, l.domains), (16, 32, 1));
+        // More than N_rh * N_int: the excess goes to the bottom layer.
+        let l = ParallelLayout::assign(16 * 32 * 4, 16, 32);
+        assert_eq!((l.rhs_groups, l.quadrature_groups, l.domains), (16, 32, 4));
+    }
+
+    #[test]
+    fn work_items_cover_everything_exactly_once() {
+        let n_rh = 6;
+        let n_int = 8;
+        let l = ParallelLayout { rhs_groups: 3, quadrature_groups: 4, domains: 1, threads_per_process: 1 };
+        let mut seen = vec![vec![0usize; n_rh]; n_int];
+        for q in 0..l.quadrature_groups {
+            for r in 0..l.rhs_groups {
+                for (j, rhs) in l.work_items(r, q, n_rh, n_int) {
+                    seen[j][rhs] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().flatten().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn serial_layout() {
+        let l = ParallelLayout::serial();
+        assert_eq!(l.total_processes(), 1);
+        let items = l.work_items(0, 0, 4, 4);
+        assert_eq!(items.len(), 16);
+    }
+}

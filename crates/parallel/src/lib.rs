@@ -1,0 +1,28 @@
+//! # cbs-parallel
+//!
+//! The hierarchical parallel runtime of the paper's method:
+//!
+//! * [`ParallelLayout`] — process assignment to the three layers (right-hand
+//!   sides → quadrature points → grid domains), with the paper's
+//!   top-layer-first rule,
+//! * [`DomainDecomposedOp`], [`solve_rhs_parallel`], [`solve_tasks_parallel`]
+//!   — threaded, functionally exact execution of the layers (validated
+//!   against the serial path),
+//! * [`PerformanceModel`] — a calibrated analytic model of an
+//!   Oakforest-PACS-like cluster used to produce the strong-scaling curves
+//!   of Figures 8-10 and the intra-node sweep of Table 2 on hardware that
+//!   cannot run 139,264 cores (see `DESIGN.md` for the substitution).
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod hierarchy;
+pub mod perf_model;
+
+pub use executor::{
+    measure_bicg_iteration_cost, solve_rhs_parallel, solve_tasks_parallel, DomainDecomposedOp,
+};
+pub use hierarchy::ParallelLayout;
+pub use perf_model::{
+    default_workload, MachineModel, PerformanceModel, PredictedTime, ScalingLayer, WorkloadModel,
+};

@@ -1,0 +1,410 @@
+//! The bi-conjugate gradient method for complex non-Hermitian systems, with
+//! simultaneous solution of the adjoint ("dual") system.
+//!
+//! This is the workhorse of the paper: the shifted QEP systems
+//! `P(z_j) Y = V` at the outer-circle quadrature points are solved with
+//! BiCG, and because `P(z)† = P(1/z̄)`, the *dual* solution produced by the
+//! same iteration is exactly the solution needed at the corresponding
+//! inner-circle point — halving the number of linear solves (paper §3.2).
+//!
+//! The implementation follows Saad, *Iterative Methods for Sparse Linear
+//! Systems*, Alg. 7.3 (BiCG), with the dual solution vector tracked using
+//! the conjugated step sizes.
+
+use cbs_linalg::{CVector, Complex64};
+use cbs_sparse::LinearOperator;
+
+use crate::history::{ConvergenceHistory, SolverOptions, StopReason};
+
+/// Result of a dual BiCG solve.
+#[derive(Clone, Debug)]
+pub struct BicgResult {
+    /// Solution of the primal system `A x = b`.
+    pub x: CVector,
+    /// Solution of the dual system `A† x̃ = b_dual`.
+    pub dual_x: CVector,
+    /// Convergence history of the primal residual.
+    pub history: ConvergenceHistory,
+    /// Convergence history of the dual residual.
+    pub dual_history: ConvergenceHistory,
+}
+
+impl BicgResult {
+    /// `true` when both the primal and dual systems reached the tolerance.
+    pub fn both_converged(&self) -> bool {
+        self.history.converged() && self.dual_history.converged()
+    }
+}
+
+/// Solve `A x = b` and `A† x̃ = b_dual` simultaneously with BiCG.
+///
+/// `external_stop` is consulted once per iteration; returning `true` aborts
+/// the solve with [`StopReason::ExternalStop`] (used to implement the
+/// paper's "stop once half of the quadrature points have converged"
+/// load-balancing rule).
+pub fn bicg_dual<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &CVector,
+    b_dual: &CVector,
+    opts: &SolverOptions,
+    external_stop: Option<&(dyn Fn(usize) -> bool + Sync)>,
+) -> BicgResult {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(b_dual.len(), n, "dual rhs length mismatch");
+
+    let mut x = CVector::zeros(n);
+    let mut xt = CVector::zeros(n);
+    let mut r = b.clone();
+    let mut rt = b_dual.clone();
+    let mut p = r.clone();
+    let mut pt = rt.clone();
+
+    let b_norm = b.norm().max(1e-300);
+    let bt_norm = b_dual.norm().max(1e-300);
+    let mut res = r.norm() / b_norm;
+    let mut res_dual = rt.norm() / bt_norm;
+
+    let mut history = Vec::new();
+    let mut dual_history = Vec::new();
+    if opts.record_history {
+        history.push(res);
+        dual_history.push(res_dual);
+    }
+
+    let mut q = CVector::zeros(n);
+    let mut qt = CVector::zeros(n);
+    let mut rho = rt.dot(&r);
+    let mut matvecs = 0usize;
+    let mut stop = StopReason::MaxIterations;
+
+    for iter in 0..opts.max_iterations {
+        if res <= opts.tolerance && res_dual <= opts.tolerance {
+            stop = StopReason::Converged;
+            break;
+        }
+        if let Some(cb) = external_stop {
+            if cb(iter) {
+                stop = StopReason::ExternalStop;
+                break;
+            }
+        }
+        if rho.abs() < 1e-290 {
+            stop = StopReason::Breakdown;
+            break;
+        }
+
+        a.apply(p.as_slice(), q.as_mut_slice());
+        a.apply_adjoint(pt.as_slice(), qt.as_mut_slice());
+        matvecs += 2;
+
+        let denom = pt.dot(&q);
+        if denom.abs() < 1e-290 {
+            stop = StopReason::Breakdown;
+            break;
+        }
+        let alpha = rho / denom;
+
+        x.axpy(alpha, &p);
+        xt.axpy(alpha.conj(), &pt);
+        r.axpy(-alpha, &q);
+        rt.axpy(-alpha.conj(), &qt);
+
+        res = r.norm() / b_norm;
+        res_dual = rt.norm() / bt_norm;
+        if opts.record_history {
+            history.push(res);
+            dual_history.push(res_dual);
+        }
+
+        let rho_new = rt.dot(&r);
+        let beta = rho_new / rho;
+        rho = rho_new;
+
+        // p = r + beta p ; pt = rt + conj(beta) pt
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+            pt[i] = rt[i] + beta.conj() * pt[i];
+        }
+    }
+    if res <= opts.tolerance && res_dual <= opts.tolerance {
+        stop = StopReason::Converged;
+    }
+    if !opts.record_history {
+        history.push(res);
+        dual_history.push(res_dual);
+    }
+
+    let primal_conv = res <= opts.tolerance;
+    let dual_conv = res_dual <= opts.tolerance;
+    BicgResult {
+        x,
+        dual_x: xt,
+        history: ConvergenceHistory {
+            residuals: history,
+            stop_reason: if primal_conv { StopReason::Converged } else { stop },
+            matvecs,
+        },
+        dual_history: ConvergenceHistory {
+            residuals: dual_history,
+            stop_reason: if dual_conv { StopReason::Converged } else { stop },
+            matvecs,
+        },
+    }
+}
+
+/// Solve a single system `A x = b` with BiCG (the dual right-hand side is
+/// taken equal to `b`, as in the paper where both systems share `V`).
+pub fn bicg<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &CVector,
+    opts: &SolverOptions,
+) -> (CVector, ConvergenceHistory) {
+    let res = bicg_dual(a, b, b, opts, None);
+    (res.x, res.history)
+}
+
+/// Stabilized bi-conjugate gradients (BiCGSTAB) for a single system; kept as
+/// an alternative smoother-converging solver for diagnostics and ablations.
+pub fn bicgstab<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &CVector,
+    opts: &SolverOptions,
+) -> (CVector, ConvergenceHistory) {
+    let n = a.dim();
+    assert_eq!(b.len(), n);
+    let mut x = CVector::zeros(n);
+    let mut r = b.clone();
+    let r0 = r.clone();
+    let mut p = r.clone();
+    let mut v = CVector::zeros(n);
+    let mut s = CVector::zeros(n);
+    let mut t = CVector::zeros(n);
+    let b_norm = b.norm().max(1e-300);
+    let mut res = r.norm() / b_norm;
+    let mut history = vec![res];
+    let mut rho = r0.dot(&r);
+    let mut matvecs = 0usize;
+    let mut stop = StopReason::MaxIterations;
+
+    for _ in 0..opts.max_iterations {
+        if res <= opts.tolerance {
+            stop = StopReason::Converged;
+            break;
+        }
+        if rho.abs() < 1e-290 {
+            stop = StopReason::Breakdown;
+            break;
+        }
+        a.apply(p.as_slice(), v.as_mut_slice());
+        matvecs += 1;
+        let alpha = rho / r0.dot(&v);
+        // s = r - alpha v
+        for i in 0..n {
+            s[i] = r[i] - alpha * v[i];
+        }
+        a.apply(s.as_slice(), t.as_mut_slice());
+        matvecs += 1;
+        let tt = t.dot(&t);
+        let omega = if tt.abs() < 1e-290 { Complex64::ZERO } else { t.dot(&s) / tt };
+        for i in 0..n {
+            x[i] += alpha * p[i] + omega * s[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        res = r.norm() / b_norm;
+        if opts.record_history {
+            history.push(res);
+        }
+        if omega.abs() < 1e-290 {
+            stop = StopReason::Breakdown;
+            break;
+        }
+        let rho_new = r0.dot(&r);
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+    }
+    if res <= opts.tolerance {
+        stop = StopReason::Converged;
+    }
+    (x, ConvergenceHistory { residuals: history, stop_reason: stop, matvecs })
+}
+
+/// Conjugate gradients for Hermitian positive-definite systems (used by the
+/// OBM baseline's Green-function columns, following the paper's choice).
+pub fn cg<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &CVector,
+    opts: &SolverOptions,
+) -> (CVector, ConvergenceHistory) {
+    let n = a.dim();
+    assert_eq!(b.len(), n);
+    let mut x = CVector::zeros(n);
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let mut q = CVector::zeros(n);
+    let b_norm = b.norm().max(1e-300);
+    let mut res = r.norm() / b_norm;
+    let mut history = vec![res];
+    let mut rho = r.dot(&r);
+    let mut matvecs = 0usize;
+    let mut stop = StopReason::MaxIterations;
+
+    for _ in 0..opts.max_iterations {
+        if res <= opts.tolerance {
+            stop = StopReason::Converged;
+            break;
+        }
+        a.apply(p.as_slice(), q.as_mut_slice());
+        matvecs += 1;
+        let denom = p.dot(&q);
+        if denom.abs() < 1e-290 {
+            stop = StopReason::Breakdown;
+            break;
+        }
+        let alpha = rho / denom;
+        x.axpy(alpha, &p);
+        r.axpy(-alpha, &q);
+        res = r.norm() / b_norm;
+        if opts.record_history {
+            history.push(res);
+        }
+        let rho_new = r.dot(&r);
+        let beta = rho_new / rho;
+        rho = rho_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+    }
+    if res <= opts.tolerance {
+        stop = StopReason::Converged;
+    }
+    (x, ConvergenceHistory { residuals: history, stop_reason: stop, matvecs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_linalg::{c64, CMatrix};
+    use cbs_sparse::{CsrMatrix, DenseOp, ShiftedOp};
+    use rand::SeedableRng;
+
+    fn random_diag_dominant(n: usize, seed: u64) -> CMatrix {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut a = CMatrix::random(n, n, &mut rng);
+        for i in 0..n {
+            a[(i, i)] += c64(n as f64, 0.5);
+        }
+        a
+    }
+
+    #[test]
+    fn bicg_solves_primal_and_dual() {
+        let n = 40;
+        let a = random_diag_dominant(n, 201);
+        let op = DenseOp::new(a.clone());
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(202);
+        let x_true = CVector::random(n, &mut rng);
+        let b = a.matvec(&x_true);
+        let xd_true = CVector::random(n, &mut rng);
+        let bd = a.adjoint().matvec(&xd_true);
+
+        let opts = SolverOptions::default().with_tolerance(1e-12);
+        let res = bicg_dual(&op, &b, &bd, &opts, None);
+        assert!(res.both_converged(), "primal {:?} dual {:?}", res.history.stop_reason, res.dual_history.stop_reason);
+        assert!((&res.x - &x_true).norm() / x_true.norm() < 1e-8);
+        assert!((&res.dual_x - &xd_true).norm() / xd_true.norm() < 1e-8);
+        // Residual history is monotone-ish and ends tiny.
+        assert!(res.history.final_residual() < 1e-12);
+        assert!(res.history.iterations() <= n + 2);
+    }
+
+    #[test]
+    fn bicg_on_sparse_shifted_laplacian() {
+        // 1-D periodic Laplacian shifted into the complex plane: a simple
+        // stand-in for P(z).
+        let n = 60;
+        let mut b = cbs_sparse::CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, c64(2.0, 0.0));
+            b.push(i, (i + 1) % n, c64(-1.0, 0.0));
+            b.push(i, (i + n - 1) % n, c64(-1.0, 0.0));
+        }
+        let lap: CsrMatrix = b.build();
+        let shifted = ShiftedOp::new(&lap, c64(0.5, 0.8));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(203);
+        let x_true = CVector::random(n, &mut rng);
+        let rhs = shifted.apply_vec(&x_true);
+        let (x, hist) = bicg(&shifted, &rhs, &SolverOptions::default());
+        assert!(hist.converged());
+        assert!((&x - &x_true).norm() / x_true.norm() < 1e-7);
+    }
+
+    #[test]
+    fn external_stop_is_honoured() {
+        let a = random_diag_dominant(30, 204);
+        let op = DenseOp::new(a);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(205);
+        let b = CVector::random(30, &mut rng);
+        let opts = SolverOptions::default().with_tolerance(1e-14);
+        let res = bicg_dual(&op, &b, &b, &opts, Some(&|iter| iter >= 3));
+        assert_eq!(res.history.stop_reason, StopReason::ExternalStop);
+        assert!(res.history.iterations() <= 4);
+    }
+
+    #[test]
+    fn max_iterations_reported() {
+        let a = random_diag_dominant(30, 206);
+        let op = DenseOp::new(a);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(207);
+        let b = CVector::random(30, &mut rng);
+        let opts = SolverOptions { tolerance: 1e-30, max_iterations: 2, record_history: true };
+        let (_, hist) = bicg(&op, &b, &opts);
+        assert_eq!(hist.stop_reason, StopReason::MaxIterations);
+    }
+
+    #[test]
+    fn bicgstab_matches_bicg_solution() {
+        let a = random_diag_dominant(35, 208);
+        let op = DenseOp::new(a.clone());
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(209);
+        let x_true = CVector::random(35, &mut rng);
+        let b = a.matvec(&x_true);
+        let opts = SolverOptions::default().with_tolerance(1e-12);
+        let (x1, h1) = bicg(&op, &b, &opts);
+        let (x2, h2) = bicgstab(&op, &b, &opts);
+        assert!(h1.converged() && h2.converged());
+        assert!((&x1 - &x_true).norm() / x_true.norm() < 1e-8);
+        assert!((&x2 - &x_true).norm() / x_true.norm() < 1e-8);
+    }
+
+    #[test]
+    fn cg_solves_hermitian_positive_definite() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(210);
+        let b0 = CMatrix::random(25, 25, &mut rng);
+        // A = B B† + I is Hermitian positive definite.
+        let mut a = b0.matmul(&b0.adjoint());
+        for i in 0..25 {
+            a[(i, i)] += c64(1.0, 0.0);
+        }
+        let op = DenseOp::new(a.clone());
+        let x_true = CVector::random(25, &mut rng);
+        let rhs = a.matvec(&x_true);
+        let (x, hist) = cg(&op, &rhs, &SolverOptions::default().with_tolerance(1e-12));
+        assert!(hist.converged());
+        assert!((&x - &x_true).norm() / x_true.norm() < 1e-8);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = random_diag_dominant(10, 211);
+        let op = DenseOp::new(a);
+        let b = CVector::zeros(10);
+        let (x, hist) = bicg(&op, &b, &SolverOptions::default());
+        assert!(hist.converged());
+        assert!(x.norm() < 1e-14);
+        assert_eq!(hist.iterations(), 0);
+    }
+}

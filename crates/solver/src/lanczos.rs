@@ -1,0 +1,232 @@
+//! Hermitian Lanczos with full reorthogonalization, used to obtain the
+//! lowest eigenvalues of the Bloch Hamiltonian `H(k)` matrix-free.  This
+//! provides the conventional band structure reference (the red curves of the
+//! paper's Figure 6) for grids that are too large to diagonalize densely.
+
+use cbs_linalg::{eigen, CMatrix, CVector, Complex64};
+use cbs_sparse::LinearOperator;
+
+/// Options for the Lanczos eigensolver.
+#[derive(Clone, Copy, Debug)]
+pub struct LanczosOptions {
+    /// Number of lowest eigenvalues requested.
+    pub n_eigenvalues: usize,
+    /// Maximum Krylov subspace dimension.
+    pub max_subspace: usize,
+    /// Convergence tolerance on the residual estimate.
+    pub tolerance: f64,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        Self { n_eigenvalues: 6, max_subspace: 200, tolerance: 1e-9 }
+    }
+}
+
+/// Result of a Lanczos run.
+#[derive(Clone, Debug)]
+pub struct LanczosResult {
+    /// The converged (lowest) eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Ritz vectors corresponding to `eigenvalues`.
+    pub eigenvectors: Vec<CVector>,
+    /// Dimension of the Krylov space actually built.
+    pub subspace_dim: usize,
+    /// Number of operator applications.
+    pub matvecs: usize,
+}
+
+/// Compute the lowest eigenvalues of a Hermitian operator by Lanczos with
+/// full reorthogonalization.
+///
+/// The operator is *assumed* Hermitian; the routine does not verify it (the
+/// Hamiltonian tests in `cbs-dft` do).
+pub fn lanczos_lowest<A: LinearOperator + ?Sized, R: rand::Rng + ?Sized>(
+    op: &A,
+    opts: &LanczosOptions,
+    rng: &mut R,
+) -> LanczosResult {
+    let n = op.dim();
+    let m_max = opts.max_subspace.min(n);
+    let want = opts.n_eigenvalues.min(n);
+
+    // Krylov basis (full reorthogonalization keeps it numerically orthonormal).
+    let mut basis: Vec<CVector> = Vec::with_capacity(m_max);
+    let mut alphas: Vec<f64> = Vec::new();
+    let mut betas: Vec<f64> = Vec::new();
+    let (mut v, _) = CVector::random(n, rng).normalized();
+    basis.push(v.clone());
+    let mut w = CVector::zeros(n);
+    let mut matvecs = 0usize;
+    let mut converged: Option<(Vec<f64>, CMatrix)> = None;
+
+    for j in 0..m_max {
+        op.apply(v.as_slice(), w.as_mut_slice());
+        matvecs += 1;
+        // alpha_j = <v_j, A v_j> (real for Hermitian A).
+        let alpha = basis[j].dot(&w).re;
+        alphas.push(alpha);
+        // w <- w - alpha v_j - beta_{j-1} v_{j-1}, then full reorthogonalize.
+        w.axpy(Complex64::real(-alpha), &basis[j]);
+        if j > 0 {
+            w.axpy(Complex64::real(-betas[j - 1]), &basis[j - 1]);
+        }
+        for vb in &basis {
+            let c = vb.dot(&w);
+            w.axpy(-c, vb);
+        }
+        let beta = w.norm();
+
+        // Periodically (and at the end) check convergence of the lowest
+        // `want` Ritz values via the last-row residual bound |beta * s_mj|.
+        let done = j + 1 == m_max || beta < 1e-14;
+        if done || (j + 1 >= want + 2 && (j + 1) % 10 == 0) {
+            let (ritz_vals, ritz_vecs) = tridiag_eigen(&alphas, &betas);
+            let all_tight = (0..want.min(ritz_vals.len())).all(|i| {
+                let last = ritz_vecs[(alphas.len() - 1, i)].abs();
+                beta * last <= opts.tolerance
+            });
+            if all_tight || done {
+                converged = Some((ritz_vals, ritz_vecs));
+                if all_tight {
+                    break;
+                }
+            }
+        }
+        if beta < 1e-14 {
+            // Invariant subspace found.
+            if converged.is_none() {
+                converged = Some(tridiag_eigen(&alphas, &betas));
+            }
+            break;
+        }
+        betas.push(beta);
+        v = w.clone();
+        v.scale(Complex64::real(1.0 / beta));
+        basis.push(v.clone());
+    }
+
+    let (ritz_vals, ritz_vecs) = converged.unwrap_or_else(|| tridiag_eigen(&alphas, &betas));
+    let m = alphas.len();
+    let keep = want.min(ritz_vals.len());
+    let mut eigenvalues = Vec::with_capacity(keep);
+    let mut eigenvectors = Vec::with_capacity(keep);
+    for i in 0..keep {
+        eigenvalues.push(ritz_vals[i]);
+        let mut x = CVector::zeros(n);
+        for (j, vb) in basis.iter().enumerate().take(m) {
+            let c = ritz_vecs[(j, i)];
+            if c.abs() > 0.0 {
+                x.axpy(c, vb);
+            }
+        }
+        let (x, _) = x.normalized();
+        eigenvectors.push(x);
+    }
+    LanczosResult { eigenvalues, eigenvectors, subspace_dim: m, matvecs }
+}
+
+/// Eigendecomposition of the real symmetric tridiagonal matrix defined by
+/// `alphas` (diagonal) and `betas` (sub/super-diagonal), returning the
+/// eigenvalues in ascending order and the corresponding eigenvector matrix.
+fn tridiag_eigen(alphas: &[f64], betas: &[f64]) -> (Vec<f64>, CMatrix) {
+    let m = alphas.len();
+    let mut t = CMatrix::zeros(m, m);
+    for i in 0..m {
+        t[(i, i)] = Complex64::real(alphas[i]);
+        if i + 1 < m && i < betas.len() {
+            t[(i, i + 1)] = Complex64::real(betas[i]);
+            t[(i + 1, i)] = Complex64::real(betas[i]);
+        }
+    }
+    let e = eigen(&t).expect("tridiagonal eigendecomposition failed");
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| e.values[a].re.partial_cmp(&e.values[b].re).unwrap());
+    let vals: Vec<f64> = order.iter().map(|&i| e.values[i].re).collect();
+    let mut vecs = CMatrix::zeros(m, m);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..m {
+            vecs[(r, new_col)] = e.vectors[(r, old_col)];
+        }
+    }
+    (vals, vecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_linalg::c64;
+    use cbs_sparse::{CooBuilder, DenseOp};
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_lowest_eigenvalues_of_diagonal_operator() {
+        let n = 50;
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, c64(i as f64, 0.0));
+        }
+        let m = b.build();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(301);
+        let res = lanczos_lowest(
+            &m,
+            &LanczosOptions { n_eigenvalues: 4, max_subspace: 50, tolerance: 1e-10 },
+            &mut rng,
+        );
+        for (i, &ev) in res.eigenvalues.iter().enumerate() {
+            assert!((ev - i as f64).abs() < 1e-7, "eigenvalue {i}: {ev}");
+        }
+    }
+
+    #[test]
+    fn matches_dense_hermitian_eigenvalues() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(302);
+        let b = CMatrix::random(40, 40, &mut rng);
+        let a = &b + &b.adjoint();
+        let dense_vals = {
+            let mut v: Vec<f64> =
+                cbs_linalg::eigenvalues(&a).unwrap().into_iter().map(|z| z.re).collect();
+            v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            v
+        };
+        let op = DenseOp::new(a.clone());
+        let res = lanczos_lowest(
+            &op,
+            &LanczosOptions { n_eigenvalues: 5, max_subspace: 40, tolerance: 1e-10 },
+            &mut rng,
+        );
+        for i in 0..5 {
+            assert!(
+                (res.eigenvalues[i] - dense_vals[i]).abs() < 1e-6,
+                "eigenvalue {i}: {} vs {}",
+                res.eigenvalues[i],
+                dense_vals[i]
+            );
+        }
+        // Ritz pairs satisfy the eigen equation.
+        for i in 0..res.eigenvalues.len() {
+            let x = &res.eigenvectors[i];
+            let ax = op.apply_vec(x);
+            let r = (&ax - &(x * Complex64::real(res.eigenvalues[i]))).norm();
+            assert!(r < 1e-6 * a.fro_norm(), "residual {r}");
+        }
+    }
+
+    #[test]
+    fn early_termination_on_small_operator() {
+        // Operator of rank 3 embedded in dimension 20: Lanczos must stop at a
+        // small subspace without panicking.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(303);
+        let u = CMatrix::random(20, 3, &mut rng);
+        let a = u.matmul(&u.adjoint());
+        let op = DenseOp::new(a);
+        let res = lanczos_lowest(
+            &op,
+            &LanczosOptions { n_eigenvalues: 3, max_subspace: 20, tolerance: 1e-9 },
+            &mut rng,
+        );
+        assert_eq!(res.eigenvalues.len(), 3);
+        // Lowest eigenvalues of a PSD rank-3 operator in dim 20 are zero.
+        assert!(res.eigenvalues[0].abs() < 1e-8);
+    }
+}

@@ -1,0 +1,22 @@
+//! # cbs-solver
+//!
+//! Iterative solvers for the CBS workspace:
+//!
+//! * [`bicg_dual`] — BiCG solving `A x = b` *and* `A† x̃ = b̃` in one sweep;
+//!   this is the kernel the paper uses to halve the cost of the contour
+//!   quadrature (`P(z)† = P(1/z̄)`),
+//! * [`bicg`], [`bicgstab`], [`cg`] — single-system Krylov solvers,
+//! * [`lanczos_lowest`] — Hermitian Lanczos with full reorthogonalization for
+//!   the conventional band-structure reference,
+//! * [`ConvergenceHistory`] / [`SolverOptions`] — the residual-history
+//!   bookkeeping behind the paper's Figure 5 and Table 1.
+
+#![warn(missing_docs)]
+
+pub mod bicg;
+pub mod history;
+pub mod lanczos;
+
+pub use bicg::{bicg, bicg_dual, bicgstab, cg, BicgResult};
+pub use history::{ConvergenceHistory, SolverOptions, StopReason};
+pub use lanczos::{lanczos_lowest, LanczosOptions, LanczosResult};

@@ -1,0 +1,24 @@
+//! # cbs-sparse
+//!
+//! Sparse matrices and matrix-free linear operators for the CBS workspace.
+//!
+//! The paper's eigensolver never forms the Kohn-Sham Hamiltonian densely: it
+//! only needs `H x` (and `H† x`).  This crate provides
+//!
+//! * [`LinearOperator`] — the matrix-free operator trait all solvers consume,
+//! * [`CsrMatrix`] / [`CooBuilder`] — complex compressed-sparse-row storage,
+//! * [`LowRankOp`] / [`SparseVec`] — factored non-local projector operators,
+//! * composition helpers ([`SumOp`], [`ScaledOp`], [`ShiftedOp`], [`DenseOp`],
+//!   [`IdentityOp`]) used to build the QEP operator `P(z)`.
+
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod lowrank;
+pub mod ops;
+
+pub use csr::{CooBuilder, CsrMatrix};
+pub use lowrank::{LowRankOp, RankOneTerm, SparseVec};
+pub use ops::{
+    adjoint_defect, DenseOp, IdentityOp, LinearOperator, ScaledOp, ShiftedOp, SumOp,
+};

@@ -1,0 +1,369 @@
+//! The `LinearOperator` abstraction: everything the iterative solvers and the
+//! Sakurai-Sugiura method need from a matrix is "apply it (and its adjoint)
+//! to a vector".
+//!
+//! The paper's central performance claim rests on never forming the
+//! Kohn-Sham Hamiltonian densely: the QEP operator `P(z)` is only ever
+//! applied matrix-free.  This trait is the seam that makes the eigensolver
+//! generic over explicit CSR matrices, stencil operators, low-rank projector
+//! sums and domain-decomposed (parallel) operators.
+
+use cbs_linalg::{CVector, Complex64};
+
+/// A complex linear operator `A : C^ncols -> C^nrows` that can be applied to
+/// vectors, together with its Hermitian adjoint.
+pub trait LinearOperator: Sync {
+    /// Number of rows (length of the output of [`apply`](Self::apply)).
+    fn nrows(&self) -> usize;
+
+    /// Number of columns (length of the input of [`apply`](Self::apply)).
+    fn ncols(&self) -> usize;
+
+    /// `y = A x`.  `y` is fully overwritten.
+    fn apply(&self, x: &[Complex64], y: &mut [Complex64]);
+
+    /// `y = A† x`.  `y` is fully overwritten.
+    fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]);
+
+    /// Convenience wrapper allocating the output.
+    fn apply_vec(&self, x: &CVector) -> CVector {
+        let mut y = CVector::zeros(self.nrows());
+        self.apply(x.as_slice(), y.as_mut_slice());
+        y
+    }
+
+    /// Convenience wrapper allocating the output of the adjoint.
+    fn apply_adjoint_vec(&self, x: &CVector) -> CVector {
+        let mut y = CVector::zeros(self.ncols());
+        self.apply_adjoint(x.as_slice(), y.as_mut_slice());
+        y
+    }
+
+    /// Dimension of a square operator (panics if not square).
+    fn dim(&self) -> usize {
+        assert_eq!(self.nrows(), self.ncols(), "operator is not square");
+        self.nrows()
+    }
+
+    /// Approximate memory footprint of the operator's storage in bytes.
+    /// Used for the paper's Figure 4(b) memory comparison.
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for &T {
+    fn nrows(&self) -> usize {
+        (**self).nrows()
+    }
+    fn ncols(&self) -> usize {
+        (**self).ncols()
+    }
+    fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
+        (**self).apply(x, y)
+    }
+    fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
+        (**self).apply_adjoint(x, y)
+    }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for Box<T> {
+    fn nrows(&self) -> usize {
+        (**self).nrows()
+    }
+    fn ncols(&self) -> usize {
+        (**self).ncols()
+    }
+    fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
+        (**self).apply(x, y)
+    }
+    fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
+        (**self).apply_adjoint(x, y)
+    }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+}
+
+/// The identity operator of a given dimension.
+#[derive(Clone, Copy, Debug)]
+pub struct IdentityOp {
+    n: usize,
+}
+
+impl IdentityOp {
+    /// Identity on `C^n`.
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+}
+
+impl LinearOperator for IdentityOp {
+    fn nrows(&self) -> usize {
+        self.n
+    }
+    fn ncols(&self) -> usize {
+        self.n
+    }
+    fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
+        y.copy_from_slice(x);
+    }
+    fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
+        y.copy_from_slice(x);
+    }
+}
+
+/// A scaled operator `alpha * A`.
+pub struct ScaledOp<A> {
+    alpha: Complex64,
+    inner: A,
+}
+
+impl<A: LinearOperator> ScaledOp<A> {
+    /// Wrap `inner` as `alpha * inner`.
+    pub fn new(alpha: Complex64, inner: A) -> Self {
+        Self { alpha, inner }
+    }
+}
+
+impl<A: LinearOperator> LinearOperator for ScaledOp<A> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+    fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
+        self.inner.apply(x, y);
+        for v in y.iter_mut() {
+            *v *= self.alpha;
+        }
+    }
+    fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
+        self.inner.apply_adjoint(x, y);
+        let ac = self.alpha.conj();
+        for v in y.iter_mut() {
+            *v *= ac;
+        }
+    }
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+}
+
+/// A linear combination `alpha * A + beta * B` of two same-shaped operators.
+pub struct SumOp<A, B> {
+    alpha: Complex64,
+    a: A,
+    beta: Complex64,
+    b: B,
+}
+
+impl<A: LinearOperator, B: LinearOperator> SumOp<A, B> {
+    /// Build `alpha * a + beta * b`.
+    pub fn new(alpha: Complex64, a: A, beta: Complex64, b: B) -> Self {
+        assert_eq!(a.nrows(), b.nrows(), "SumOp: row mismatch");
+        assert_eq!(a.ncols(), b.ncols(), "SumOp: col mismatch");
+        Self { alpha, a, beta, b }
+    }
+}
+
+impl<A: LinearOperator, B: LinearOperator> LinearOperator for SumOp<A, B> {
+    fn nrows(&self) -> usize {
+        self.a.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.a.ncols()
+    }
+    fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
+        self.a.apply(x, y);
+        let mut tmp = vec![Complex64::ZERO; self.b.nrows()];
+        self.b.apply(x, &mut tmp);
+        for (yi, ti) in y.iter_mut().zip(&tmp) {
+            *yi = self.alpha * *yi + self.beta * *ti;
+        }
+    }
+    fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
+        self.a.apply_adjoint(x, y);
+        let mut tmp = vec![Complex64::ZERO; self.b.ncols()];
+        self.b.apply_adjoint(x, &mut tmp);
+        let (ac, bc) = (self.alpha.conj(), self.beta.conj());
+        for (yi, ti) in y.iter_mut().zip(&tmp) {
+            *yi = ac * *yi + bc * *ti;
+        }
+    }
+    fn memory_bytes(&self) -> usize {
+        self.a.memory_bytes() + self.b.memory_bytes()
+    }
+}
+
+/// `A - sigma * I` for a square operator: the shifted operator that appears
+/// throughout contour-integral eigensolvers.
+pub struct ShiftedOp<A> {
+    sigma: Complex64,
+    inner: A,
+}
+
+impl<A: LinearOperator> ShiftedOp<A> {
+    /// Build `inner - sigma * I`.
+    pub fn new(inner: A, sigma: Complex64) -> Self {
+        assert_eq!(inner.nrows(), inner.ncols(), "ShiftedOp requires a square operator");
+        Self { sigma, inner }
+    }
+}
+
+impl<A: LinearOperator> LinearOperator for ShiftedOp<A> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+    fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
+        self.inner.apply(x, y);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi -= self.sigma * *xi;
+        }
+    }
+    fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
+        self.inner.apply_adjoint(x, y);
+        let sc = self.sigma.conj();
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi -= sc * *xi;
+        }
+    }
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+}
+
+/// Wrap a dense matrix as a `LinearOperator` (used in tests and for the
+/// small dense blocks of the OBM baseline).
+pub struct DenseOp {
+    m: cbs_linalg::CMatrix,
+}
+
+impl DenseOp {
+    /// Wrap the given dense matrix.
+    pub fn new(m: cbs_linalg::CMatrix) -> Self {
+        Self { m }
+    }
+
+    /// Access the wrapped matrix.
+    pub fn matrix(&self) -> &cbs_linalg::CMatrix {
+        &self.m
+    }
+}
+
+impl LinearOperator for DenseOp {
+    fn nrows(&self) -> usize {
+        self.m.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.m.ncols()
+    }
+    fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
+        for i in 0..self.m.nrows() {
+            let row = self.m.row(i);
+            let mut acc = Complex64::ZERO;
+            for (a, b) in row.iter().zip(x) {
+                acc += *a * *b;
+            }
+            y[i] = acc;
+        }
+    }
+    fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
+        for v in y.iter_mut() {
+            *v = Complex64::ZERO;
+        }
+        for i in 0..self.m.nrows() {
+            let xi = x[i];
+            let row = self.m.row(i);
+            for (j, a) in row.iter().enumerate() {
+                y[j] += a.conj() * xi;
+            }
+        }
+    }
+    fn memory_bytes(&self) -> usize {
+        self.m.memory_bytes()
+    }
+}
+
+/// Measure the largest relative defect of the adjoint identity
+/// `⟨A x, y⟩ = ⟨x, A† y⟩` over `trials` random vector pairs; a cheap sanity
+/// check for hand-written operators.
+pub fn adjoint_defect<A: LinearOperator, R: rand::Rng>(op: &A, trials: usize, rng: &mut R) -> f64
+where
+    R: ?Sized,
+{
+    let mut worst = 0.0f64;
+    for _ in 0..trials {
+        let x = CVector::random(op.ncols(), rng);
+        let y = CVector::random(op.nrows(), rng);
+        let ax = op.apply_vec(&x);
+        let aty = op.apply_adjoint_vec(&y);
+        let lhs = ax.dot(&y);
+        let rhs = x.dot(&aty);
+        let scale = ax.norm() * y.norm() + 1e-300;
+        worst = worst.max((lhs - rhs).abs() / scale);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_linalg::{c64, CMatrix};
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_and_scaled() {
+        let id = IdentityOp::new(4);
+        let x = CVector::from_vec(vec![c64(1.0, 1.0); 4]);
+        assert_eq!(id.apply_vec(&x), x);
+        let s = ScaledOp::new(c64(0.0, 2.0), id);
+        let y = s.apply_vec(&x);
+        assert_eq!(y[0], c64(-2.0, 2.0));
+        // adjoint of alpha*I is conj(alpha)*I
+        let z = s.apply_adjoint_vec(&x);
+        assert_eq!(z[0], c64(2.0, -2.0));
+    }
+
+    #[test]
+    fn dense_op_matches_matrix() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(61);
+        let m = CMatrix::random(5, 7, &mut rng);
+        let op = DenseOp::new(m.clone());
+        let x = CVector::random(7, &mut rng);
+        assert!((&op.apply_vec(&x) - &m.matvec(&x)).norm() < 1e-13);
+        let y = CVector::random(5, &mut rng);
+        assert!((&op.apply_adjoint_vec(&y) - &m.adjoint().matvec(&y)).norm() < 1e-13);
+    }
+
+    #[test]
+    fn sum_and_shift_compose() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(62);
+        let a = CMatrix::random(6, 6, &mut rng);
+        let b = CMatrix::random(6, 6, &mut rng);
+        let sum = SumOp::new(c64(2.0, 0.0), DenseOp::new(a.clone()), c64(0.0, 1.0), DenseOp::new(b.clone()));
+        let x = CVector::random(6, &mut rng);
+        let expected = &(&a.matvec(&x) * c64(2.0, 0.0)) + &(&b.matvec(&x) * c64(0.0, 1.0));
+        assert!((&sum.apply_vec(&x) - &expected).norm() < 1e-12);
+
+        let shifted = ShiftedOp::new(DenseOp::new(a.clone()), c64(1.5, -0.5));
+        let got = shifted.apply_vec(&x);
+        let want = &a.matvec(&x) - &(&x * c64(1.5, -0.5));
+        assert!((&got - &want).norm() < 1e-12);
+    }
+
+    #[test]
+    fn adjoint_defect_is_small_for_consistent_ops() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(63);
+        let a = CMatrix::random(8, 8, &mut rng);
+        let op = ShiftedOp::new(DenseOp::new(a), c64(0.3, 0.7));
+        assert!(adjoint_defect(&op, 10, &mut rng) < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! # cbs — complex band structures with the Sakurai-Sugiura method
+//!
+//! Facade crate of the workspace reproducing Iwase, Futamura, Imakura,
+//! Sakurai and Ono, *"Efficient and Scalable Calculation of Complex Band
+//! Structure using Sakurai-Sugiura Method"* (SC'17).
+//!
+//! It re-exports the member crates under stable names and is the dependency
+//! used by the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`).
+//!
+//! ```no_run
+//! use cbs::dft::{bulk_al_100, grid_for_structure, BlockHamiltonian, HamiltonianParams};
+//! use cbs::core::{compute_cbs, SsConfig};
+//!
+//! let structure = bulk_al_100(1);
+//! let grid = grid_for_structure(&structure, 0.9);
+//! let h = BlockHamiltonian::build(grid, &structure, HamiltonianParams::default());
+//! let run = compute_cbs(&h.h00(), &h.h01(), h.period(), &[0.1], &SsConfig::small());
+//! println!("{} states found", run.cbs.points.len());
+//! ```
+
+#![warn(missing_docs)]
+
+/// Dense complex linear algebra substrate (re-export of `cbs-linalg`).
+pub use cbs_linalg as linalg;
+
+/// Sparse matrices and matrix-free operators (re-export of `cbs-sparse`).
+pub use cbs_sparse as sparse;
+
+/// Real-space grids, stencils and domain decomposition (re-export of `cbs-grid`).
+pub use cbs_grid as grid;
+
+/// Kohn-Sham Hamiltonian substrate (re-export of `cbs-dft`).
+pub use cbs_dft as dft;
+
+/// Iterative solvers (re-export of `cbs-solver`).
+pub use cbs_solver as solver;
+
+/// The Sakurai-Sugiura CBS solver (re-export of `cbs-core`).
+pub use cbs_core as core;
+
+/// The OBM / transfer-matrix baseline (re-export of `cbs-obm`).
+pub use cbs_obm as obm;
+
+/// Hierarchical parallel runtime and performance model (re-export of `cbs-parallel`).
+pub use cbs_parallel as parallel;

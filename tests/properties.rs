@@ -1,0 +1,126 @@
+//! Property-based tests (proptest) on the cross-crate invariants: operator
+//! adjoint consistency of the QEP, contour filtering, and the equivalence of
+//! domain-decomposed and serial operator application for arbitrary
+//! decompositions.
+
+use proptest::prelude::*;
+
+use cbs::core::{QepProblem, RingContour};
+use cbs::grid::{DomainDecomposition, FdOrder, Grid3};
+use cbs::linalg::{c64, CMatrix, CVector, Complex64};
+use cbs::parallel::DomainDecomposedOp;
+use cbs::sparse::{CooBuilder, CsrMatrix, DenseOp, LinearOperator};
+
+fn laplacian_like(grid: Grid3, diag: f64) -> CsrMatrix {
+    let n = grid.npoints();
+    let mut b = CooBuilder::new(n, n);
+    for (i, j, k, row) in grid.iter_points() {
+        b.push(row, row, c64(diag, 0.0));
+        for (di, dj, dk) in [(1isize, 0isize, 0isize), (0, 1, 0), (0, 0, 1)] {
+            for sign in [-1isize, 1] {
+                let ii = grid.wrap_x(i as isize + sign * di);
+                let jj = grid.wrap_y(j as isize + sign * dj);
+                let kk = (k as isize + sign * dk).rem_euclid(grid.nz as isize) as usize;
+                b.push(row, grid.index(ii, jj, kk), c64(-1.0, 0.0));
+            }
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// ⟨P(z)x, y⟩ = ⟨x, P(1/z̄)y⟩ for random Hermitian H00, arbitrary H01 and
+    /// arbitrary shifts: the identity behind the paper's dual-system trick.
+    #[test]
+    fn qep_adjoint_identity_holds_for_random_blocks(
+        seed in 0u64..1000,
+        zre in -2.0f64..2.0,
+        zim in -2.0f64..2.0,
+        energy in -1.0f64..1.0,
+    ) {
+        prop_assume!(zre * zre + zim * zim > 0.05);
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let n = 8;
+        let a = CMatrix::random(n, n, &mut rng);
+        let h00 = &a + &a.adjoint();
+        let h01 = CMatrix::random(n, n, &mut rng);
+        let op00 = DenseOp::new(h00);
+        let op01 = DenseOp::new(h01);
+        let qep = QepProblem::new(&op00, &op01, energy, 1.0);
+        let z = c64(zre, zim);
+        let x = CVector::random(n, &mut rng);
+        let y = CVector::random(n, &mut rng);
+        let mut px = vec![Complex64::ZERO; n];
+        qep.apply(z, x.as_slice(), &mut px);
+        let mut py = vec![Complex64::ZERO; n];
+        qep.apply_adjoint(z, y.as_slice(), &mut py);
+        let lhs = CVector::from_vec(px).dot(&y);
+        let rhs = x.dot(&CVector::from_vec(py));
+        let scale = 1.0 + lhs.abs().max(rhs.abs());
+        prop_assert!((lhs - rhs).abs() < 1e-10 * scale);
+    }
+
+    /// The ring-contour quadrature acts as a band-pass filter on moments:
+    /// ≈ λ^k inside the annulus, ≈ 0 outside.
+    #[test]
+    fn contour_filters_poles_correctly(
+        radius in 0.05f64..3.0,
+        angle in 0.0f64..6.28,
+        k in 0usize..5,
+    ) {
+        // Stay away from the contour circles themselves.
+        prop_assume!((radius - 0.5).abs() > 0.08 && (radius - 2.0).abs() > 0.25);
+        let contour = RingContour::new(0.5, 96);
+        let lambda = Complex64::polar(radius, angle);
+        let got = contour.filter_value(k, lambda);
+        if radius > 0.5 && radius < 2.0 {
+            let want = lambda.powi(k as i32);
+            prop_assert!((got - want).abs() < 1e-3 * (1.0 + want.abs()),
+                "inside: got {got:?} want {want:?}");
+        } else {
+            prop_assert!(got.abs() < 2e-2, "outside: got {got:?}");
+        }
+    }
+
+    /// Domain-decomposed application equals the serial matvec for any
+    /// decomposition shape.
+    #[test]
+    fn domain_decomposition_is_exact(
+        ndx in 1usize..3,
+        ndy in 1usize..3,
+        ndz in 1usize..5,
+        seed in 0u64..1000,
+        diag in 4.0f64..10.0,
+    ) {
+        use rand::SeedableRng;
+        let grid = Grid3::isotropic(4, 4, 8, 0.5);
+        let m = laplacian_like(grid, diag);
+        let dd = DomainDecomposition::new(grid, ndx, ndy, ndz);
+        let op = DomainDecomposedOp::new(m.clone(), dd, FdOrder::new(1));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let x = CVector::random(grid.npoints(), &mut rng);
+        let y_dd = op.apply_vec(&x);
+        let y_serial = m.matvec(&x);
+        prop_assert!((&y_dd - &y_serial).norm() < 1e-11 * (1.0 + y_serial.norm()));
+    }
+
+    /// λ → k → λ round-trips through the Brillouin-zone folding.
+    #[test]
+    fn lambda_k_roundtrip(radius in 0.5f64..2.0, angle in -3.14f64..3.14, period in 0.5f64..10.0) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let n = 4;
+        let a = CMatrix::random(n, n, &mut rng);
+        let op00 = DenseOp::new(&a + &a.adjoint());
+        let op01 = DenseOp::new(CMatrix::random(n, n, &mut rng));
+        let qep = QepProblem::new(&op00, &op01, 0.0, period);
+        let lambda = Complex64::polar(radius, angle);
+        let (k_re, k_im) = qep.lambda_to_k(lambda);
+        let back = Complex64::new(0.0, 1.0) * c64(k_re, k_im) * period;
+        let reconstructed = back.exp();
+        prop_assert!((reconstructed - lambda).abs() < 1e-10 * (1.0 + lambda.abs()));
+    }
+}
