@@ -1,12 +1,12 @@
 //! Ablation benchmarks for the design choices called out in DESIGN.md:
 //! the dual-BiCG trick (one solve serves both circles) vs independent
 //! solves, and matrix-free vs explicit-CSR application of the QEP operator.
-use criterion::{criterion_group, criterion_main, Criterion};
 use cbs_core::QepProblem;
 use cbs_dft::{bulk_al_100, grid_for_structure, BlockHamiltonian, HamiltonianParams};
 use cbs_linalg::{c64, CVector, Complex64};
 use cbs_solver::{bicg, bicg_dual, SolverOptions};
 use cbs_sparse::LinearOperator;
+use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 
 fn bench_ablations(c: &mut Criterion) {

@@ -1,12 +1,12 @@
 //! Criterion microbenchmarks of the hot kernels behind the paper's serial
 //! performance numbers: sparse matvec, QEP application, BiCG iterations,
 //! moment accumulation and the Hankel post-processing.
-use criterion::{criterion_group, criterion_main, Criterion};
 use cbs_core::{solve_qep, QepProblem, SsConfig};
 use cbs_dft::{bulk_al_100, grid_for_structure, BlockHamiltonian, HamiltonianParams};
 use cbs_linalg::{c64, CVector, Complex64};
 use cbs_solver::{bicg_dual, SolverOptions};
 use cbs_sparse::LinearOperator;
+use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 
 fn small_hamiltonian() -> BlockHamiltonian {
@@ -44,7 +44,8 @@ fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("sakurai_sugiura");
     group.sample_size(10);
     group.bench_function("solve_qep_small", |b| {
-        let config = SsConfig { n_int: 8, n_mm: 4, n_rh: 4, bicg_max_iterations: 400, ..SsConfig::small() };
+        let config =
+            SsConfig { n_int: 8, n_mm: 4, n_rh: 4, bicg_max_iterations: 400, ..SsConfig::small() };
         b.iter(|| solve_qep(&problem, &config));
     });
     group.finish();

@@ -6,8 +6,30 @@ fn main() {
     let mut model = cbs_bench::experiments::calibrated_model(&sys, 16, 6000.0);
     model.workload.dimension = sys.hamiltonian.dim() * 320;
     println!("modelled dimension: {} grid points", model.workload.dimension);
-    let base = ParallelLayout { rhs_groups: 16, quadrature_groups: 1, domains: 64, threads_per_process: 4 };
-    cbs_bench::experiments::scaling_figure(&model, "Fig 10(a)", base, ScalingLayer::Quadrature, &[1, 2, 4, 8, 16, 32]);
-    let base = ParallelLayout { rhs_groups: 16, quadrature_groups: 32, domains: 1, threads_per_process: 4 };
-    cbs_bench::experiments::scaling_figure(&model, "Fig 10(b)", base, ScalingLayer::Domain, &[2, 4, 8, 16, 32, 64]);
+    let base = ParallelLayout {
+        rhs_groups: 16,
+        quadrature_groups: 1,
+        domains: 64,
+        threads_per_process: 4,
+    };
+    cbs_bench::experiments::scaling_figure(
+        &model,
+        "Fig 10(a)",
+        base,
+        ScalingLayer::Quadrature,
+        &[1, 2, 4, 8, 16, 32],
+    );
+    let base = ParallelLayout {
+        rhs_groups: 16,
+        quadrature_groups: 32,
+        domains: 1,
+        threads_per_process: 4,
+    };
+    cbs_bench::experiments::scaling_figure(
+        &model,
+        "Fig 10(b)",
+        base,
+        ScalingLayer::Domain,
+        &[2, 4, 8, 16, 32, 64],
+    );
 }

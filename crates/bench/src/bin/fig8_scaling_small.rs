@@ -4,12 +4,35 @@ fn main() {
     println!("=== Figure 8: three-layer strong scaling, (8,0) CNT (32 atoms) ===");
     let sys = cbs_bench::systems::cnt80();
     let model = cbs_bench::experiments::calibrated_model(&sys, 64, 400.0);
-    println!("calibrated per-point BiCG iteration cost: {:.3e} s",
-        model.workload.seconds_per_point_iteration);
-    let base = ParallelLayout { rhs_groups: 1, quadrature_groups: 2, domains: 1, threads_per_process: 68 };
-    cbs_bench::experiments::scaling_figure(&model, "Fig 8(a)", base, ScalingLayer::RightHandSides, &[1, 2, 4, 8, 16, 32, 64]);
-    let base = ParallelLayout { rhs_groups: 2, quadrature_groups: 1, domains: 1, threads_per_process: 68 };
-    cbs_bench::experiments::scaling_figure(&model, "Fig 8(b)", base, ScalingLayer::Quadrature, &[1, 2, 4, 8, 16, 32]);
-    let base = ParallelLayout { rhs_groups: 1, quadrature_groups: 2, domains: 1, threads_per_process: 68 };
-    cbs_bench::experiments::scaling_figure(&model, "Fig 8(c)", base, ScalingLayer::Domain, &[1, 2, 4, 8, 16]);
+    println!(
+        "calibrated per-point BiCG iteration cost: {:.3e} s",
+        model.workload.seconds_per_point_iteration
+    );
+    let base =
+        ParallelLayout { rhs_groups: 1, quadrature_groups: 2, domains: 1, threads_per_process: 68 };
+    cbs_bench::experiments::scaling_figure(
+        &model,
+        "Fig 8(a)",
+        base,
+        ScalingLayer::RightHandSides,
+        &[1, 2, 4, 8, 16, 32, 64],
+    );
+    let base =
+        ParallelLayout { rhs_groups: 2, quadrature_groups: 1, domains: 1, threads_per_process: 68 };
+    cbs_bench::experiments::scaling_figure(
+        &model,
+        "Fig 8(b)",
+        base,
+        ScalingLayer::Quadrature,
+        &[1, 2, 4, 8, 16, 32],
+    );
+    let base =
+        ParallelLayout { rhs_groups: 1, quadrature_groups: 2, domains: 1, threads_per_process: 68 };
+    cbs_bench::experiments::scaling_figure(
+        &model,
+        "Fig 8(c)",
+        base,
+        ScalingLayer::Domain,
+        &[1, 2, 4, 8, 16],
+    );
 }

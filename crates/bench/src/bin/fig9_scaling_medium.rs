@@ -7,10 +7,43 @@ fn main() {
     // The 1024-atom supercell is 32 repeats of the 32-atom cell along z.
     model.workload.dimension = sys.hamiltonian.dim() * 32;
     println!("modelled dimension: {} grid points", model.workload.dimension);
-    let base = ParallelLayout { rhs_groups: 1, quadrature_groups: 32, domains: 4, threads_per_process: 17 };
-    cbs_bench::experiments::scaling_figure(&model, "Fig 9(a)", base, ScalingLayer::RightHandSides, &[1, 2, 4, 8, 16]);
-    let base = ParallelLayout { rhs_groups: 16, quadrature_groups: 1, domains: 4, threads_per_process: 17 };
-    cbs_bench::experiments::scaling_figure(&model, "Fig 9(b)", base, ScalingLayer::Quadrature, &[1, 2, 4, 8, 16, 32]);
-    let base = ParallelLayout { rhs_groups: 16, quadrature_groups: 32, domains: 1, threads_per_process: 17 };
-    cbs_bench::experiments::scaling_figure(&model, "Fig 9(c)", base, ScalingLayer::Domain, &[1, 2, 4, 8, 16]);
+    let base = ParallelLayout {
+        rhs_groups: 1,
+        quadrature_groups: 32,
+        domains: 4,
+        threads_per_process: 17,
+    };
+    cbs_bench::experiments::scaling_figure(
+        &model,
+        "Fig 9(a)",
+        base,
+        ScalingLayer::RightHandSides,
+        &[1, 2, 4, 8, 16],
+    );
+    let base = ParallelLayout {
+        rhs_groups: 16,
+        quadrature_groups: 1,
+        domains: 4,
+        threads_per_process: 17,
+    };
+    cbs_bench::experiments::scaling_figure(
+        &model,
+        "Fig 9(b)",
+        base,
+        ScalingLayer::Quadrature,
+        &[1, 2, 4, 8, 16, 32],
+    );
+    let base = ParallelLayout {
+        rhs_groups: 16,
+        quadrature_groups: 32,
+        domains: 1,
+        threads_per_process: 17,
+    };
+    cbs_bench::experiments::scaling_figure(
+        &model,
+        "Fig 9(c)",
+        base,
+        ScalingLayer::Domain,
+        &[1, 2, 4, 8, 16],
+    );
 }

@@ -3,17 +3,45 @@
 //! stdout in the same layout as the corresponding figure/table of the paper
 //! and returns the key numbers so integration tests can assert on them.
 
-use cbs_core::{compute_cbs, solve_qep, QepProblem, SsConfig};
+use cbs_core::{compute_cbs_with, solve_qep_with, CbsRun, QepProblem, SsConfig, SsResult};
 use cbs_dft::band_structure;
 use cbs_linalg::Complex64;
 use cbs_obm::{obm_solve, ObmConfig};
 use cbs_parallel::{
-    measure_bicg_iteration_cost, MachineModel, ParallelLayout, PerformanceModel, ScalingLayer,
-    WorkloadModel,
+    measure_bicg_iteration_cost, ExecutorChoice, MachineModel, ParallelLayout, PerformanceModel,
+    RayonExecutor, ScalingLayer, SerialExecutor, WorkloadModel,
 };
 use cbs_sparse::LinearOperator;
 
 use crate::systems::{self, BenchSystem};
+
+/// Solve one QEP through the shifted-solve engine, with the executor chosen
+/// by the `CBS_EXECUTOR` environment variable (`serial` default, `rayon`
+/// for the threaded fan-out; the results are identical either way).
+pub fn solve_qep_env(problem: &QepProblem<'_>, config: &SsConfig) -> SsResult {
+    match ExecutorChoice::from_env("CBS_EXECUTOR") {
+        ExecutorChoice::Serial => solve_qep_with(problem, config, &SerialExecutor),
+        ExecutorChoice::Rayon => solve_qep_with(problem, config, &RayonExecutor),
+    }
+}
+
+/// Energy-sweep twin of [`solve_qep_env`].
+pub fn compute_cbs_env(
+    h00: &dyn LinearOperator,
+    h01: &dyn LinearOperator,
+    period: f64,
+    energies: &[f64],
+    config: &SsConfig,
+) -> CbsRun {
+    match ExecutorChoice::from_env("CBS_EXECUTOR") {
+        ExecutorChoice::Serial => {
+            compute_cbs_with(h00, h01, period, energies, config, &SerialExecutor)
+        }
+        ExecutorChoice::Rayon => {
+            compute_cbs_with(h00, h01, period, energies, config, &RayonExecutor)
+        }
+    }
+}
 
 fn ss_config() -> SsConfig {
     SsConfig {
@@ -40,7 +68,7 @@ pub fn fig4_compare(sys: &BenchSystem) -> (f64, f64, usize, usize) {
     let problem = QepProblem::new(&h00, &h01, energy, h.period());
 
     let t0 = std::time::Instant::now();
-    let ss = solve_qep(&problem, &ss_config());
+    let ss = solve_qep_env(&problem, &ss_config());
     let ss_seconds = t0.elapsed().as_secs_f64();
     // SS memory: sparse blocks + the moment/source workspace O(M N).
     let m_hat = ss_config().subspace_size();
@@ -84,7 +112,7 @@ pub fn table1_breakdown(sys: &BenchSystem) -> (f64, f64, f64) {
     let h01 = h.h01();
     let setup = t0.elapsed().as_secs_f64();
     let problem = QepProblem::new(&h00, &h01, sys.fermi, h.period());
-    let ss = solve_qep(&problem, &ss_config());
+    let ss = solve_qep_env(&problem, &ss_config());
     println!("-- {} --", sys.name);
     println!("   read/setup matrix data [s]   {:>10.3}", setup);
     println!("   solve linear equations [s]   {:>10.3}", ss.timings.linear_solve_seconds);
@@ -100,7 +128,7 @@ pub fn fig5_convergence(sys: &BenchSystem) -> Vec<usize> {
     let h01 = h.h01();
     let problem = QepProblem::new(&h00, &h01, sys.fermi, h.period());
     let config = ss_config();
-    let ss = solve_qep(&problem, &config);
+    let ss = solve_qep_env(&problem, &config);
     println!("-- {}: BiCG convergence at each quadrature point z_j --", sys.name);
     println!("   j   iterations   final residual");
     let mut iters = Vec::new();
@@ -127,7 +155,7 @@ pub fn fig6_cbs_vs_bands(sys: &BenchSystem, n_energies: usize) -> f64 {
         .collect();
     let h00 = h.h00();
     let h01 = h.h01();
-    let run = compute_cbs(&h00, &h01, h.period(), &energies, &ss_config());
+    let run = compute_cbs_env(&h00, &h01, h.period(), &energies, &ss_config());
     println!("-- {}: complex band structure --", sys.name);
     println!("   E [Ha]      Re k [1/bohr]   Im k [1/bohr]   |λ|        type");
     let mut worst = 0.0f64;
@@ -229,12 +257,10 @@ pub fn fig11_bundles(n_energies: usize) -> Vec<(String, usize)> {
         let h00 = h.h00();
         let h01 = h.h01();
         let energies: Vec<f64> = (0..n_energies)
-            .map(|i| {
-                sys.fermi - 0.037 + 0.074 * i as f64 / (n_energies - 1).max(1) as f64
-            })
+            .map(|i| sys.fermi - 0.037 + 0.074 * i as f64 / (n_energies - 1).max(1) as f64)
             .collect();
         let config = SsConfig { n_rh: 4, ..ss_config() };
-        let run = compute_cbs(&h00, &h01, h.period(), &energies, &config);
+        let run = compute_cbs_env(&h00, &h01, h.period(), &energies, &config);
         let channels = run.cbs.propagating().count();
         println!(
             "-- {}: {} atoms, {} propagating / {} evanescent states over {} energies --",

@@ -44,11 +44,8 @@ pub struct BenchSystem {
 
 fn build(structure: AtomicStructure, fd: FdOrder, estimate_fermi: bool) -> BenchSystem {
     let grid = grid_for_structure(&structure, spacing());
-    let hamiltonian = BlockHamiltonian::build(
-        grid,
-        &structure,
-        HamiltonianParams { fd, include_nonlocal: true },
-    );
+    let hamiltonian =
+        BlockHamiltonian::build(grid, &structure, HamiltonianParams { fd, include_nonlocal: true });
     let fermi = if estimate_fermi && grid.npoints() <= 600 {
         fermi_energy(&hamiltonian, structure.valence_electrons(), 3)
     } else {

@@ -9,10 +9,11 @@
 use serde::{Deserialize, Serialize};
 
 use cbs_linalg::Complex64;
+use cbs_parallel::{SerialExecutor, TaskExecutor};
 use cbs_sparse::LinearOperator;
 
 use crate::qep::QepProblem;
-use crate::ss::{solve_qep, SsConfig, SsResult};
+use crate::ss::{solve_qep_with, SsConfig, SsResult};
 
 /// Tolerance on `| |λ| - 1 |` below which a state is classified as
 /// propagating (a real-k Bloch state).
@@ -115,9 +116,12 @@ fn fold_k(k: f64, a: f64) -> f64 {
 }
 
 /// Compute the complex band structure of the block Hamiltonian described by
-/// `h00`/`h01` over the given scan energies.
+/// `h00`/`h01` over the given scan energies, solving serially.
 ///
 /// `period` is the lattice constant along the transport direction (bohr).
+/// The blocks are arbitrary [`LinearOperator`]s — dense matrices enter
+/// through `cbs_sparse::DenseOp`, sparse and matrix-free operators come as
+/// they are.
 pub fn compute_cbs(
     h00: &dyn LinearOperator,
     h01: &dyn LinearOperator,
@@ -125,13 +129,29 @@ pub fn compute_cbs(
     energies: &[f64],
     config: &SsConfig,
 ) -> CbsRun {
+    compute_cbs_with(h00, h01, period, energies, config, &SerialExecutor)
+}
+
+/// Compute the complex band structure with the shifted solves of every
+/// energy dispatched through the given [`TaskExecutor`].
+///
+/// Executors do not change the result (see `tests/determinism.rs`), only
+/// how the `N_int x N_rh` independent solves per energy are scheduled.
+pub fn compute_cbs_with<E: TaskExecutor>(
+    h00: &dyn LinearOperator,
+    h01: &dyn LinearOperator,
+    period: f64,
+    energies: &[f64],
+    config: &SsConfig,
+    executor: &E,
+) -> CbsRun {
     let mut cbs = ComplexBandStructure { points: Vec::new(), energies: energies.to_vec() };
     let mut stats = CbsStatistics::default();
     let mut per_energy = Vec::with_capacity(energies.len());
 
     for &energy in energies {
         let problem = QepProblem::new(h00, h01, energy, period);
-        let result = solve_qep(&problem, config);
+        let result = solve_qep_with(&problem, config, executor);
         stats.total_bicg_iterations += result.total_bicg_iterations;
         stats.total_matvecs += result.total_matvecs;
         stats.linear_solve_seconds += result.timings.linear_solve_seconds;

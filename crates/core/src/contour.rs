@@ -89,12 +89,7 @@ impl RingContour {
         (0..self.n_int)
             .map(|j| {
                 let z = Complex64::polar(self.inner_radius(), self.theta(j));
-                QuadraturePoint {
-                    index: j,
-                    z,
-                    weight: -(z / self.n_int as f64),
-                    outer: false,
-                }
+                QuadraturePoint { index: j, z, weight: -(z / self.n_int as f64), outer: false }
             })
             .collect()
     }
@@ -110,12 +105,7 @@ impl RingContour {
     pub fn paired_inner(&self, outer: &QuadraturePoint) -> QuadraturePoint {
         debug_assert!(outer.outer);
         let z = Complex64::ONE / outer.z.conj();
-        QuadraturePoint {
-            index: outer.index,
-            z,
-            weight: -(z / self.n_int as f64),
-            outer: false,
-        }
+        QuadraturePoint { index: outer.index, z, weight: -(z / self.n_int as f64), outer: false }
     }
 
     /// Numerically evaluate the filter function
@@ -197,10 +187,7 @@ mod tests {
         for &lambda in &[c64(0.2, 0.1), c64(2.6, 0.5), c64(0.05, 0.0)] {
             for k in 0..6usize {
                 let got = c.filter_value(k, lambda);
-                assert!(
-                    got.abs() < 1e-4,
-                    "outside: k={k}, λ={lambda:?}, got {got:?}"
-                );
+                assert!(got.abs() < 1e-4, "outside: k={k}, λ={lambda:?}, got {got:?}");
             }
         }
     }
@@ -209,5 +196,68 @@ mod tests {
     #[should_panic]
     fn invalid_lambda_min_rejected() {
         let _ = RingContour::new(1.5, 8);
+    }
+
+    #[test]
+    fn nodes_and_weights_are_conjugate_symmetric() {
+        // θ_j = 2π(j + 1/2)/N places the nodes symmetrically about the real
+        // axis: z_{N-1-j} = conj(z_j), and since ω_j = z_j/N the weights
+        // inherit the same symmetry.  This is what makes the moments of a
+        // real-symmetric spectrum come out in conjugate pairs.
+        for &n_int in &[8usize, 16, 32] {
+            let c = RingContour::new(0.5, n_int);
+            for pts in [c.outer_points(), c.inner_points()] {
+                for j in 0..n_int {
+                    let mirror = &pts[n_int - 1 - j];
+                    assert!((pts[j].z - mirror.z.conj()).abs() < 1e-13);
+                    assert!((pts[j].weight - mirror.weight.conj()).abs() < 1e-13);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_zero_per_circle() {
+        // Σ_j ω_j = Σ_j z_j/N = 0 on each circle (the nodes are the scaled
+        // N-th roots of unity rotated by half a step): the quadrature
+        // integrates the constant to zero, i.e. f_0 vanishes for a
+        // pole-free integrand.
+        let c = RingContour::new(0.5, 24);
+        for pts in [c.outer_points(), c.inner_points()] {
+            let sum: Complex64 = pts.iter().map(|p| p.weight).fold(c64(0.0, 0.0), |a, w| a + w);
+            assert!(sum.abs() < 1e-13, "weight sum {sum:?}");
+        }
+    }
+
+    #[test]
+    fn inner_circle_weights_carry_the_orientation_sign() {
+        // The annulus integral subtracts the inner circle, so its weights
+        // must be the negated trapezoid weights: ω'_j = -z'_j / N.
+        let c = RingContour::new(0.4, 12);
+        for p in c.inner_points() {
+            let expect = -(p.z / 12.0);
+            assert!((p.weight - expect).abs() < 1e-15);
+        }
+        for p in c.outer_points() {
+            let expect = p.z / 12.0;
+            assert!((p.weight - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn paired_inner_is_the_dual_shift_for_every_outer_node() {
+        // z^(2) = 1/conj(z^(1)) is the identity that lets the dual BiCG
+        // solution serve the inner circle; it must hold for every node and
+        // every (valid) λ_min, with matching indices.
+        for &lambda_min in &[0.3, 0.5, 0.8] {
+            let c = RingContour::new(lambda_min, 16);
+            for o in c.outer_points() {
+                let paired = c.paired_inner(&o);
+                assert_eq!(paired.index, o.index);
+                assert!(!paired.outer);
+                assert!((paired.z - Complex64::ONE / o.z.conj()).abs() < 1e-14);
+                assert!((paired.z.abs() - lambda_min).abs() < 1e-13);
+            }
+        }
     }
 }

@@ -1,0 +1,512 @@
+//! The operator-generic shifted-solve engine: step 1 of the Sakurai-Sugiura
+//! method as a reusable, execution-agnostic component.
+//!
+//! The contour quadrature needs the solutions of `N_int x N_rh` independent
+//! linear systems `P(z_j) y = v_r` (plus their duals, which serve the inner
+//! circle for free).  Those solves are the dominant cost of the whole method
+//! and are embarrassingly parallel — the paper's top two parallel layers.
+//! This module factors them out of the eigensolver:
+//!
+//! * [`ShiftedSolveEngine`] is generic over **what** is solved (any family
+//!   of [`LinearOperator`]s indexed by the complex shift, built on demand by
+//!   a factory closure — dense blocks, CSR, matrix-free stencils,
+//!   domain-decomposed operators) and over **how** it is executed (any
+//!   [`TaskExecutor`] from `cbs-parallel`: [`SerialExecutor`],
+//!   [`RayonExecutor`], or future distributed backends).
+//! * The paper's majority-stop load-balancing rule is preserved in a
+//!   **deterministic two-stage form**: the first `N_int/2 + 1` quadrature
+//!   points are always solved to convergence; if they all converge (the
+//!   "majority converged" condition), the remaining points run with their
+//!   iteration count capped at the worst converged count of the first
+//!   stage.  Because the cap is derived only from completed first-stage
+//!   results, the outcome is independent of scheduling — every executor
+//!   produces bit-identical solutions, which
+//!   `tests/determinism.rs` locks in.
+//! * Per-solve [`ConvergenceHistory`] records survive the fan-out in job
+//!   order `j * N_rh + r` (outer point `j`, right-hand side `r`), exactly
+//!   the layout the Figure 5 reporting expects.
+
+use std::sync::OnceLock;
+
+use cbs_linalg::{CVector, Complex64};
+use cbs_parallel::{SerialExecutor, TaskExecutor};
+use cbs_solver::{bicg_dual, ConvergenceHistory, SolverOptions};
+use cbs_sparse::LinearOperator;
+
+use crate::contour::{QuadraturePoint, RingContour};
+
+/// One shifted-solve job: outer-circle quadrature point x right-hand side.
+#[derive(Clone, Copy, Debug)]
+pub struct ShiftedSolveJob {
+    /// The outer-circle quadrature point `z_j^(1)`.
+    pub point: QuadraturePoint,
+    /// Index of the right-hand side column of `V`.
+    pub rhs_index: usize,
+}
+
+/// The solution of one shifted system and its dual.
+#[derive(Clone, Debug)]
+pub struct ShiftedSolveOutcome {
+    /// Index `j` of the outer-circle quadrature point.
+    pub point_index: usize,
+    /// Index of the right-hand side.
+    pub rhs_index: usize,
+    /// Solution of `P(z_j^(1)) x = v` (outer circle).
+    pub x: CVector,
+    /// Solution of `P(z_j^(1))† x̃ = v`, i.e. the system at the paired
+    /// inner-circle node `z_j^(2) = 1/conj(z_j^(1))`.
+    pub dual_x: CVector,
+    /// Convergence history of the primal solve.
+    pub history: ConvergenceHistory,
+    /// Convergence history of the dual solve.
+    pub dual_history: ConvergenceHistory,
+}
+
+/// Everything produced by one contour sweep of the engine.
+#[derive(Clone, Debug)]
+pub struct ShiftedSolveReport {
+    /// One outcome per job, ordered `j * N_rh + rhs_index`.
+    pub outcomes: Vec<ShiftedSolveOutcome>,
+    /// Quadrature points whose primal *and* dual systems all converged.
+    pub converged_points: usize,
+    /// Number of solves that ran under the majority-stop iteration cap.
+    pub capped_solves: usize,
+    /// The iteration cap applied to the second stage, when the rule fired.
+    pub iteration_cap: Option<usize>,
+}
+
+impl ShiftedSolveReport {
+    /// Total BiCG iterations over all solves.
+    pub fn total_iterations(&self) -> usize {
+        self.outcomes.iter().map(|o| o.history.iterations()).sum()
+    }
+
+    /// Total operator applications over all solves.
+    pub fn total_matvecs(&self) -> usize {
+        self.outcomes.iter().map(|o| o.history.matvecs).sum()
+    }
+}
+
+/// Aggregate convergence statistics of one contour sweep, returned by
+/// [`ShiftedSolveEngine::solve_fold`] alongside the caller's accumulator.
+#[derive(Clone, Copy, Debug)]
+pub struct ShiftedSolveStats {
+    /// Quadrature points whose primal *and* dual systems all converged.
+    pub converged_points: usize,
+    /// Number of solves that ran under the majority-stop iteration cap.
+    pub capped_solves: usize,
+    /// The iteration cap applied to the second stage, when the rule fired.
+    pub iteration_cap: Option<usize>,
+    /// Total BiCG iterations over all solves.
+    pub total_iterations: usize,
+    /// Total operator applications over all solves.
+    pub total_matvecs: usize,
+}
+
+/// The engine: solves the outer-circle systems of a [`RingContour`] for a
+/// block of right-hand sides, through a pluggable [`TaskExecutor`].
+///
+/// ```
+/// use cbs_core::{RingContour, ShiftedSolveEngine};
+/// use cbs_linalg::{c64, CMatrix, CVector};
+/// use cbs_parallel::SerialExecutor;
+/// use cbs_solver::SolverOptions;
+/// use cbs_sparse::{DenseOp, ShiftedOp};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut a = CMatrix::random(8, 8, &mut rng);
+/// for i in 0..8 {
+///     a[(i, i)] += c64(8.0, 0.0);
+/// }
+/// let op = DenseOp::new(a);
+/// let rhs = vec![CVector::random(8, &mut rng)];
+/// let engine = ShiftedSolveEngine::new(&SerialExecutor, SolverOptions::default());
+/// let report = engine.solve(&RingContour::new(0.5, 8), &rhs, |z| ShiftedOp::new(&op, z));
+/// assert_eq!(report.outcomes.len(), 8);
+/// ```
+pub struct ShiftedSolveEngine<'e, E: TaskExecutor> {
+    executor: &'e E,
+    options: SolverOptions,
+    majority_stop: bool,
+}
+
+impl Default for ShiftedSolveEngine<'static, SerialExecutor> {
+    fn default() -> Self {
+        ShiftedSolveEngine::new(&SerialExecutor, SolverOptions::default())
+    }
+}
+
+impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
+    /// Build an engine running on `executor` with the given solver options.
+    pub fn new(executor: &'e E, options: SolverOptions) -> Self {
+        Self { executor, options, majority_stop: false }
+    }
+
+    /// Enable or disable the deterministic majority-stop rule.
+    pub fn with_majority_stop(mut self, enabled: bool) -> Self {
+        self.majority_stop = enabled;
+        self
+    }
+
+    /// Name of the underlying executor (for reports).
+    pub fn executor_name(&self) -> &'static str {
+        self.executor.name()
+    }
+
+    /// Solve all `N_int x N_rh` outer-circle systems of `contour` for the
+    /// right-hand-side block `rhs`, retaining every solution.
+    ///
+    /// This materializes `2 N_int N_rh` solution vectors; callers that only
+    /// reduce over the solutions (like the moment accumulation of
+    /// `solve_qep`) should use [`solve_fold`](Self::solve_fold), which
+    /// streams on the serial executor.
+    pub fn solve<Op, F>(
+        &self,
+        contour: &RingContour,
+        rhs: &[CVector],
+        operator_at: F,
+    ) -> ShiftedSolveReport
+    where
+        Op: LinearOperator + Send,
+        F: Fn(Complex64) -> Op + Sync,
+    {
+        let (outcomes, stats) =
+            self.solve_fold(contour, rhs, operator_at, Vec::new(), |mut acc, outcome| {
+                acc.push(outcome);
+                acc
+            });
+        ShiftedSolveReport {
+            outcomes,
+            converged_points: stats.converged_points,
+            capped_solves: stats.capped_solves,
+            iteration_cap: stats.iteration_cap,
+        }
+    }
+
+    /// Solve all `N_int x N_rh` outer-circle systems and fold each
+    /// [`ShiftedSolveOutcome`] into an accumulator **in job order**
+    /// (`j * N_rh + rhs`), on the calling thread.
+    ///
+    /// `operator_at` builds the shifted operator `P(z)` for a quadrature
+    /// node `z`; it is invoked **once per node** (the operator is cached
+    /// and shared across that node's right-hand sides), so per-shift
+    /// assemblies heavier than a view are not repeated per job.
+    ///
+    /// On the serial executor at most one outcome is alive at a time, so a
+    /// reduction that keeps only the moments runs in the moments' memory —
+    /// parallel executors buffer a stage of outcomes to restore the input
+    /// order (space traded for concurrency).
+    pub fn solve_fold<Op, F, A, G>(
+        &self,
+        contour: &RingContour,
+        rhs: &[CVector],
+        operator_at: F,
+        init: A,
+        mut fold: G,
+    ) -> (A, ShiftedSolveStats)
+    where
+        Op: LinearOperator + Send,
+        F: Fn(Complex64) -> Op + Sync,
+        G: FnMut(A, ShiftedSolveOutcome) -> A,
+    {
+        let outer = contour.outer_points();
+        let n_int = outer.len();
+        let n_rh = rhs.len();
+
+        let jobs_for = |points: &[QuadraturePoint]| -> Vec<ShiftedSolveJob> {
+            points
+                .iter()
+                .flat_map(|&point| {
+                    (0..n_rh).map(move |rhs_index| ShiftedSolveJob { point, rhs_index })
+                })
+                .collect()
+        };
+
+        // One operator per quadrature node, built by whichever job of that
+        // node runs first and shared by the rest (`LinearOperator: Sync`).
+        let op_cells: Vec<OnceLock<Op>> = (0..n_int).map(|_| OnceLock::new()).collect();
+        let run_job = |job: ShiftedSolveJob, cap: Option<usize>| -> ShiftedSolveOutcome {
+            let op = op_cells[job.point.index].get_or_init(|| operator_at(job.point.z));
+            let v = &rhs[job.rhs_index];
+            let stop_at = cap.map(|c| c.max(1));
+            let stop_cb = move |iter: usize| stop_at.is_some_and(|c| iter >= c);
+            let external: Option<&(dyn Fn(usize) -> bool + Sync)> =
+                if stop_at.is_some() { Some(&stop_cb) } else { None };
+            let res = bicg_dual(op, v, v, &self.options, external);
+            ShiftedSolveOutcome {
+                point_index: job.point.index,
+                rhs_index: job.rhs_index,
+                x: res.x,
+                dual_x: res.dual_x,
+                history: res.history,
+                dual_history: res.dual_history,
+            }
+        };
+
+        // Convergence bookkeeping, updated inside the fold wrapper (which
+        // runs on the calling thread, in job order, for every executor).
+        let mut tracking = ConvergenceTracking::new(n_int);
+
+        let (acc, cap, capped_solves) = if !self.majority_stop {
+            let acc = self.executor.execute_fold(
+                jobs_for(&outer),
+                |job| run_job(job, None),
+                init,
+                |acc, o| {
+                    tracking.record(&o);
+                    fold(acc, o)
+                },
+            );
+            (acc, None, 0)
+        } else {
+            // Deterministic majority stop, stage 1: strictly more than half
+            // of the quadrature points always run to convergence.
+            let stage1_points = (n_int / 2 + 1).min(n_int);
+            let acc = self.executor.execute_fold(
+                jobs_for(&outer[..stage1_points]),
+                |job| run_job(job, None),
+                init,
+                |acc, o| {
+                    tracking.record(&o);
+                    fold(acc, o)
+                },
+            );
+
+            // The rule may fire only if the whole first stage converged
+            // (then `converged * 2 > n_int` holds by construction, as in
+            // the paper's "more than half of the points have converged"
+            // condition).  The cap is the worst iteration count among the
+            // converged stage-1 solves — a pure function of stage-1
+            // results, independent of scheduling.
+            let stage1_converged = tracking.converged_among(stage1_points);
+            let cap = if stage1_converged * 2 > n_int && tracking.converged_iter_max > 0 {
+                Some(tracking.converged_iter_max)
+            } else {
+                None
+            };
+
+            let stage2_jobs = jobs_for(&outer[stage1_points..]);
+            let capped_solves = if cap.is_some() { stage2_jobs.len() } else { 0 };
+            let acc = self.executor.execute_fold(
+                stage2_jobs,
+                |job| run_job(job, cap),
+                acc,
+                |acc, o| {
+                    tracking.record(&o);
+                    fold(acc, o)
+                },
+            );
+            (acc, cap, capped_solves)
+        };
+
+        let stats = ShiftedSolveStats {
+            converged_points: tracking.converged_among(n_int),
+            capped_solves,
+            iteration_cap: cap,
+            total_iterations: tracking.total_iterations,
+            total_matvecs: tracking.total_matvecs,
+        };
+        (acc, stats)
+    }
+}
+
+/// Per-sweep convergence bookkeeping shared by the fold wrappers.
+struct ConvergenceTracking {
+    /// `true` while every solve of the point converged (primal and dual).
+    point_converged: Vec<bool>,
+    /// Worst iteration count among converged primal solves so far.
+    converged_iter_max: usize,
+    total_iterations: usize,
+    total_matvecs: usize,
+}
+
+impl ConvergenceTracking {
+    fn new(n_int: usize) -> Self {
+        Self {
+            point_converged: vec![true; n_int],
+            converged_iter_max: 0,
+            total_iterations: 0,
+            total_matvecs: 0,
+        }
+    }
+
+    fn record(&mut self, o: &ShiftedSolveOutcome) {
+        self.point_converged[o.point_index] &= o.history.converged() && o.dual_history.converged();
+        if o.history.converged() {
+            self.converged_iter_max = self.converged_iter_max.max(o.history.iterations());
+        }
+        self.total_iterations += o.history.iterations();
+        self.total_matvecs += o.history.matvecs;
+    }
+
+    fn converged_among(&self, n_points: usize) -> usize {
+        self.point_converged[..n_points].iter().filter(|&&c| c).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_linalg::{c64, CMatrix};
+    use cbs_parallel::RayonExecutor;
+    use cbs_sparse::{DenseOp, ShiftedOp};
+    use rand::SeedableRng;
+
+    fn diag_dominant(n: usize, seed: u64) -> CMatrix {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut a = CMatrix::random(n, n, &mut rng);
+        for i in 0..n {
+            a[(i, i)] += c64(2.0 * n as f64, 0.4);
+        }
+        a
+    }
+
+    fn rhs_block(n: usize, n_rh: usize, seed: u64) -> Vec<CVector> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n_rh).map(|_| CVector::random(n, &mut rng)).collect()
+    }
+
+    #[test]
+    fn outcomes_are_ordered_by_job_index() {
+        let a = diag_dominant(12, 31);
+        let op = DenseOp::new(a);
+        let rhs = rhs_block(12, 3, 32);
+        let contour = RingContour::new(0.5, 6);
+        let engine = ShiftedSolveEngine::new(&SerialExecutor, SolverOptions::default());
+        let report = engine.solve(&contour, &rhs, |z| ShiftedOp::new(&op, z));
+        assert_eq!(report.outcomes.len(), 6 * 3);
+        for (idx, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.point_index, idx / 3);
+            assert_eq!(o.rhs_index, idx % 3);
+        }
+        assert_eq!(report.converged_points, 6);
+        assert!(report.total_iterations() > 0);
+        assert!(report.total_matvecs() >= 2 * report.total_iterations());
+    }
+
+    #[test]
+    fn serial_and_rayon_executors_agree_bitwise() {
+        let a = diag_dominant(16, 33);
+        let op = DenseOp::new(a);
+        let rhs = rhs_block(16, 4, 34);
+        let contour = RingContour::new(0.5, 8);
+        let opts = SolverOptions::default().with_tolerance(1e-11);
+        for majority in [false, true] {
+            let serial = ShiftedSolveEngine::new(&SerialExecutor, opts)
+                .with_majority_stop(majority)
+                .solve(&contour, &rhs, |z| ShiftedOp::new(&op, z));
+            let rayon = ShiftedSolveEngine::new(&RayonExecutor, opts)
+                .with_majority_stop(majority)
+                .solve(&contour, &rhs, |z| ShiftedOp::new(&op, z));
+            assert_eq!(serial.outcomes.len(), rayon.outcomes.len());
+            for (s, r) in serial.outcomes.iter().zip(&rayon.outcomes) {
+                assert_eq!(s.x, r.x, "primal solutions must be bit-identical");
+                assert_eq!(s.dual_x, r.dual_x, "dual solutions must be bit-identical");
+                assert_eq!(s.history.residuals, r.history.residuals);
+            }
+            assert_eq!(serial.converged_points, rayon.converged_points);
+            assert_eq!(serial.iteration_cap, rayon.iteration_cap);
+        }
+    }
+
+    #[test]
+    fn majority_stop_caps_second_stage() {
+        let a = diag_dominant(20, 35);
+        let op = DenseOp::new(a);
+        let rhs = rhs_block(20, 2, 36);
+        let contour = RingContour::new(0.5, 8);
+        let engine = ShiftedSolveEngine::new(&SerialExecutor, SolverOptions::default())
+            .with_majority_stop(true);
+        let report = engine.solve(&contour, &rhs, |z| ShiftedOp::new(&op, z));
+        // A well-conditioned system converges everywhere, so the rule fires.
+        assert!(report.iteration_cap.is_some());
+        assert_eq!(report.capped_solves, (8 - (8 / 2 + 1)) * 2);
+        let cap = report.iteration_cap.unwrap();
+        for o in &report.outcomes[(8 / 2 + 1) * 2..] {
+            assert!(
+                o.history.iterations() <= cap,
+                "stage-2 solve ran {} iterations past the cap {cap}",
+                o.history.iterations()
+            );
+        }
+    }
+
+    #[test]
+    fn operator_factory_is_called_once_per_quadrature_point() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let a = diag_dominant(10, 38);
+        let op = DenseOp::new(a);
+        let rhs = rhs_block(10, 4, 39);
+        let contour = RingContour::new(0.5, 6);
+        for majority in [false, true] {
+            let calls = AtomicUsize::new(0);
+            let engine = ShiftedSolveEngine::new(&SerialExecutor, SolverOptions::default())
+                .with_majority_stop(majority);
+            let report = engine.solve(&contour, &rhs, |z| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                ShiftedOp::new(&op, z)
+            });
+            assert_eq!(report.outcomes.len(), 6 * 4);
+            // The per-point cache shares one operator across the 4 rhs jobs.
+            assert_eq!(calls.load(Ordering::Relaxed), 6);
+        }
+    }
+
+    #[test]
+    fn solve_fold_matches_solve() {
+        let a = diag_dominant(12, 40);
+        let op = DenseOp::new(a);
+        let rhs = rhs_block(12, 3, 41);
+        let contour = RingContour::new(0.5, 8);
+        let engine = ShiftedSolveEngine::new(&SerialExecutor, SolverOptions::default())
+            .with_majority_stop(true);
+        let report = engine.solve(&contour, &rhs, |z| ShiftedOp::new(&op, z));
+        let (collected, stats) = engine.solve_fold(
+            &contour,
+            &rhs,
+            |z| ShiftedOp::new(&op, z),
+            Vec::new(),
+            |mut v: Vec<ShiftedSolveOutcome>, o| {
+                v.push(o);
+                v
+            },
+        );
+        assert_eq!(collected.len(), report.outcomes.len());
+        for (a, b) in collected.iter().zip(&report.outcomes) {
+            assert_eq!(a.point_index, b.point_index);
+            assert_eq!(a.rhs_index, b.rhs_index);
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.dual_x, b.dual_x);
+        }
+        assert_eq!(stats.converged_points, report.converged_points);
+        assert_eq!(stats.iteration_cap, report.iteration_cap);
+        assert_eq!(stats.capped_solves, report.capped_solves);
+        assert_eq!(stats.total_iterations, report.total_iterations());
+        assert_eq!(stats.total_matvecs, report.total_matvecs());
+    }
+
+    #[test]
+    fn engine_is_operator_generic() {
+        // The same engine drives a CSR-backed operator without changes.
+        let mut b = cbs_sparse::CooBuilder::new(10, 10);
+        for i in 0..10 {
+            b.push(i, i, c64(6.0, 0.2));
+            b.push(i, (i + 1) % 10, c64(-1.0, 0.0));
+            b.push(i, (i + 9) % 10, c64(-1.0, 0.0));
+        }
+        let m = b.build();
+        let rhs = rhs_block(10, 2, 37);
+        let contour = RingContour::new(0.5, 4);
+        let engine = ShiftedSolveEngine::new(&SerialExecutor, SolverOptions::default());
+        let report = engine.solve(&contour, &rhs, |z| ShiftedOp::new(&m, z));
+        assert_eq!(report.converged_points, 4);
+        for o in &report.outcomes {
+            // Verify the primal solution truly solves (A - zI) x = b.
+            let z = contour.outer_points()[o.point_index].z;
+            let shifted = ShiftedOp::new(&m, z);
+            let residual = &shifted.apply_vec(&o.x) - &rhs[o.rhs_index];
+            assert!(residual.norm() <= 1e-8 * rhs[o.rhs_index].norm());
+        }
+    }
+}

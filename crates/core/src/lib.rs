@@ -18,17 +18,29 @@
 //! The linear systems at the quadrature nodes are solved matrix-free with
 //! the dual BiCG from `cbs-solver`, exploiting `P(z)† = P(1/z̄)` so only the
 //! outer-circle systems are ever iterated.
+//!
+//! The `N_int x N_rh` independent shifted solves run through the
+//! [`ShiftedSolveEngine`], which is generic over both the operator family
+//! (any `cbs_sparse::LinearOperator`) and the execution strategy (any
+//! `cbs_parallel::TaskExecutor`); [`solve_qep_with`] / [`compute_cbs_with`]
+//! expose the executor choice, and the plain [`solve_qep`] /
+//! [`compute_cbs`] entry points default to serial execution.
 
 #![warn(missing_docs)]
 
 pub mod cbs;
 pub mod contour;
+pub mod engine;
 pub mod qep;
 pub mod ss;
 
 pub use cbs::{
-    compute_cbs, CbsPoint, CbsRun, CbsStatistics, ComplexBandStructure, PROPAGATING_TOLERANCE,
+    compute_cbs, compute_cbs_with, CbsPoint, CbsRun, CbsStatistics, ComplexBandStructure,
+    PROPAGATING_TOLERANCE,
 };
 pub use contour::{QuadraturePoint, RingContour};
+pub use engine::{
+    ShiftedSolveEngine, ShiftedSolveJob, ShiftedSolveOutcome, ShiftedSolveReport, ShiftedSolveStats,
+};
 pub use qep::{QepOperator, QepProblem};
-pub use ss::{solve_qep, QepEigenpair, SsConfig, SsResult, SsTimings};
+pub use ss::{solve_qep, solve_qep_with, QepEigenpair, SsConfig, SsResult, SsTimings};

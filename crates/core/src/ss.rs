@@ -20,9 +20,11 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use cbs_linalg::{svd, CMatrix, CVector, Complex64};
-use cbs_solver::{bicg_dual, ConvergenceHistory, SolverOptions};
+use cbs_parallel::{SerialExecutor, TaskExecutor};
+use cbs_solver::{ConvergenceHistory, SolverOptions};
 
 use crate::contour::RingContour;
+use crate::engine::ShiftedSolveEngine;
 use crate::qep::QepProblem;
 
 /// Parameters of the Sakurai-Sugiura solve (paper notation).
@@ -138,6 +140,11 @@ pub struct SsResult {
     /// Per-quadrature-point convergence histories of the primal systems
     /// (one entry per `(j, rhs)` pair) — the curves of the paper's Figure 5.
     pub solve_histories: Vec<ConvergenceHistory>,
+    /// The projected complex moments `µ̂_k = V† Ŝ_k` (`2 N_mm` matrices of
+    /// shape `N_rh x N_rh`).  Diagnostics, and the quantity the
+    /// deterministic-parallelism regression test compares bit-for-bit
+    /// across executors.
+    pub projected_moments: Vec<CMatrix>,
     /// Total number of BiCG iterations summed over all systems.
     pub total_bicg_iterations: usize,
     /// Total number of operator applications.
@@ -156,75 +163,72 @@ impl SsResult {
 }
 
 /// Solve the QEP for all eigenvalues in the annulus with the Sakurai-Sugiura
-/// method.
+/// method, running the shifted solves serially.
 pub fn solve_qep(problem: &QepProblem<'_>, config: &SsConfig) -> SsResult {
+    solve_qep_with(problem, config, &SerialExecutor)
+}
+
+/// Solve the QEP with the shifted systems dispatched through the given
+/// [`TaskExecutor`].
+///
+/// All executors produce bit-identical results: the engine's majority-stop
+/// rule is deterministic and the moment accumulation below always walks the
+/// solve outcomes in job order, independent of how they were scheduled.
+pub fn solve_qep_with<E: TaskExecutor>(
+    problem: &QepProblem<'_>,
+    config: &SsConfig,
+    executor: &E,
+) -> SsResult {
     let n = problem.dim();
     let contour = config.contour();
-    let opts = config.solver_options();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
 
     // Random source block V (N x N_rh).
     let v_cols: Vec<CVector> = (0..config.n_rh).map(|_| CVector::random(n, &mut rng)).collect();
 
-    // --- Step 1: shifted linear solves (the dominant cost). -------------
+    // --- Step 1: shifted linear solves (the dominant cost), fanned out
+    // through the operator-generic engine. --------------------------------
     let t_solve = std::time::Instant::now();
     let outer = contour.outer_points();
     let n_moments = 2 * config.n_mm;
 
-    // Moment accumulators Ŝ_k (N x N_rh each), stored as columns.
-    let mut s_moments: Vec<Vec<CVector>> =
-        vec![vec![CVector::zeros(n); config.n_rh]; n_moments];
-    let mut histories = Vec::with_capacity(config.n_int * config.n_rh);
-    let mut total_iters = 0usize;
-    let mut total_matvecs = 0usize;
+    let engine = ShiftedSolveEngine::new(executor, config.solver_options())
+        .with_majority_stop(config.majority_stop);
 
-    // The paper's load-balancing rule needs to know how many quadrature
-    // points have fully converged; sequential execution processes them in
-    // order, so the count is simply tracked as we go.  (The threaded
-    // executors in `cbs-parallel` share the same rule through the
-    // external-stop callback.)
-    let mut converged_points = 0usize;
-    // Largest iteration count among the solves that did converge; once the
-    // majority rule kicks in, the stragglers are capped at this budget
-    // (they are already well below the tolerance thanks to the uniform
-    // convergence across quadrature points, cf. Figure 5).
-    let mut converged_iter_cap = 0usize;
-
-    for point in &outer {
-        let op = problem.operator(point.z);
-        let inner_point = contour.paired_inner(point);
-        let mut point_converged = true;
-        for (rhs_idx, v) in v_cols.iter().enumerate() {
-            let allow_early = config.majority_stop && converged_points * 2 > config.n_int;
-            let cap = converged_iter_cap.max(1);
-            let stop_cb = move |iter: usize| iter >= cap;
-            let external: Option<&(dyn Fn(usize) -> bool + Sync)> =
-                if allow_early { Some(&stop_cb) } else { None };
-            let res = bicg_dual(&op, v, v, &opts, external);
-            if res.history.converged() {
-                converged_iter_cap = converged_iter_cap.max(res.history.iterations());
-            }
-            total_iters += res.history.iterations();
-            total_matvecs += res.history.matvecs;
-            point_converged &= res.history.converged() && res.dual_history.converged();
-
+    // Moment accumulators Ŝ_k (N x N_rh each), stored as columns, folded
+    // directly off the engine: outcomes arrive in job order `j * N_rh +
+    // rhs` on every executor, so the floating-point accumulation order —
+    // and therefore the result, bitwise — is executor-independent.  On the
+    // serial executor the fold streams (one solution pair alive at a
+    // time), keeping the peak footprint at the O(N_mm N_rh N) moments
+    // instead of the full N_int x N_rh solution set.
+    let s_moments: Vec<Vec<CVector>> = vec![vec![CVector::zeros(n); config.n_rh]; n_moments];
+    let histories: Vec<ConvergenceHistory> = Vec::with_capacity(config.n_int * config.n_rh);
+    let ((s_moments, histories), stats) = engine.solve_fold(
+        &contour,
+        &v_cols,
+        |z| problem.operator(z),
+        (s_moments, histories),
+        |(mut s_moments, mut histories), outcome| {
+            let point = outer[outcome.point_index];
+            let inner_point = contour.paired_inner(&point);
             // Accumulate the moments for this (j, rhs) pair:
             //   outer:  + ω_j z_j^k  Y^(1)
             //   inner:  - ω'_j z'^k  Y^(2)   (sign already in the weight)
             let mut zk_outer = point.weight;
             let mut zk_inner = inner_point.weight;
-            for k in 0..n_moments {
-                s_moments[k][rhs_idx].axpy(zk_outer, &res.x);
-                s_moments[k][rhs_idx].axpy(zk_inner, &res.dual_x);
+            for s_k in s_moments.iter_mut() {
+                s_k[outcome.rhs_index].axpy(zk_outer, &outcome.x);
+                s_k[outcome.rhs_index].axpy(zk_inner, &outcome.dual_x);
                 zk_outer *= point.z;
                 zk_inner *= inner_point.z;
             }
-            histories.push(res.history);
-        }
-        if point_converged {
-            converged_points += 1;
-        }
-    }
+            histories.push(outcome.history);
+            (s_moments, histories)
+        },
+    );
+    let total_iters = stats.total_iterations;
+    let total_matvecs = stats.total_matvecs;
     let linear_solve_seconds = t_solve.elapsed().as_secs_f64();
 
     // --- Steps 2-4: moment matrices, Hankel SVD, reduced eigenproblem. ---
@@ -232,9 +236,7 @@ pub fn solve_qep(problem: &QepProblem<'_>, config: &SsConfig) -> SsResult {
 
     // µ̂_k = V† Ŝ_k  (N_rh x N_rh).
     let mu: Vec<CMatrix> = (0..n_moments)
-        .map(|k| {
-            CMatrix::from_fn(config.n_rh, config.n_rh, |r, c| v_cols[r].dot(&s_moments[k][c]))
-        })
+        .map(|k| CMatrix::from_fn(config.n_rh, config.n_rh, |r, c| v_cols[r].dot(&s_moments[k][c])))
         .collect();
 
     let m = config.n_mm;
@@ -261,7 +263,7 @@ pub fn solve_qep(problem: &QepProblem<'_>, config: &SsConfig) -> SsResult {
     let mut reduced = u1.adjoint_mul(&t_shift.matmul(&w1));
     for r in 0..rank {
         for c in 0..rank {
-            reduced[(r, c)] = reduced[(r, c)] * sigma_inv[c];
+            reduced[(r, c)] *= sigma_inv[c];
         }
     }
     let eig = cbs_linalg::eigen(&reduced).expect("reduced eigenproblem failed");
@@ -324,13 +326,10 @@ pub fn solve_qep(problem: &QepProblem<'_>, config: &SsConfig) -> SsResult {
         numerical_rank: rank,
         hankel_singular_values: decomposition.singular_values,
         solve_histories: histories,
+        projected_moments: mu,
         total_bicg_iterations: total_iters,
         total_matvecs,
-        timings: SsTimings {
-            setup_seconds: 0.0,
-            linear_solve_seconds,
-            extraction_seconds,
-        },
+        timings: SsTimings { setup_seconds: 0.0, linear_solve_seconds, extraction_seconds },
         discarded,
     }
 }
@@ -355,11 +354,7 @@ mod tests {
         let mut b = CMatrix::zeros(2 * n, 2 * n);
         b.set_block(0, 0, &CMatrix::identity(n));
         b.set_block(n, n, h01);
-        generalized_eigen(&a, &b)
-            .unwrap()
-            .finite_pairs()
-            .map(|(v, _)| v)
-            .collect()
+        generalized_eigen(&a, &b).unwrap().finite_pairs().map(|(v, _)| v).collect()
     }
 
     fn random_qep(n: usize, seed: u64) -> (CMatrix, CMatrix) {
@@ -410,7 +405,7 @@ mod tests {
         let mut matched = 0;
         for r in &reference {
             let rad = r.abs();
-            if rad < 0.55 || rad > 1.8 {
+            if !(0.55..=1.8).contains(&rad) {
                 continue; // too close to the contour for a strict test
             }
             let best = result
@@ -485,11 +480,91 @@ mod tests {
         let qep = QepProblem::new(&op00, &op01, 50.0, 1.0);
         let config = SsConfig { majority_stop: false, ..SsConfig::small() };
         let result = solve_qep(&qep, &config);
+        assert!(result.eigenpairs.is_empty(), "unexpected eigenpairs: {:?}", result.lambdas());
+    }
+
+    #[test]
+    fn subspace_size_is_the_moment_times_rhs_product() {
+        assert_eq!(SsConfig::paper().subspace_size(), 8 * 16);
+        assert_eq!(SsConfig::small().subspace_size(), 4 * 8);
+        let tiny = SsConfig { n_mm: 1, n_rh: 1, ..SsConfig::paper() };
+        assert_eq!(tiny.subspace_size(), 1);
+    }
+
+    #[test]
+    fn subspace_larger_than_problem_dimension_is_harmless() {
+        // The QEP of an n x n block pencil has at most 2n finite
+        // eigenvalues; an N_mm x N_rh subspace far beyond that must not
+        // break the solver — the SVD filter simply truncates the rank.
+        let n = 4;
+        let (h00, h01) = random_qep(n, 505);
+        let op00 = DenseOp::new(h00.clone());
+        let op01 = DenseOp::new(h01.clone());
+        let qep = QepProblem::new(&op00, &op01, 0.1, 1.0);
+        let config = SsConfig {
+            n_int: 16,
+            n_mm: 4,
+            n_rh: 4, // subspace 16 > 2n = 8
+            delta: 1e-10,
+            bicg_tolerance: 1e-12,
+            residual_cutoff: 1e-6,
+            majority_stop: false,
+            ..SsConfig::paper()
+        };
+        assert!(config.subspace_size() > 2 * n);
+        let result = solve_qep(&qep, &config);
         assert!(
-            result.eigenpairs.is_empty(),
-            "unexpected eigenpairs: {:?}",
-            result.lambdas()
+            result.numerical_rank <= 2 * n,
+            "rank {} exceeds the QEP's eigenvalue count",
+            result.numerical_rank
         );
+        assert_eq!(result.hankel_singular_values.len(), config.subspace_size());
+        assert_eq!(result.projected_moments.len(), 2 * config.n_mm);
+        // Everything it returns still genuinely solves the QEP.
+        for p in &result.eigenpairs {
+            assert!(p.residual < 1e-6);
+        }
+        // And it still finds the interior reference eigenvalues.
+        let reference: Vec<Complex64> = qep_eigenvalues_dense(&h00, &h01, 0.1)
+            .into_iter()
+            .filter(|l| l.abs() > 0.55 && l.abs() < 1.8)
+            .collect();
+        for r in &reference {
+            let best = result
+                .eigenpairs
+                .iter()
+                .map(|p| (p.lambda - *r).abs())
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 1e-6, "reference λ = {r:?} missed (best {best:.2e})");
+        }
+    }
+
+    #[test]
+    fn subspace_smaller_than_spectrum_still_returns_valid_pairs() {
+        // With N_mm * N_rh below the eigenvalue count the projected problem
+        // cannot represent the full annulus spectrum; whatever comes back
+        // must still be a genuine eigenpair (no spurious solutions).
+        let n = 12;
+        let (h00, h01) = random_qep(n, 506);
+        let op00 = DenseOp::new(h00);
+        let op01 = DenseOp::new(h01);
+        let qep = QepProblem::new(&op00, &op01, 0.05, 1.0);
+        let config = SsConfig {
+            n_int: 24,
+            n_mm: 2,
+            n_rh: 2, // subspace 4, far below the annulus count
+            bicg_tolerance: 1e-12,
+            residual_cutoff: 1e-6,
+            majority_stop: false,
+            ..SsConfig::paper()
+        };
+        let result = solve_qep(&qep, &config);
+        assert!(result.eigenpairs.len() <= config.subspace_size());
+        assert!(result.numerical_rank <= config.subspace_size());
+        for p in &result.eigenpairs {
+            assert!(p.residual < 1e-6);
+            assert!(config.contour().contains(p.lambda, 0.0));
+        }
     }
 
     #[test]
@@ -499,7 +574,8 @@ mod tests {
         let op00 = DenseOp::new(h00);
         let op01 = DenseOp::new(h01);
         let qep = QepProblem::new(&op00, &op01, 0.0, 1.0);
-        let config = SsConfig { n_int: 8, n_mm: 4, n_rh: 4, majority_stop: false, ..SsConfig::small() };
+        let config =
+            SsConfig { n_int: 8, n_mm: 4, n_rh: 4, majority_stop: false, ..SsConfig::small() };
         let result = solve_qep(&qep, &config);
         assert_eq!(result.solve_histories.len(), config.n_int * config.n_rh);
         assert!(result.timings.linear_solve_seconds >= 0.0);

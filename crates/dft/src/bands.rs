@@ -43,10 +43,7 @@ impl BandStructure {
             .map(|(i, &kk)| (i, (kk - k).abs()))
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .expect("band structure has at least one k-point");
-        self.bands[idx]
-            .iter()
-            .map(|&e| (e - energy).abs())
-            .fold(f64::INFINITY, f64::min)
+        self.bands[idx].iter().map(|&e| (e - energy).abs()).fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -166,10 +163,8 @@ mod tests {
         for &k in &[0.2, 0.7] {
             let hp = h.bloch_hamiltonian_dense(k / a);
             let hm = h.bloch_hamiltonian_dense(-k / a);
-            let mut ep: Vec<f64> =
-                eigenvalues(&hp).unwrap().into_iter().map(|z| z.re).collect();
-            let mut em: Vec<f64> =
-                eigenvalues(&hm).unwrap().into_iter().map(|z| z.re).collect();
+            let mut ep: Vec<f64> = eigenvalues(&hp).unwrap().into_iter().map(|z| z.re).collect();
+            let mut em: Vec<f64> = eigenvalues(&hm).unwrap().into_iter().map(|z| z.re).collect();
             ep.sort_by(|x, y| x.partial_cmp(y).unwrap());
             em.sort_by(|x, y| x.partial_cmp(y).unwrap());
             for (a, b) in ep.iter().zip(&em) {

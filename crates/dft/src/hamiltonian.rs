@@ -28,9 +28,7 @@ use cbs_linalg::{CMatrix, Complex64};
 use cbs_sparse::{CooBuilder, CsrMatrix, LinearOperator, LowRankOp};
 
 use crate::atoms::AtomicStructure;
-use crate::pseudopotential::{
-    channel_multiplicity, local_potential_on_grid, projector_on_grid,
-};
+use crate::pseudopotential::{channel_multiplicity, local_potential_on_grid, projector_on_grid};
 
 /// Options controlling the Hamiltonian assembly.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -378,11 +376,8 @@ mod tests {
         let s = tiny_structure();
         let grid = Grid3::new(5, 5, 7, 0.55, 0.55, 0.5);
         let fd = FdOrder::new(3);
-        let h = BlockHamiltonian::build(
-            grid,
-            &s,
-            HamiltonianParams { fd, include_nonlocal: false },
-        );
+        let h =
+            BlockHamiltonian::build(grid, &s, HamiltonianParams { fd, include_nonlocal: false });
         let n = grid.npoints();
         let mut b10 = CooBuilder::new(n, n);
         let stencil = cbs_grid::laplacian_stencil_1d(fd.nf, grid.hz);
@@ -423,7 +418,10 @@ mod tests {
         }
         for col in h.h01_col_support() {
             let (_, _, k) = grid.coords(col);
-            assert!(k < nf, "column {col} at plane {k} should not be reachable from the previous cell");
+            assert!(
+                k < nf,
+                "column {col} at plane {k} should not be reachable from the previous cell"
+            );
         }
     }
 
@@ -465,7 +463,8 @@ mod tests {
         // Kinetic stencil gives at most 3 * 2*nf + 1 entries per row in H00.
         let max_per_row = 3 * 2 * h.fd.nf + 1;
         assert!(h.h00_sparse.nnz() <= n * max_per_row);
-        assert!(h.h00_sparse.nnz() >= n); // at least the diagonal
+        // At least the diagonal.
+        assert!(h.h00_sparse.nnz() >= n);
         // Memory should be far below the dense storage.
         let dense_bytes = n * n * std::mem::size_of::<Complex64>();
         assert!(h.memory_bytes() * 10 < dense_bytes);

@@ -175,9 +175,7 @@ mod tests {
         assert!((projector_value(&ch_s, 0, d) - projector_value(&ch_s, 0, dm)).abs() < 1e-14);
         // p projector is odd.
         for m in 0..3 {
-            assert!(
-                (projector_value(&ch_p, m, d) + projector_value(&ch_p, m, dm)).abs() < 1e-14
-            );
+            assert!((projector_value(&ch_p, m, d) + projector_value(&ch_p, m, dm)).abs() < 1e-14);
         }
         // p_x vanishes on the x = 0 plane.
         assert_eq!(projector_value(&ch_p, 0, [0.0, 0.5, 0.7]), 0.0);
@@ -228,14 +226,18 @@ mod tests {
         // And all its support must be near z = 0.
         for (idx, _) in spill.iter() {
             let (_, _, k) = grid.coords(idx);
-            assert!((k as f64) * grid.hz <= Element::C.pseudo().projector_cutoff - (grid.lz() - 3.7) + 1e-9);
+            assert!(
+                (k as f64) * grid.hz
+                    <= Element::C.pseudo().projector_cutoff - (grid.lz() - 3.7) + 1e-9
+            );
         }
     }
 
     #[test]
     fn local_potential_grid_includes_periodic_images() {
-        let grid = Grid3::isotropic(8, 8, 8, 0.5); // lz = 4
-        // Atom at the very bottom: points near the top must feel its image.
+        // lz = 4.  Atom at the very bottom: points near the top must feel
+        // its image through the periodic wrap.
+        let grid = Grid3::isotropic(8, 8, 8, 0.5);
         let atoms = [Atom::new(Element::C, [2.0, 2.0, 0.1])];
         let v = local_potential_on_grid(&grid, &atoms);
         let near = v[grid.index(4, 4, 0)];

@@ -26,33 +26,21 @@ const BUNDLE_GAP_ANGSTROM: f64 = 3.35;
 /// z (the paper's serial test uses one cell, 4 atoms).
 pub fn bulk_al_100(repeat_z: usize) -> AtomicStructure {
     assert!(repeat_z >= 1);
-    let a0 = 4.05 * BOHR_PER_ANGSTROM; // fcc lattice constant of Al
+    // fcc lattice constant of Al.
+    let a0 = 4.05 * BOHR_PER_ANGSTROM;
     // fcc conventional cell: corners + face centres, expressed in [0, a0).
-    let frac = [
-        [0.0, 0.0, 0.0],
-        [0.5, 0.5, 0.0],
-        [0.5, 0.0, 0.5],
-        [0.0, 0.5, 0.5],
-    ];
+    let frac = [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]];
     let mut atoms = Vec::new();
     for r in 0..repeat_z {
         for f in frac {
             atoms.push(Atom::new(
                 Element::Al,
-                [
-                    f[0] * a0 + 0.25 * a0,
-                    f[1] * a0 + 0.25 * a0,
-                    (f[2] + r as f64) * a0,
-                ],
+                [f[0] * a0 + 0.25 * a0, f[1] * a0 + 0.25 * a0, (f[2] + r as f64) * a0],
             ));
         }
     }
     AtomicStructure {
-        name: if repeat_z == 1 {
-            "Al(100)".to_string()
-        } else {
-            format!("Al(100) x{repeat_z}")
-        },
+        name: if repeat_z == 1 { "Al(100)".to_string() } else { format!("Al(100) x{repeat_z}") },
         atoms,
         lateral: (a0, a0),
         period: a0 * repeat_z as f64,
@@ -73,11 +61,7 @@ pub fn carbon_nanotube(n: usize, m: usize, vacuum: f64) -> AtomicStructure {
         (a_g * (3.0 * (n * n) as f64).sqrt() / (2.0 * std::f64::consts::PI), a_g, 4 * n)
     } else {
         // Zigzag: period sqrt(3) a_g, 4n atoms.
-        (
-            a_g * n as f64 / (2.0 * std::f64::consts::PI),
-            a_g * 3.0_f64.sqrt(),
-            4 * n,
-        )
+        (a_g * n as f64 / (2.0 * std::f64::consts::PI), a_g * 3.0_f64.sqrt(), 4 * n)
     };
 
     // Build by rolling the graphene rectangle that tiles the tube surface.
@@ -121,21 +105,12 @@ pub fn carbon_nanotube(n: usize, m: usize, vacuum: f64) -> AtomicStructure {
         .map(|(phi, z)| {
             Atom::new(
                 Element::C,
-                [
-                    center + radius * phi.cos(),
-                    center + radius * phi.sin(),
-                    z.rem_euclid(period),
-                ],
+                [center + radius * phi.cos(), center + radius * phi.sin(), z.rem_euclid(period)],
             )
         })
         .collect();
     assert_eq!(atoms.len(), natoms);
-    AtomicStructure {
-        name: format!("({n},{m}) CNT"),
-        atoms,
-        lateral: (lateral, lateral),
-        period,
-    }
+    AtomicStructure { name: format!("({n},{m}) CNT"), atoms, lateral: (lateral, lateral), period }
 }
 
 /// Repeat a structure `times` along the transport direction, producing a

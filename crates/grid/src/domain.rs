@@ -35,7 +35,12 @@ impl Domain {
 
     /// Whether the global point `(i, j, k)` is owned by this domain.
     pub fn contains(&self, i: usize, j: usize, k: usize) -> bool {
-        i >= self.xr.0 && i < self.xr.1 && j >= self.yr.0 && j < self.yr.1 && k >= self.zr.0 && k < self.zr.1
+        i >= self.xr.0
+            && i < self.xr.1
+            && j >= self.yr.0
+            && j < self.yr.1
+            && k >= self.zr.0
+            && k < self.zr.1
     }
 }
 

@@ -43,10 +43,7 @@ pub fn second_derivative_weights(nf: usize) -> Vec<f64> {
 pub fn laplacian_stencil_1d(nf: usize, h: f64) -> Vec<(isize, f64)> {
     let w = second_derivative_weights(nf);
     let inv_h2 = 1.0 / (h * h);
-    w.iter()
-        .enumerate()
-        .map(|(i, &c)| (i as isize - nf as isize, c * inv_h2))
-        .collect()
+    w.iter().enumerate().map(|(i, &c)| (i as isize - nf as isize, c * inv_h2)).collect()
 }
 
 /// The kinetic-energy prefactor in Hartree atomic units: `T = -½ ∇²`, so the

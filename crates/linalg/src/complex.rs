@@ -223,10 +223,7 @@ impl Mul for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn mul(self, rhs: Complex64) -> Complex64 {
-        c64(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        c64(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -437,7 +434,7 @@ mod tests {
 
     #[test]
     fn sum_and_product_iterators() {
-        let v = vec![c64(1.0, 1.0), c64(2.0, -1.0), c64(-0.5, 0.25)];
+        let v = [c64(1.0, 1.0), c64(2.0, -1.0), c64(-0.5, 0.25)];
         let s: Complex64 = v.iter().sum();
         assert!(close(s, c64(2.5, 0.25)));
         let p: Complex64 = v.iter().copied().product();

@@ -194,18 +194,13 @@ pub fn schur(a: &CMatrix) -> Result<(CMatrix, CMatrix), LinalgError> {
 
         // Wilkinson shift from the trailing 2x2 block, with an exceptional
         // (ad-hoc) shift every 12 stalled iterations.
-        let shift = if iters_since_deflation % 12 == 0 {
+        let shift = if iters_since_deflation.is_multiple_of(12) {
             // Exceptional shift: perturb away from the stalling pattern with a
             // complex offset proportional to the nearby subdiagonal scale.
             let mag = t[(hi, hi - 1)].abs() + if hi >= 2 { t[(hi - 1, hi - 2)].abs() } else { 0.0 };
             t[(hi, hi)] + c64(0.75 * mag, 0.4375 * mag)
         } else {
-            wilkinson_shift(
-                t[(hi - 1, hi - 1)],
-                t[(hi - 1, hi)],
-                t[(hi, hi - 1)],
-                t[(hi, hi)],
-            )
+            wilkinson_shift(t[(hi - 1, hi - 1)], t[(hi - 1, hi)], t[(hi, hi - 1)], t[(hi, hi)])
         };
 
         // One explicit single-shift QR sweep on the window [lo, hi].

@@ -69,7 +69,7 @@ pub fn generalized_eigen(a: &CMatrix, b: &CMatrix) -> Result<GeneralizedEigen, L
         c64(0.0, 0.0),
         c64(0.6180339887, 0.3141592653),
         c64(-0.7320508075, 0.5772156649),
-        c64(1.4142135623, -0.8660254037),
+        c64(std::f64::consts::SQRT_2, -0.8660254037),
         c64(-2.2360679775, -1.7320508075),
     ];
 
@@ -98,11 +98,8 @@ pub fn generalized_eigen(a: &CMatrix, b: &CMatrix) -> Result<GeneralizedEigen, L
                 for i in 0..n {
                     let theta = e.values[i];
                     let vector = e.vectors.column(i);
-                    let value = if theta.abs() < THETA_INF_TOL {
-                        None
-                    } else {
-                        Some(sigma + theta.inv())
-                    };
+                    let value =
+                        if theta.abs() < THETA_INF_TOL { None } else { Some(sigma + theta.inv()) };
                     pairs.push(GeneralizedEigenpair { value, vector });
                 }
                 return Ok(GeneralizedEigen { pairs, shift: sigma });

@@ -38,7 +38,11 @@ impl CMatrix {
     }
 
     /// Build from a function of the `(row, col)` index.
-    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
+    pub fn from_fn(
+        nrows: usize,
+        ncols: usize,
+        mut f: impl FnMut(usize, usize) -> Complex64,
+    ) -> Self {
         let mut data = Vec::with_capacity(nrows * ncols);
         for i in 0..nrows {
             for j in 0..ncols {
@@ -87,9 +91,7 @@ impl CMatrix {
     /// Random matrix with entries uniform in the unit square, for tests and
     /// for the Sakurai-Sugiura source block `V`.
     pub fn random<R: rand::Rng + ?Sized>(nrows: usize, ncols: usize, rng: &mut R) -> Self {
-        Self::from_fn(nrows, ncols, |_, _| {
-            c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
-        })
+        Self::from_fn(nrows, ncols, |_, _| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
     }
 
     /// Number of rows.
@@ -222,8 +224,8 @@ impl CMatrix {
         for k in 0..self.nrows {
             let arow = self.row(k);
             let brow = other.row(k);
-            for i in 0..self.ncols {
-                let aki = arow[i].conj();
+            for (i, aik) in arow.iter().enumerate() {
+                let aki = aik.conj();
                 if aki == Complex64::ZERO {
                     continue;
                 }
@@ -253,7 +255,10 @@ impl CMatrix {
 
     /// Copy `src` into the block with upper-left corner `(r0, c0)`.
     pub fn set_block(&mut self, r0: usize, c0: usize, src: &Self) {
-        assert!(r0 + src.nrows <= self.nrows && c0 + src.ncols <= self.ncols, "set_block out of bounds");
+        assert!(
+            r0 + src.nrows <= self.nrows && c0 + src.ncols <= self.ncols,
+            "set_block out of bounds"
+        );
         for i in 0..src.nrows {
             for j in 0..src.ncols {
                 self[(r0 + i, c0 + j)] = src[(i, j)];

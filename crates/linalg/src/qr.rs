@@ -28,9 +28,7 @@ impl QrDecomposition {
     pub fn new(a: &CMatrix) -> Result<Self, LinalgError> {
         let (m, n) = (a.nrows(), a.ncols());
         if m < n {
-            return Err(LinalgError::InvalidDimensions {
-                context: "QR requires nrows >= ncols",
-            });
+            return Err(LinalgError::InvalidDimensions { context: "QR requires nrows >= ncols" });
         }
         let mut work = a.clone();
         let mut reflectors = Vec::with_capacity(n);
@@ -52,15 +50,13 @@ impl QrDecomposition {
             }
             let x0 = v[k];
             // alpha = -sign(x0) * ||x||, with complex sign = x0/|x0|.
-            let phase = if x0.abs() > 0.0 { x0 / Complex64::real(x0.abs()) } else { Complex64::ONE };
+            let phase =
+                if x0.abs() > 0.0 { x0 / Complex64::real(x0.abs()) } else { Complex64::ONE };
             let alpha = -phase * norm;
             v[k] -= alpha;
             let vnorm_sq: f64 = (k..m).map(|i| v[i].norm_sqr()).sum();
-            let tau = if vnorm_sq > 0.0 {
-                Complex64::real(2.0 / vnorm_sq)
-            } else {
-                Complex64::ZERO
-            };
+            let tau =
+                if vnorm_sq > 0.0 { Complex64::real(2.0 / vnorm_sq) } else { Complex64::ZERO };
 
             // Apply H = I - tau v v† to the remaining columns of `work`.
             for j in k..n {

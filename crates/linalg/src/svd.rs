@@ -40,7 +40,7 @@ impl Svd {
         for j in 0..r {
             let s = self.singular_values[j];
             for i in 0..us.nrows() {
-                us[(i, j)] = us[(i, j)] * s;
+                us[(i, j)] *= s;
             }
         }
         us.matmul(&self.v.adjoint())
@@ -58,7 +58,11 @@ pub fn svd(a: &CMatrix) -> Result<Svd, LinalgError> {
         return Ok(Svd { u: t.v, singular_values: t.singular_values, v: t.u });
     }
     if n == 0 {
-        return Ok(Svd { u: CMatrix::zeros(m, 0), singular_values: vec![], v: CMatrix::zeros(0, 0) });
+        return Ok(Svd {
+            u: CMatrix::zeros(m, 0),
+            singular_values: vec![],
+            v: CMatrix::zeros(0, 0),
+        });
     }
 
     // Work on the columns of `work`; accumulate the right rotations in `v`.

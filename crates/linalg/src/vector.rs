@@ -128,9 +128,7 @@ impl CVector {
     /// using the caller's RNG so results are reproducible.
     pub fn random<R: rand::Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
         Self {
-            data: (0..n)
-                .map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
-                .collect(),
+            data: (0..n).map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect(),
         }
     }
 }
@@ -154,9 +152,7 @@ impl Add<&CVector> for &CVector {
     type Output = CVector;
     fn add(self, rhs: &CVector) -> CVector {
         assert_eq!(self.len(), rhs.len());
-        CVector {
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
-        }
+        CVector { data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect() }
     }
 }
 
@@ -164,9 +160,7 @@ impl Sub<&CVector> for &CVector {
     type Output = CVector;
     fn sub(self, rhs: &CVector) -> CVector {
         assert_eq!(self.len(), rhs.len());
-        CVector {
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
-        }
+        CVector { data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect() }
     }
 }
 

@@ -28,9 +28,9 @@ impl Interface {
         let nrows = h01.nrows();
         let mut row_used = vec![false; nrows];
         let mut col_used = vec![false; h01.ncols()];
-        for i in 0..nrows {
+        for (i, used) in row_used.iter_mut().enumerate() {
             for (j, _) in h01.row_entries(i) {
-                row_used[i] = true;
+                *used = true;
                 col_used[j] = true;
             }
         }

@@ -219,9 +219,10 @@ pub fn obm_solve(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbs_core::{solve_qep, QepProblem, SsConfig};
+    use cbs_core::{solve_qep_with, QepProblem, SsConfig};
     use cbs_dft::{BlockHamiltonian, HamiltonianParams};
     use cbs_grid::{FdOrder, Grid3};
+    use cbs_parallel::RayonExecutor;
     use cbs_sparse::DenseOp;
 
     fn tiny_system() -> (BlockHamiltonian, f64) {
@@ -251,7 +252,10 @@ mod tests {
         let op00 = DenseOp::new(h00_csr.to_dense());
         let op01 = DenseOp::new(h01_csr.to_dense());
         let qep = QepProblem::new(&op00, &op01, energy, h.period());
-        let ss = solve_qep(
+        // Cross-check through the threaded executor: the engine guarantees
+        // results identical to the serial path, so this doubles as an
+        // integration check of the fan-out.
+        let ss = solve_qep_with(
             &qep,
             &SsConfig {
                 n_int: 24,
@@ -262,6 +266,7 @@ mod tests {
                 majority_stop: false,
                 ..SsConfig::paper()
             },
+            &RayonExecutor,
         );
 
         // Every SS eigenvalue comfortably inside the annulus must be found by

@@ -13,6 +13,130 @@ use cbs_linalg::{CVector, Complex64};
 use cbs_solver::{bicg_dual, BicgResult, SolverOptions};
 use cbs_sparse::{CsrMatrix, LinearOperator};
 
+/// Pluggable execution strategy for a batch of independent tasks — the seam
+/// between the algorithmic layers (the `N_int x N_rh` shifted solves of the
+/// Sakurai-Sugiura method, the right-hand-side fan-out, …) and how they are
+/// actually scheduled.
+///
+/// The contract all implementations must obey: results come back **in input
+/// order**, and `map` is invoked exactly once per task.  Nothing about
+/// *when* or *where* each task runs is specified, which is what lets the
+/// same engine code run serially, across threads, or (in later stages)
+/// across nodes.
+pub trait TaskExecutor: Sync {
+    /// Short human-readable name for reports and logs.
+    fn name(&self) -> &'static str;
+
+    /// Apply `map` to every task, returning results in input order.
+    fn execute<T, R, F>(&self, tasks: Vec<T>, map: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync;
+
+    /// Apply `map` to every task and fold the results **in input order** on
+    /// the calling thread.
+    ///
+    /// The default materializes the whole mapped batch first (a parallel
+    /// executor cannot hand results over in order without buffering), but
+    /// implementations that run in input order anyway — [`SerialExecutor`]
+    /// — override it to stream with a single live result.  Memory-sensitive
+    /// reductions (the Sakurai-Sugiura moment accumulation over
+    /// `N_int x N_rh` solution vectors) go through this entry point so the
+    /// serial path keeps its O(1)-results footprint.
+    fn execute_fold<T, R, A, F, G>(&self, tasks: Vec<T>, map: F, init: A, fold: G) -> A
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        G: FnMut(A, R) -> A,
+    {
+        self.execute(tasks, map).into_iter().fold(init, fold)
+    }
+}
+
+/// Runs tasks one after another on the calling thread, in input order.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialExecutor;
+
+impl TaskExecutor for SerialExecutor {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn execute<T, R, F>(&self, tasks: Vec<T>, map: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        tasks.into_iter().map(map).collect()
+    }
+
+    fn execute_fold<T, R, A, F, G>(&self, tasks: Vec<T>, map: F, init: A, mut fold: G) -> A
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        G: FnMut(A, R) -> A,
+    {
+        // Streaming: one mapped result alive at a time.
+        tasks.into_iter().fold(init, |acc, t| fold(acc, map(t)))
+    }
+}
+
+/// Runs tasks on the rayon thread pool.  Collection order equals input
+/// order (indexed parallel collect), so any engine whose per-task work is
+/// deterministic produces results bit-identical to [`SerialExecutor`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RayonExecutor;
+
+impl TaskExecutor for RayonExecutor {
+    fn name(&self) -> &'static str {
+        "rayon"
+    }
+
+    fn execute<T, R, F>(&self, tasks: Vec<T>, map: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        tasks.into_par_iter().map(map).collect()
+    }
+}
+
+/// Executor selection for binaries and benches.  `TaskExecutor` is not
+/// object-safe (its `execute` is generic), so runtime selection goes
+/// through this enum and a `match` at the call site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutorChoice {
+    /// Run on the calling thread.
+    #[default]
+    Serial,
+    /// Run on the rayon thread pool.
+    Rayon,
+}
+
+impl ExecutorChoice {
+    /// Read the choice from an environment variable (`"rayon"` selects the
+    /// threaded executor, anything else — including unset — is serial).
+    pub fn from_env(var: &str) -> Self {
+        match std::env::var(var) {
+            Ok(v) if v.eq_ignore_ascii_case("rayon") => Self::Rayon,
+            _ => Self::Serial,
+        }
+    }
+
+    /// The executor's report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Serial => SerialExecutor.name(),
+            Self::Rayon => RayonExecutor.name(),
+        }
+    }
+}
+
 /// A sparse operator whose matrix-vector product is executed domain by
 /// domain (the bottom parallel layer), with the halo traffic made explicit.
 pub struct DomainDecomposedOp {
@@ -103,7 +227,7 @@ pub fn solve_rhs_parallel<A: LinearOperator + Sync + ?Sized>(
     rhs: &[CVector],
     opts: &SolverOptions,
 ) -> Vec<BicgResult> {
-    rhs.par_iter().map(|b| bicg_dual(op, b, b, opts, None)).collect()
+    RayonExecutor.execute(rhs.iter().collect(), |b| bicg_dual(op, b, b, opts, None))
 }
 
 /// Solve a batch of (shift, right-hand side) tasks in parallel across both
@@ -118,13 +242,10 @@ where
     F: Fn(usize) -> O + Sync,
     O: LinearOperator + 'a,
 {
-    tasks
-        .par_iter()
-        .map(|(j, b)| {
-            let op = make_operator(*j);
-            bicg_dual(&op, b, b, opts, None)
-        })
-        .collect()
+    RayonExecutor.execute(tasks.iter().collect(), |(j, b)| {
+        let op = make_operator(*j);
+        bicg_dual(&op, b, b, opts, None)
+    })
 }
 
 /// Measure the wall-clock seconds of `iterations` BiCG iterations on the
@@ -195,8 +316,7 @@ mod tests {
         let grid = Grid3::isotropic(4, 4, 6, 0.5);
         let m = laplacian_like(grid);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(702);
-        let rhs: Vec<CVector> =
-            (0..4).map(|_| CVector::random(grid.npoints(), &mut rng)).collect();
+        let rhs: Vec<CVector> = (0..4).map(|_| CVector::random(grid.npoints(), &mut rng)).collect();
         let opts = SolverOptions::default().with_tolerance(1e-11);
         let par = solve_rhs_parallel(&m, &rhs, &opts);
         for (b, r) in rhs.iter().zip(&par) {
@@ -215,11 +335,8 @@ mod tests {
             (0..3).map(|j| (j, CVector::random(grid.npoints(), &mut rng))).collect();
         let opts = SolverOptions::default().with_tolerance(1e-11);
         let shifts = [c64(0.5, 0.2), c64(-0.3, 0.6), c64(1.0, -0.4)];
-        let results = solve_tasks_parallel(
-            &tasks,
-            |j| cbs_sparse::ShiftedOp::new(&m, shifts[j]),
-            &opts,
-        );
+        let results =
+            solve_tasks_parallel(&tasks, |j| cbs_sparse::ShiftedOp::new(&m, shifts[j]), &opts);
         assert_eq!(results.len(), 3);
         for ((j, b), r) in tasks.iter().zip(&results) {
             assert!(r.history.converged());

@@ -110,7 +110,12 @@ mod tests {
     fn work_items_cover_everything_exactly_once() {
         let n_rh = 6;
         let n_int = 8;
-        let l = ParallelLayout { rhs_groups: 3, quadrature_groups: 4, domains: 1, threads_per_process: 1 };
+        let l = ParallelLayout {
+            rhs_groups: 3,
+            quadrature_groups: 4,
+            domains: 1,
+            threads_per_process: 1,
+        };
         let mut seen = vec![vec![0usize; n_rh]; n_int];
         for q in 0..l.quadrature_groups {
             for r in 0..l.rhs_groups {

@@ -5,6 +5,9 @@
 //! * [`ParallelLayout`] — process assignment to the three layers (right-hand
 //!   sides → quadrature points → grid domains), with the paper's
 //!   top-layer-first rule,
+//! * [`TaskExecutor`] with [`SerialExecutor`] / [`RayonExecutor`] — the
+//!   pluggable, order-preserving batch-execution seam the Sakurai-Sugiura
+//!   shifted-solve engine in `cbs-core` fans out through,
 //! * [`DomainDecomposedOp`], [`solve_rhs_parallel`], [`solve_tasks_parallel`]
 //!   — threaded, functionally exact execution of the layers (validated
 //!   against the serial path),
@@ -21,6 +24,7 @@ pub mod perf_model;
 
 pub use executor::{
     measure_bicg_iteration_cost, solve_rhs_parallel, solve_tasks_parallel, DomainDecomposedOp,
+    ExecutorChoice, RayonExecutor, SerialExecutor, TaskExecutor,
 };
 pub use hierarchy::ParallelLayout;
 pub use perf_model::{

@@ -127,19 +127,15 @@ impl PerformanceModel {
         // Per-iteration, per-point compute time on one KNL process with
         // `threads_per_process` threads (imperfect thread scaling).
         let thread_speedup = effective_threads(layout.threads_per_process, m.thread_efficiency);
-        let point_time =
-            w.seconds_per_point_iteration / (m.core_speed_ratio * thread_speedup);
+        let point_time = w.seconds_per_point_iteration / (m.core_speed_ratio * thread_speedup);
 
         // Boundary overhead of the domain decomposition: duplicated stencil
         // work, packing/unpacking and extra memory traffic proportional to
         // the halo-to-interior ratio.  This is what makes over-decomposing a
         // small grid (Table 2, N_dm = 64 on 20 z-planes) counter-productive.
         let halo_points = 2.0 * (w.nf * w.plane_size) as f64;
-        let boundary_overhead = if layout.domains > 1 {
-            1.0 + 0.05 * halo_points / local_points
-        } else {
-            1.0
-        };
+        let boundary_overhead =
+            if layout.domains > 1 { 1.0 + 0.05 * halo_points / local_points } else { 1.0 };
 
         let compute_seconds =
             systems_per_group * w.bicg_iterations * local_points * point_time * boundary_overhead;
@@ -279,7 +275,12 @@ mod tests {
     #[test]
     fn top_layer_scales_almost_ideally() {
         let m = model();
-        let base = ParallelLayout { rhs_groups: 1, quadrature_groups: 2, domains: 1, threads_per_process: 68 };
+        let base = ParallelLayout {
+            rhs_groups: 1,
+            quadrature_groups: 2,
+            domains: 1,
+            threads_per_process: 68,
+        };
         let sweep = m.scaling_sweep(base, ScalingLayer::RightHandSides, &[1, 2, 4, 8, 16]);
         for (i, &(p, _, s)) in sweep.iter().enumerate() {
             let ideal = p as f64 / sweep[0].0 as f64;
@@ -293,8 +294,18 @@ mod tests {
     #[test]
     fn bottom_layer_is_less_efficient_than_top_layer() {
         let m = model();
-        let top = m.speedup(&ParallelLayout { rhs_groups: 16, quadrature_groups: 1, domains: 1, threads_per_process: 1 });
-        let bottom = m.speedup(&ParallelLayout { rhs_groups: 1, quadrature_groups: 1, domains: 16, threads_per_process: 1 });
+        let top = m.speedup(&ParallelLayout {
+            rhs_groups: 16,
+            quadrature_groups: 1,
+            domains: 1,
+            threads_per_process: 1,
+        });
+        let bottom = m.speedup(&ParallelLayout {
+            rhs_groups: 1,
+            quadrature_groups: 1,
+            domains: 16,
+            threads_per_process: 1,
+        });
         assert!(top > bottom, "top {top} should beat bottom {bottom}");
         assert!(bottom > 1.0, "bottom layer must still help ({bottom})");
     }
@@ -302,9 +313,24 @@ mod tests {
     #[test]
     fn middle_layer_efficiency_between_top_and_bottom() {
         let m = model();
-        let top = m.speedup(&ParallelLayout { rhs_groups: 16, quadrature_groups: 1, domains: 1, threads_per_process: 1 });
-        let mid = m.speedup(&ParallelLayout { rhs_groups: 1, quadrature_groups: 16, domains: 1, threads_per_process: 1 });
-        let bottom = m.speedup(&ParallelLayout { rhs_groups: 1, quadrature_groups: 1, domains: 16, threads_per_process: 1 });
+        let top = m.speedup(&ParallelLayout {
+            rhs_groups: 16,
+            quadrature_groups: 1,
+            domains: 1,
+            threads_per_process: 1,
+        });
+        let mid = m.speedup(&ParallelLayout {
+            rhs_groups: 1,
+            quadrature_groups: 16,
+            domains: 1,
+            threads_per_process: 1,
+        });
+        let bottom = m.speedup(&ParallelLayout {
+            rhs_groups: 1,
+            quadrature_groups: 1,
+            domains: 16,
+            threads_per_process: 1,
+        });
         assert!(top >= mid, "top {top} >= middle {mid}");
         assert!(mid > bottom, "middle {mid} > bottom {bottom}");
     }
@@ -321,7 +347,12 @@ mod tests {
             machine: MachineModel::oakforest_pacs(),
             workload: default_workload(72 * 72 * 640, 72 * 72),
         };
-        let layout = ParallelLayout { rhs_groups: 1, quadrature_groups: 1, domains: 16, threads_per_process: 1 };
+        let layout = ParallelLayout {
+            rhs_groups: 1,
+            quadrature_groups: 1,
+            domains: 16,
+            threads_per_process: 1,
+        };
         assert!(large.speedup(&layout) > small.speedup(&layout));
     }
 
@@ -331,15 +362,12 @@ mod tests {
         let m = model();
         let splits: Vec<(usize, usize)> =
             vec![(1, 64), (2, 32), (4, 16), (8, 8), (16, 4), (32, 2), (64, 1)];
-        let times: Vec<f64> =
-            splits.iter().map(|&(t, d)| m.intranode_time(t, d, 1000.0)).collect();
-        let best = times
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
-        assert!(best > 0 && best < splits.len() - 1, "optimum should be interior, got index {best}: {times:?}");
+        let times: Vec<f64> = splits.iter().map(|&(t, d)| m.intranode_time(t, d, 1000.0)).collect();
+        let best = times.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert!(
+            best > 0 && best < splits.len() - 1,
+            "optimum should be interior, got index {best}: {times:?}"
+        );
     }
 
     #[test]

@@ -313,7 +313,12 @@ mod tests {
 
         let opts = SolverOptions::default().with_tolerance(1e-12);
         let res = bicg_dual(&op, &b, &bd, &opts, None);
-        assert!(res.both_converged(), "primal {:?} dual {:?}", res.history.stop_reason, res.dual_history.stop_reason);
+        assert!(
+            res.both_converged(),
+            "primal {:?} dual {:?}",
+            res.history.stop_reason,
+            res.dual_history.stop_reason
+        );
         assert!((&res.x - &x_true).norm() / x_true.norm() < 1e-8);
         assert!((&res.dual_x - &xd_true).norm() / xd_true.norm() < 1e-8);
         // Residual history is monotone-ish and ends tiny.

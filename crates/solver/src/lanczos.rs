@@ -195,13 +195,8 @@ mod tests {
             &LanczosOptions { n_eigenvalues: 5, max_subspace: 40, tolerance: 1e-10 },
             &mut rng,
         );
-        for i in 0..5 {
-            assert!(
-                (res.eigenvalues[i] - dense_vals[i]).abs() < 1e-6,
-                "eigenvalue {i}: {} vs {}",
-                res.eigenvalues[i],
-                dense_vals[i]
-            );
+        for (i, (got, want)) in res.eigenvalues.iter().zip(&dense_vals).take(5).enumerate() {
+            assert!((got - want).abs() < 1e-6, "eigenvalue {i}: {} vs {}", got, want);
         }
         // Ritz pairs satisfy the eigen equation.
         for i in 0..res.eigenvalues.len() {

@@ -195,24 +195,21 @@ impl CsrMatrix {
 
     /// Look up a single entry (O(row nnz)).
     pub fn get(&self, i: usize, j: usize) -> Complex64 {
-        self.row_entries(i)
-            .find(|&(c, _)| c == j)
-            .map(|(_, v)| v)
-            .unwrap_or(Complex64::ZERO)
+        self.row_entries(i).find(|&(c, _)| c == j).map(|(_, v)| v).unwrap_or(Complex64::ZERO)
     }
 
     /// `y = A x` (serial kernel).
     pub fn matvec_into(&self, x: &[Complex64], y: &mut [Complex64]) {
         assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
         assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let lo = self.row_ptr[i];
             let hi = self.row_ptr[i + 1];
             let mut acc = Complex64::ZERO;
             for k in lo..hi {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 
@@ -223,8 +220,7 @@ impl CsrMatrix {
         for v in y.iter_mut() {
             *v = Complex64::ZERO;
         }
-        for i in 0..self.nrows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == Complex64::ZERO {
                 continue;
             }
@@ -363,8 +359,11 @@ mod tests {
         for i in 0..nrows {
             for j in 0..ncols {
                 if rand::Rng::gen_bool(&mut rng, density) {
-                    let v = c64(rand::Rng::gen_range(&mut rng, -1.0..1.0), rand::Rng::gen_range(&mut rng, -1.0..1.0));
-                    dense[(i, j)] = dense[(i, j)] + v;
+                    let v = c64(
+                        rand::Rng::gen_range(&mut rng, -1.0..1.0),
+                        rand::Rng::gen_range(&mut rng, -1.0..1.0),
+                    );
+                    dense[(i, j)] += v;
                     b.push(i, j, v);
                 }
             }
@@ -434,7 +433,10 @@ mod tests {
         let (s, _) = random_sparse(40, 40, 0.05, 78);
         let per_entry = std::mem::size_of::<Complex64>() + std::mem::size_of::<usize>();
         assert!(s.storage_bytes() >= s.nnz() * per_entry);
-        assert!(s.storage_bytes() <= s.nnz() * per_entry + (s.nrows() + 1) * std::mem::size_of::<usize>());
+        assert!(
+            s.storage_bytes()
+                <= s.nnz() * per_entry + (s.nrows() + 1) * std::mem::size_of::<usize>()
+        );
     }
 
     #[test]

@@ -19,6 +19,4 @@ pub mod ops;
 
 pub use csr::{CooBuilder, CsrMatrix};
 pub use lowrank::{LowRankOp, RankOneTerm, SparseVec};
-pub use ops::{
-    adjoint_defect, DenseOp, IdentityOp, LinearOperator, ScaledOp, ShiftedOp, SumOp,
-};
+pub use ops::{adjoint_defect, DenseOp, IdentityOp, LinearOperator, ScaledOp, ShiftedOp, SumOp};

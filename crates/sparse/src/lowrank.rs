@@ -154,7 +154,9 @@ impl LowRankOp {
     pub fn storage_bytes(&self) -> usize {
         self.terms
             .iter()
-            .map(|t| t.ket.storage_bytes() + t.bra.storage_bytes() + std::mem::size_of::<Complex64>())
+            .map(|t| {
+                t.ket.storage_bytes() + t.bra.storage_bytes() + std::mem::size_of::<Complex64>()
+            })
             .sum()
     }
 }
@@ -249,12 +251,19 @@ mod tests {
         let mut op = LowRankOp::new(12, 10);
         for _ in 0..5 {
             let ket = sv(&[
-                (rand::Rng::gen_range(&mut rng, 0..12), c64(rand::Rng::gen_range(&mut rng, -1.0..1.0), 0.3)),
-                (rand::Rng::gen_range(&mut rng, 0..12), c64(0.2, rand::Rng::gen_range(&mut rng, -1.0..1.0))),
+                (
+                    rand::Rng::gen_range(&mut rng, 0..12),
+                    c64(rand::Rng::gen_range(&mut rng, -1.0..1.0), 0.3),
+                ),
+                (
+                    rand::Rng::gen_range(&mut rng, 0..12),
+                    c64(0.2, rand::Rng::gen_range(&mut rng, -1.0..1.0)),
+                ),
             ]);
-            let bra = sv(&[
-                (rand::Rng::gen_range(&mut rng, 0..10), c64(rand::Rng::gen_range(&mut rng, -1.0..1.0), -0.1)),
-            ]);
+            let bra = sv(&[(
+                rand::Rng::gen_range(&mut rng, 0..10),
+                c64(rand::Rng::gen_range(&mut rng, -1.0..1.0), -0.1),
+            )]);
             op.push(ket, bra, c64(rand::Rng::gen_range(&mut rng, -1.0..1.0), 0.5));
         }
         assert!(adjoint_defect(&op, 8, &mut rng) < 1e-13);

@@ -266,24 +266,23 @@ impl LinearOperator for DenseOp {
         self.m.ncols()
     }
     fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
-        for i in 0..self.m.nrows() {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = self.m.row(i);
             let mut acc = Complex64::ZERO;
             for (a, b) in row.iter().zip(x) {
                 acc += *a * *b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
     fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
         for v in y.iter_mut() {
             *v = Complex64::ZERO;
         }
-        for i in 0..self.m.nrows() {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             let row = self.m.row(i);
-            for (j, a) in row.iter().enumerate() {
-                y[j] += a.conj() * xi;
+            for (a, yj) in row.iter().zip(y.iter_mut()) {
+                *yj += a.conj() * xi;
             }
         }
     }
@@ -295,10 +294,11 @@ impl LinearOperator for DenseOp {
 /// Measure the largest relative defect of the adjoint identity
 /// `⟨A x, y⟩ = ⟨x, A† y⟩` over `trials` random vector pairs; a cheap sanity
 /// check for hand-written operators.
-pub fn adjoint_defect<A: LinearOperator, R: rand::Rng>(op: &A, trials: usize, rng: &mut R) -> f64
-where
-    R: ?Sized,
-{
+pub fn adjoint_defect<A: LinearOperator, R: rand::Rng + ?Sized>(
+    op: &A,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
     let mut worst = 0.0f64;
     for _ in 0..trials {
         let x = CVector::random(op.ncols(), rng);
@@ -348,7 +348,12 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(62);
         let a = CMatrix::random(6, 6, &mut rng);
         let b = CMatrix::random(6, 6, &mut rng);
-        let sum = SumOp::new(c64(2.0, 0.0), DenseOp::new(a.clone()), c64(0.0, 1.0), DenseOp::new(b.clone()));
+        let sum = SumOp::new(
+            c64(2.0, 0.0),
+            DenseOp::new(a.clone()),
+            c64(0.0, 1.0),
+            DenseOp::new(b.clone()),
+        );
         let x = CVector::random(6, &mut rng);
         let expected = &(&a.matvec(&x) * c64(2.0, 0.0)) + &(&b.matvec(&x) * c64(0.0, 1.0));
         assert!((&sum.apply_vec(&x) - &expected).norm() < 1e-12);

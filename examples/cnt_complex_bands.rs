@@ -4,9 +4,12 @@
 //!
 //! Run with: `cargo run --release --example cnt_complex_bands`
 
-use cbs::core::{compute_cbs, SsConfig};
-use cbs::dft::{carbon_nanotube, fermi_energy, grid_for_structure, BlockHamiltonian, HamiltonianParams};
+use cbs::core::{compute_cbs_with, SsConfig};
+use cbs::dft::{
+    carbon_nanotube, fermi_energy, grid_for_structure, BlockHamiltonian, HamiltonianParams,
+};
 use cbs::grid::FdOrder;
+use cbs::parallel::RayonExecutor;
 
 fn main() {
     let tube = carbon_nanotube(8, 0, 4.0);
@@ -19,15 +22,12 @@ fn main() {
         &tube,
         HamiltonianParams { fd: FdOrder::new(4), include_nonlocal: true },
     );
-    let ef = if grid.npoints() <= 800 {
-        fermi_energy(&h, tube.valence_electrons(), 3)
-    } else {
-        0.2
-    };
+    let ef =
+        if grid.npoints() <= 800 { fermi_energy(&h, tube.valence_electrons(), 3) } else { 0.2 };
 
     let energies: Vec<f64> = (0..7).map(|i| ef - 0.06 + 0.02 * i as f64).collect();
     let config = SsConfig { n_int: 16, n_mm: 6, n_rh: 6, ..SsConfig::paper() };
-    let run = compute_cbs(&h.h00(), &h.h01(), h.period(), &energies, &config);
+    let run = compute_cbs_with(&h.h00(), &h.h01(), h.period(), &energies, &config, &RayonExecutor);
 
     println!("\n   E - EF [Ha]   channels   smallest |Im k| of evanescent states [1/bohr]");
     for (i, &e) in run.cbs.energies.iter().enumerate() {

@@ -6,8 +6,12 @@
 //! Run with: `cargo run --release --example doped_nanotube_scaling`
 
 use cbs::core::{QepProblem, SsConfig};
-use cbs::dft::{bn_dope, carbon_nanotube, grid_for_structure, supercell_z, BlockHamiltonian, HamiltonianParams};
-use cbs::parallel::{measure_bicg_iteration_cost, MachineModel, ParallelLayout, PerformanceModel, WorkloadModel};
+use cbs::dft::{
+    bn_dope, carbon_nanotube, grid_for_structure, supercell_z, BlockHamiltonian, HamiltonianParams,
+};
+use cbs::parallel::{
+    measure_bicg_iteration_cost, MachineModel, ParallelLayout, PerformanceModel, WorkloadModel,
+};
 
 fn main() {
     // A small doped supercell that fits comfortably on one core; the model
@@ -51,7 +55,12 @@ fn main() {
         let f = *first.get_or_insert(t);
         println!(
             "   {:>5}   {:>3} x {:>3} x {:>3}              {:>12.1}   {:>7.1}",
-            nodes, layout.rhs_groups, layout.quadrature_groups, layout.domains, t, f / t
+            nodes,
+            layout.rhs_groups,
+            layout.quadrature_groups,
+            layout.domains,
+            t,
+            f / t
         );
     }
     println!("\nUpper layers are filled first (no communication); only beyond");

@@ -6,8 +6,11 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cbs::core::{compute_cbs, SsConfig};
-use cbs::dft::{bulk_al_100, fermi_energy, grid_for_structure, BlockHamiltonian, HamiltonianParams};
+use cbs::core::{compute_cbs_with, SsConfig};
+use cbs::dft::{
+    bulk_al_100, fermi_energy, grid_for_structure, BlockHamiltonian, HamiltonianParams,
+};
+use cbs::parallel::RayonExecutor;
 
 fn main() {
     // 1. Structure and real-space grid (coarse spacing to keep this instant).
@@ -27,9 +30,11 @@ fn main() {
     let ef = fermi_energy(&h, structure.valence_electrons(), 3);
     println!("estimated Fermi energy: {ef:.4} Ha");
 
-    // 3. Solve the QEP at E = EF with the Sakurai-Sugiura method.
+    // 3. Solve the QEP at E = EF with the Sakurai-Sugiura method, fanning
+    //    the N_int x N_rh shifted solves out over the rayon executor (the
+    //    serial executor gives bit-identical results).
     let config = SsConfig { n_rh: 8, ..SsConfig::small() };
-    let run = compute_cbs(&h.h00(), &h.h01(), h.period(), &[ef], &config);
+    let run = compute_cbs_with(&h.h00(), &h.h01(), h.period(), &[ef], &config, &RayonExecutor);
 
     println!("\n  Re k [1/bohr]   Im k [1/bohr]   |lambda|   type");
     for p in &run.cbs.points {

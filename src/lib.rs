@@ -10,12 +10,16 @@
 //!
 //! ```no_run
 //! use cbs::dft::{bulk_al_100, grid_for_structure, BlockHamiltonian, HamiltonianParams};
-//! use cbs::core::{compute_cbs, SsConfig};
+//! use cbs::core::{compute_cbs_with, SsConfig};
+//! use cbs::parallel::RayonExecutor;
 //!
 //! let structure = bulk_al_100(1);
 //! let grid = grid_for_structure(&structure, 0.9);
 //! let h = BlockHamiltonian::build(grid, &structure, HamiltonianParams::default());
-//! let run = compute_cbs(&h.h00(), &h.h01(), h.period(), &[0.1], &SsConfig::small());
+//! // The N_int x N_rh shifted solves fan out over the chosen executor;
+//! // `compute_cbs` (no executor argument) is the serial shorthand and
+//! // produces bit-identical results.
+//! let run = compute_cbs_with(&h.h00(), &h.h01(), h.period(), &[0.1], &SsConfig::small(), &RayonExecutor);
 //! println!("{} states found", run.cbs.points.len());
 //! ```
 

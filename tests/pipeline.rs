@@ -52,10 +52,7 @@ fn cbs_real_branch_agrees_with_conventional_bands() {
     for p in run.cbs.propagating() {
         let hk = h.bloch_hamiltonian_dense(p.k_re);
         let evals = cbs::linalg::eigenvalues(&hk).expect("Bloch diagonalization failed");
-        let d = evals
-            .iter()
-            .map(|e| (e.re - p.energy).abs())
-            .fold(f64::INFINITY, f64::min);
+        let d = evals.iter().map(|e| (e.re - p.energy).abs()).fold(f64::INFINITY, f64::min);
         assert!(
             d < 1e-4,
             "propagating state at E={} k={} is {d} Ha away from the exact band energy",
@@ -67,10 +64,7 @@ fn cbs_real_branch_agrees_with_conventional_bands() {
     // Metallic aluminium must have propagating states at the Fermi energy.
     assert!(checked > 0, "no propagating states found for a metal at EF");
     // Every solution is classified one way or the other.
-    assert_eq!(
-        run.cbs.points.len(),
-        run.cbs.propagating().count() + run.cbs.evanescent().count()
-    );
+    assert_eq!(run.cbs.points.len(), run.cbs.propagating().count() + run.cbs.evanescent().count());
 }
 
 /// The Sakurai-Sugiura solver and the OBM baseline must agree on the

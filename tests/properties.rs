@@ -68,7 +68,7 @@ proptest! {
     #[test]
     fn contour_filters_poles_correctly(
         radius in 0.05f64..3.0,
-        angle in 0.0f64..6.28,
+        angle in 0.0f64..std::f64::consts::TAU,
         k in 0usize..5,
     ) {
         // Stay away from the contour circles themselves.
@@ -109,7 +109,11 @@ proptest! {
 
     /// λ → k → λ round-trips through the Brillouin-zone folding.
     #[test]
-    fn lambda_k_roundtrip(radius in 0.5f64..2.0, angle in -3.14f64..3.14, period in 0.5f64..10.0) {
+    fn lambda_k_roundtrip(
+        radius in 0.5f64..2.0,
+        angle in -std::f64::consts::PI..std::f64::consts::PI,
+        period in 0.5f64..10.0,
+    ) {
         use rand::SeedableRng;
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
         let n = 4;

@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion`: the API subset used by the workspace's
+//! benches (`Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `criterion_group!` / `criterion_main!`, `black_box`).
+//!
+//! Measurement is simple but honest: a warm-up run, then `sample_size` timed
+//! samples of the closure, reporting min / mean / max wall-clock per
+//! iteration to stdout and (when `CRITERION_JSON` is set) appending one JSON
+//! line per benchmark to that file, which is how the committed baseline
+//! timings are produced.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// One timed benchmark context.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per sample of the last `iter` call.
+    last_mean: f64,
+    last_min: f64,
+    last_max: f64,
+}
+
+impl Bencher {
+    /// Time the closure: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            let dt = t.elapsed().as_secs_f64();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        self.last_mean = total / self.samples as f64;
+        self.last_min = min;
+        self.last_max = max;
+    }
+}
+
+fn report(group: Option<&str>, name: &str, b: &Bencher) {
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    println!(
+        "bench {full:<40} min {:>12.6} ms   mean {:>12.6} ms   max {:>12.6} ms   ({} samples)",
+        b.last_min * 1e3,
+        b.last_mean * 1e3,
+        b.last_max * 1e3,
+        b.samples
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                f,
+                "{{\"benchmark\":\"{full}\",\"min_seconds\":{:e},\"mean_seconds\":{:e},\"max_seconds\":{:e},\"samples\":{}}}",
+                b.last_min, b.last_mean, b.last_max, b.samples
+            );
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b =
+            Bencher { samples: DEFAULT_SAMPLE_SIZE, last_mean: 0.0, last_min: 0.0, last_max: 0.0 };
+        f(&mut b);
+        report(None, name, &b);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string(), samples: DEFAULT_SAMPLE_SIZE }
+    }
+}
+
+/// A named group sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: self.samples, last_mean: 0.0, last_min: 0.0, last_max: 0.0 };
+        f(&mut b);
+        report(Some(&self.name), name, &b);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        // 1 warm-up + DEFAULT_SAMPLE_SIZE timed runs.
+        assert_eq!(runs, 1 + DEFAULT_SAMPLE_SIZE);
+    }
+
+    #[test]
+    fn group_sample_size_is_respected() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("noop", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 4);
+    }
+}

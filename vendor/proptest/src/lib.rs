@@ -1,0 +1,198 @@
+//! Offline stand-in for `proptest`: the macro-and-strategy subset used by
+//! `tests/properties.rs` — `proptest! { #![proptest_config(..)] #[test] fn
+//! name(arg in range, ..) { .. } }` with numeric range strategies,
+//! `prop_assume!` and `prop_assert!`.
+//!
+//! Inputs are sampled deterministically (seeded per test name and case
+//! index, SplitMix64), so failures are reproducible.  There is no shrinking;
+//! a failing case panics with the sampled arguments available via the
+//! assertion message.
+
+/// Everything the workspace imports via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assume, proptest, ProptestConfig, Strategy};
+}
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` accepted samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Outcome of one sampled case.
+pub enum TestCaseOutcome {
+    /// The body ran to completion.
+    Pass,
+    /// A `prop_assume!` rejected the inputs.
+    Reject,
+}
+
+/// Deterministic per-case input source (SplitMix64).
+pub struct SampleRng {
+    state: u64,
+}
+
+impl SampleRng {
+    /// Next raw word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seed a sampler from the test name and case index (deterministic).
+pub fn test_rng(test_name: &str, case: u32) -> SampleRng {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    SampleRng { state: h ^ ((case as u64) << 32 | 0x5bd1_e995) }
+}
+
+/// A source of sampled values.
+pub trait Strategy {
+    /// The sampled type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut SampleRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut SampleRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+macro_rules! impl_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                assert!(span > 0, "empty strategy range");
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Reject the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::TestCaseOutcome::Reject;
+        }
+    };
+}
+
+/// Assert within a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// The property-test declaration macro.
+///
+/// Each `fn name(arg in strategy, ..) { body }` becomes a zero-argument
+/// `#[test]` that samples the arguments `cases` times (skipping
+/// `prop_assume!` rejections, with a 20x attempt budget) and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                while accepted < cfg.cases && attempts < cfg.cases.saturating_mul(20) {
+                    attempts += 1;
+                    let mut __proptest_rng = $crate::test_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        attempts,
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)*
+                    let case = || -> $crate::TestCaseOutcome {
+                        $body
+                        #[allow(unreachable_code)]
+                        $crate::TestCaseOutcome::Pass
+                    };
+                    let outcome = case();
+                    if let $crate::TestCaseOutcome::Pass = outcome {
+                        accepted += 1;
+                    }
+                }
+                assert!(
+                    accepted > 0,
+                    "property {} rejected every sampled input",
+                    stringify!($name)
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn sampled_floats_in_range(x in -2.0f64..2.0) {
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = crate::test_rng("t", 1);
+        let mut b = crate::test_rng("t", 1);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_rng("t", 2);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

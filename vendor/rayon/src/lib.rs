@@ -1,0 +1,224 @@
+//! Offline stand-in for `rayon`: the small indexed-parallel-iterator subset
+//! the CBS workspace uses (`par_iter().map().collect()`,
+//! `par_iter().enumerate().map().collect()`,
+//! `par_iter_mut().enumerate().for_each()` and
+//! `into_par_iter().map().collect()`).
+//!
+//! Execution is real fork-join parallelism over contiguous chunks using
+//! `std::thread::scope` — no work stealing, but order-preserving: results
+//! are always collected in input order, which is what the workspace's
+//! deterministic-parallelism guarantees build on.
+
+// The adapter signatures mirror upstream rayon's (nested generic closures);
+// a type alias would obscure rather than clarify them.
+#![allow(clippy::type_complexity)]
+
+use std::num::NonZeroUsize;
+
+/// Everything the workspace imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// Number of worker threads for a workload of `len` items.
+fn thread_count(len: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    hw.min(len).max(1)
+}
+
+/// Order-preserving parallel map over owned items: each worker maps one
+/// contiguous chunk, results are concatenated in chunk order.
+fn parallel_map_vec<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let len = items.len();
+    let workers = thread_count(len);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = len.div_ceil(workers);
+    let mut chunks: Vec<Vec<I>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut outputs: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            outputs.push(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+/// A parallel iterator pipeline: a list of items plus a mapping stage.
+pub struct ParallelPipeline<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, R, F> ParallelPipeline<I, F>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    /// Chain another mapping stage.
+    pub fn map<R2, G>(self, g: G) -> ParallelPipeline<I, impl Fn(I) -> R2 + Sync>
+    where
+        R2: Send,
+        G: Fn(R) -> R2 + Sync,
+    {
+        let f = self.f;
+        ParallelPipeline { items: self.items, f: move |x| g(f(x)) }
+    }
+
+    /// Run the pipeline, collecting results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(parallel_map_vec(self.items, &self.f))
+    }
+
+    /// Run the pipeline for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let f = self.f;
+        let _ = parallel_map_vec(self.items, &move |x| g(f(x)));
+    }
+
+    /// Attach indices (input order) to the pipeline items.
+    pub fn enumerate(self) -> ParallelPipeline<(usize, I), impl Fn((usize, I)) -> (usize, R) + Sync>
+    where
+        R: Send,
+    {
+        let f = self.f;
+        ParallelPipeline {
+            items: self.items.into_iter().enumerate().collect(),
+            f: move |(i, x)| (i, f(x)),
+        }
+    }
+}
+
+/// `into_par_iter()` on owned collections.
+pub trait IntoParallelIterator {
+    /// Item type of the parallel iterator.
+    type Item: Send;
+    /// The pipeline type.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParallelPipeline<T, fn(T) -> T>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParallelPipeline { items: self, f: |x| x }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParallelPipeline<usize, fn(usize) -> usize>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParallelPipeline { items: self.collect(), f: |x| x }
+    }
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a shared reference).
+    type Item: Send;
+    /// The pipeline type.
+    type Iter;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParallelPipeline<&'a T, fn(&'a T) -> &'a T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        ParallelPipeline { items: self.iter().collect(), f: |x| x }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParallelPipeline<&'a T, fn(&'a T) -> &'a T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.as_slice().par_iter()
+    }
+}
+
+/// `par_iter_mut()` on borrowed collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type (a mutable reference).
+    type Item: Send;
+    /// The pipeline type.
+    type Iter;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = ParallelPipeline<&'a mut T, fn(&'a mut T) -> &'a mut T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        ParallelPipeline { items: self.iter_mut().collect(), f: |x| x }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParallelPipeline<&'a mut T, fn(&'a mut T) -> &'a mut T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| 2 * x).collect();
+        assert_eq!(doubled, (0..1000).map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_map_collect() {
+        let v = vec![10usize, 20, 30];
+        let out: Vec<(usize, usize)> = v.par_iter().enumerate().map(|(i, &x)| (i, x + 1)).collect();
+        assert_eq!(out, vec![(0, 11), (1, 21), (2, 31)]);
+    }
+
+    #[test]
+    fn par_iter_mut_for_each_writes_every_slot() {
+        let mut v = vec![0usize; 513];
+        v.par_iter_mut().enumerate().for_each(|(i, slot)| *slot = i * i);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * i);
+        }
+    }
+
+    #[test]
+    fn into_par_iter_consumes_owned_items() {
+        let v: Vec<String> = (0..17).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 17);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[16], 2);
+    }
+}

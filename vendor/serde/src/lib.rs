@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its config and
+//! result types so they are wire-ready, but nothing in-tree performs actual
+//! serialization yet (the benchmark baseline JSON is written by hand).  With
+//! no crates.io mirror available, this shim provides the two traits as
+//! markers plus derive macros that emit empty impls, keeping every
+//! `#[derive(Serialize, Deserialize)]` in the tree compiling unchanged.
+//! Swapping back to real serde is a one-line change in the workspace
+//! manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
