@@ -3,7 +3,7 @@
 //! stdout in the same layout as the corresponding figure/table of the paper
 //! and returns the key numbers so integration tests can assert on them.
 
-use cbs_core::{compute_cbs_with, solve_qep_with, CbsRun, QepProblem, SsConfig, SsResult};
+use cbs_core::{solve_qep_with, QepProblem, SsConfig, SsResult};
 use cbs_dft::band_structure;
 use cbs_linalg::Complex64;
 use cbs_obm::{obm_solve, ObmConfig};
@@ -12,6 +12,7 @@ use cbs_parallel::{
     RayonExecutor, ScalingLayer, SerialExecutor, WorkloadModel,
 };
 use cbs_sparse::LinearOperator;
+use cbs_sweep::{sweep_cbs, SweepConfig, SweepResult};
 
 use crate::systems::{self, BenchSystem};
 
@@ -25,20 +26,28 @@ pub fn solve_qep_env(problem: &QepProblem<'_>, config: &SsConfig) -> SsResult {
     }
 }
 
-/// Energy-sweep twin of [`solve_qep_env`].
+/// Energy-sweep twin of [`solve_qep_env`], running through the `cbs-sweep`
+/// orchestrator: the energies of each release round share one flattened
+/// task pool and (unless `CBS_SWEEP=cold`) each energy's solves are
+/// warm-started from the nearest completed neighbour.  `CBS_SWEEP=cold`
+/// reproduces the per-energy `compute_cbs` loop bit for bit.
 pub fn compute_cbs_env(
     h00: &dyn LinearOperator,
     h01: &dyn LinearOperator,
     period: f64,
     energies: &[f64],
     config: &SsConfig,
-) -> CbsRun {
+) -> SweepResult {
+    let sweep_config = match std::env::var("CBS_SWEEP") {
+        Ok(v) if v.eq_ignore_ascii_case("cold") => SweepConfig::cold(*config),
+        _ => SweepConfig::new(*config),
+    };
     match ExecutorChoice::from_env("CBS_EXECUTOR") {
         ExecutorChoice::Serial => {
-            compute_cbs_with(h00, h01, period, energies, config, &SerialExecutor)
+            sweep_cbs(h00, h01, period, energies, &sweep_config, &SerialExecutor)
         }
         ExecutorChoice::Rayon => {
-            compute_cbs_with(h00, h01, period, energies, config, &RayonExecutor)
+            sweep_cbs(h00, h01, period, energies, &sweep_config, &RayonExecutor)
         }
     }
 }
@@ -178,6 +187,14 @@ pub fn fig6_cbs_vs_bands(sys: &BenchSystem, n_energies: usize) -> f64 {
         run.cbs.propagating().count(),
         run.cbs.evanescent().count()
     );
+    println!(
+        "   BiCG iterations: {} total ({} warm-started over {} solves, {} cold over {})",
+        run.stats.total_bicg_iterations,
+        run.stats.warm_bicg_iterations,
+        run.stats.warm_started_solves,
+        run.stats.cold_bicg_iterations,
+        run.stats.cold_solves,
+    );
     println!("   worst distance of a real-k solution to the reference bands: {worst:.2e} Ha");
     worst
 }
@@ -269,6 +286,12 @@ pub fn fig11_bundles(n_energies: usize) -> Vec<(String, usize)> {
             channels,
             run.cbs.evanescent().count(),
             n_energies
+        );
+        println!(
+            "   sweep: {} BiCG iterations ({} warm / {} cold)",
+            run.stats.total_bicg_iterations,
+            run.stats.warm_bicg_iterations,
+            run.stats.cold_bicg_iterations,
         );
         out.push((sys.name.clone(), channels));
     }

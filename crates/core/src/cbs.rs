@@ -24,6 +24,10 @@ pub const PROPAGATING_TOLERANCE: f64 = 1e-6;
 pub struct CbsPoint {
     /// Scan energy (hartree).
     pub energy: f64,
+    /// Index of the scan energy in [`ComplexBandStructure::energies`].
+    /// Grouping by index (rather than comparing `energy` for float
+    /// equality) is what the per-energy helpers rely on.
+    pub energy_index: usize,
     /// The Bloch factor `λ`.
     pub lambda: Complex64,
     /// Real part of the wave number `k` (1/bohr), folded into `(-π/a, π/a]`.
@@ -50,8 +54,7 @@ pub struct ComplexBandStructure {
 impl ComplexBandStructure {
     /// Solutions at a particular energy (by index into `energies`).
     pub fn at_energy(&self, index: usize) -> impl Iterator<Item = &CbsPoint> {
-        let e = self.energies[index];
-        self.points.iter().filter(move |p| p.energy == e)
+        self.points.iter().filter(move |p| p.energy_index == index)
     }
 
     /// Only the propagating (real-k) states.
@@ -65,12 +68,16 @@ impl ComplexBandStructure {
     }
 
     /// Number of propagating modes at each scan energy — the "number of
-    /// conducting channels" curve used in transport analyses.
+    /// conducting channels" curve used in transport analyses.  One pass over
+    /// the points, grouped by `energy_index`.
     pub fn channel_counts(&self) -> Vec<(f64, usize)> {
-        self.energies
-            .iter()
-            .map(|&e| (e, self.points.iter().filter(|p| p.energy == e && p.propagating).count()))
-            .collect()
+        let mut counts = vec![0usize; self.energies.len()];
+        for p in &self.points {
+            if p.propagating {
+                counts[p.energy_index] += 1;
+            }
+        }
+        self.energies.iter().copied().zip(counts).collect()
     }
 }
 
@@ -81,6 +88,19 @@ pub struct CbsStatistics {
     pub total_bicg_iterations: usize,
     /// Total operator applications.
     pub total_matvecs: usize,
+    /// BiCG iterations spent in cold-started solves.
+    pub cold_bicg_iterations: usize,
+    /// BiCG iterations spent in warm-started solves (seeded from a
+    /// neighbouring scan energy by the `cbs-sweep` driver; always zero for
+    /// the per-energy [`compute_cbs`] loop).
+    pub warm_bicg_iterations: usize,
+    /// Number of solves that ran cold.
+    pub cold_solves: usize,
+    /// Number of solves that were warm-started.
+    pub warm_started_solves: usize,
+    /// Scan energies added by adaptive grid refinement (zero for the fixed
+    /// grid of [`compute_cbs`]).
+    pub refined_energies: usize,
     /// Seconds in linear solves.
     pub linear_solve_seconds: f64,
     /// Seconds in eigenpair extraction.
@@ -149,31 +169,45 @@ pub fn compute_cbs_with<E: TaskExecutor>(
     let mut stats = CbsStatistics::default();
     let mut per_energy = Vec::with_capacity(energies.len());
 
-    for &energy in energies {
+    for (energy_index, &energy) in energies.iter().enumerate() {
         let problem = QepProblem::new(h00, h01, energy, period);
         let result = solve_qep_with(&problem, config, executor);
         stats.total_bicg_iterations += result.total_bicg_iterations;
         stats.total_matvecs += result.total_matvecs;
+        stats.cold_bicg_iterations += result.total_bicg_iterations;
+        stats.cold_solves += result.solve_histories.len();
         stats.linear_solve_seconds += result.timings.linear_solve_seconds;
         stats.extraction_seconds += result.timings.extraction_seconds;
         stats.accepted += result.eigenpairs.len();
         stats.discarded += result.discarded;
 
         for pair in &result.eigenpairs {
-            let (k_re, k_im) = problem.lambda_to_k(pair.lambda);
-            let propagating = (pair.lambda.abs() - 1.0).abs() < PROPAGATING_TOLERANCE;
-            cbs.points.push(CbsPoint {
-                energy,
-                lambda: pair.lambda,
-                k_re: fold_k(k_re, period),
-                k_im,
-                propagating,
-                residual: pair.residual,
-            });
+            cbs.points.push(classify_point(&problem, energy_index, pair));
         }
         per_energy.push(result);
     }
     CbsRun { cbs, stats, per_energy }
+}
+
+/// Convert one accepted QEP eigenpair into a classified [`CbsPoint`].
+///
+/// Shared by the per-energy loop above and the `cbs-sweep` orchestrator so
+/// both produce bit-identical points from the same eigenpair.
+pub fn classify_point(
+    problem: &QepProblem<'_>,
+    energy_index: usize,
+    pair: &crate::ss::QepEigenpair,
+) -> CbsPoint {
+    let (k_re, k_im) = problem.lambda_to_k(pair.lambda);
+    CbsPoint {
+        energy: problem.energy,
+        energy_index,
+        lambda: pair.lambda,
+        k_re: fold_k(k_re, problem.period),
+        k_im,
+        propagating: (pair.lambda.abs() - 1.0).abs() < PROPAGATING_TOLERANCE,
+        residual: pair.residual,
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +264,18 @@ mod tests {
             assert!(((-p.k_im * 1.7).exp() - p.lambda.abs()).abs() < 1e-9);
             assert!(p.residual <= config.residual_cutoff);
         }
+        // Per-energy grouping goes through `energy_index`, not float
+        // comparison: every point carries a valid index and `at_energy`
+        // partitions the point set.
+        let mut grouped = 0;
+        for (i, &e) in run.cbs.energies.iter().enumerate() {
+            for p in run.cbs.at_energy(i) {
+                assert_eq!(p.energy_index, i);
+                assert_eq!(p.energy, e);
+                grouped += 1;
+            }
+        }
+        assert_eq!(grouped, run.cbs.points.len());
         // Channel counts cover every energy.
         let counts = run.cbs.channel_counts();
         assert_eq!(counts.len(), 3);

@@ -12,7 +12,7 @@
 //!   a factory closure — dense blocks, CSR, matrix-free stencils,
 //!   domain-decomposed operators) and over **how** it is executed (any
 //!   [`TaskExecutor`] from `cbs-parallel`: [`SerialExecutor`],
-//!   [`RayonExecutor`], or future distributed backends).
+//!   [`cbs_parallel::RayonExecutor`], or future distributed backends).
 //! * The paper's majority-stop load-balancing rule is preserved in a
 //!   **deterministic two-stage form**: the first `N_int/2 + 1` quadrature
 //!   points are always solved to convergence; if they all converge (the
@@ -30,10 +30,66 @@ use std::sync::OnceLock;
 
 use cbs_linalg::{CVector, Complex64};
 use cbs_parallel::{SerialExecutor, TaskExecutor};
-use cbs_solver::{bicg_dual, ConvergenceHistory, SolverOptions};
+use cbs_solver::{bicg_dual_seeded, ConvergenceHistory, SolverOptions};
 use cbs_sparse::LinearOperator;
 
 use crate::contour::{QuadraturePoint, RingContour};
+
+/// Supplies warm-start initial guesses for the shifted solves — the
+/// engine-side half of the energy-sweep cross-energy reuse seam (the solver
+/// half is `cbs_solver::bicg_dual_seeded`).
+///
+/// A provider returns, for the job at quadrature point `point_index` and
+/// right-hand side `rhs_index`, an optional `(x₀, x̃₀)` pair: typically the
+/// primal/dual solutions of the *same* job at a neighbouring scan energy,
+/// whose operator differs only by `(E' - E) I`.  Returning `None` runs the
+/// solve cold.  Providers must be pure functions of the job index so that
+/// every [`TaskExecutor`] sees the same seeds (determinism).
+pub trait SeedProvider: Sync {
+    /// The initial guess for job `(point_index, rhs_index)`, if any.
+    fn seed(&self, point_index: usize, rhs_index: usize) -> Option<(&CVector, &CVector)>;
+}
+
+/// A [`SeedProvider`] backed by a dense `N_int x N_rh` table of solution
+/// pairs stored in job order (`point_index * n_rh + rhs_index`) — the layout
+/// [`ShiftedSolveReport::outcomes`] comes back in, so one contour sweep's
+/// solutions can directly seed the next.
+pub struct StoredSeeds {
+    n_rh: usize,
+    pairs: Vec<Option<(CVector, CVector)>>,
+}
+
+impl StoredSeeds {
+    /// An empty table (all solves run cold) for `n_int * n_rh` jobs.
+    pub fn empty(n_int: usize, n_rh: usize) -> Self {
+        let mut pairs = Vec::new();
+        pairs.resize_with(n_int * n_rh, || None);
+        Self { n_rh, pairs }
+    }
+
+    /// Build the table from a previous sweep's outcomes.
+    pub fn from_outcomes(n_int: usize, n_rh: usize, outcomes: &[ShiftedSolveOutcome]) -> Self {
+        let mut seeds = Self::empty(n_int, n_rh);
+        for o in outcomes {
+            seeds.set(o.point_index, o.rhs_index, o.x.clone(), o.dual_x.clone());
+        }
+        seeds
+    }
+
+    /// Store the seed pair for one job.
+    pub fn set(&mut self, point_index: usize, rhs_index: usize, x: CVector, dual_x: CVector) {
+        self.pairs[point_index * self.n_rh + rhs_index] = Some((x, dual_x));
+    }
+}
+
+impl SeedProvider for StoredSeeds {
+    fn seed(&self, point_index: usize, rhs_index: usize) -> Option<(&CVector, &CVector)> {
+        self.pairs
+            .get(point_index * self.n_rh + rhs_index)
+            .and_then(|p| p.as_ref())
+            .map(|(x, xt)| (x, xt))
+    }
+}
 
 /// One shifted-solve job: outer-circle quadrature point x right-hand side.
 #[derive(Clone, Copy, Debug)]
@@ -129,6 +185,7 @@ pub struct ShiftedSolveEngine<'e, E: TaskExecutor> {
     executor: &'e E,
     options: SolverOptions,
     majority_stop: bool,
+    seeds: Option<&'e dyn SeedProvider>,
 }
 
 impl Default for ShiftedSolveEngine<'static, SerialExecutor> {
@@ -140,12 +197,23 @@ impl Default for ShiftedSolveEngine<'static, SerialExecutor> {
 impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
     /// Build an engine running on `executor` with the given solver options.
     pub fn new(executor: &'e E, options: SolverOptions) -> Self {
-        Self { executor, options, majority_stop: false }
+        Self { executor, options, majority_stop: false, seeds: None }
     }
 
     /// Enable or disable the deterministic majority-stop rule.
     pub fn with_majority_stop(mut self, enabled: bool) -> Self {
         self.majority_stop = enabled;
+        self
+    }
+
+    /// Warm-start the solves from the given [`SeedProvider`].
+    ///
+    /// Seeding changes the Krylov iterates (the solutions still satisfy the
+    /// same tolerance) but not the execution contract: providers are pure
+    /// functions of the job index, so serial and parallel executors remain
+    /// bit-identical *to each other* for a fixed seed table.
+    pub fn with_seed_hook(mut self, seeds: &'e dyn SeedProvider) -> Self {
+        self.seeds = Some(seeds);
         self
     }
 
@@ -233,7 +301,8 @@ impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
             let stop_cb = move |iter: usize| stop_at.is_some_and(|c| iter >= c);
             let external: Option<&(dyn Fn(usize) -> bool + Sync)> =
                 if stop_at.is_some() { Some(&stop_cb) } else { None };
-            let res = bicg_dual(op, v, v, &self.options, external);
+            let seed = self.seeds.and_then(|s| s.seed(job.point.index, job.rhs_index));
+            let res = bicg_dual_seeded(op, v, v, seed, &self.options, external);
             ShiftedSolveOutcome {
                 point_index: job.point.index,
                 rhs_index: job.rhs_index,
@@ -484,6 +553,57 @@ mod tests {
         assert_eq!(stats.capped_solves, report.capped_solves);
         assert_eq!(stats.total_iterations, report.total_iterations());
         assert_eq!(stats.total_matvecs, report.total_matvecs());
+    }
+
+    #[test]
+    fn seed_hook_cuts_iterations_and_stays_executor_deterministic() {
+        let a = diag_dominant(14, 42);
+        let op = DenseOp::new(a);
+        let rhs = rhs_block(14, 3, 43);
+        let contour = RingContour::new(0.5, 6);
+        let opts = SolverOptions::default().with_tolerance(1e-11);
+
+        // Cold sweep, then reuse its own solutions as seeds: every solve now
+        // starts at the exact answer and converges without iterating.
+        let cold = ShiftedSolveEngine::new(&SerialExecutor, opts)
+            .solve(&contour, &rhs, |z| ShiftedOp::new(&op, z));
+        let seeds = StoredSeeds::from_outcomes(6, 3, &cold.outcomes);
+        let warm = ShiftedSolveEngine::new(&SerialExecutor, opts).with_seed_hook(&seeds).solve(
+            &contour,
+            &rhs,
+            |z| ShiftedOp::new(&op, z),
+        );
+        assert!(cold.total_iterations() > 0);
+        assert!(
+            warm.total_iterations() < cold.total_iterations() / 4,
+            "warm {} vs cold {}",
+            warm.total_iterations(),
+            cold.total_iterations()
+        );
+        for o in &warm.outcomes {
+            assert!(o.history.converged() && o.dual_history.converged());
+        }
+
+        // Seeded runs stay bit-identical across executors.
+        let warm_rayon = ShiftedSolveEngine::new(&RayonExecutor, opts)
+            .with_seed_hook(&seeds)
+            .solve(&contour, &rhs, |z| ShiftedOp::new(&op, z));
+        for (s, r) in warm.outcomes.iter().zip(&warm_rayon.outcomes) {
+            assert_eq!(s.x, r.x);
+            assert_eq!(s.dual_x, r.dual_x);
+        }
+
+        // An empty table is a no-op seed hook.
+        let none = StoredSeeds::empty(6, 3);
+        let cold2 = ShiftedSolveEngine::new(&SerialExecutor, opts).with_seed_hook(&none).solve(
+            &contour,
+            &rhs,
+            |z| ShiftedOp::new(&op, z),
+        );
+        for (a, b) in cold.outcomes.iter().zip(&cold2.outcomes) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.history.residuals, b.history.residuals);
+        }
     }
 
     #[test]

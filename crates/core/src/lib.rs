@@ -35,12 +35,16 @@ pub mod qep;
 pub mod ss;
 
 pub use cbs::{
-    compute_cbs, compute_cbs_with, CbsPoint, CbsRun, CbsStatistics, ComplexBandStructure,
-    PROPAGATING_TOLERANCE,
+    classify_point, compute_cbs, compute_cbs_with, CbsPoint, CbsRun, CbsStatistics,
+    ComplexBandStructure, PROPAGATING_TOLERANCE,
 };
 pub use contour::{QuadraturePoint, RingContour};
 pub use engine::{
-    ShiftedSolveEngine, ShiftedSolveJob, ShiftedSolveOutcome, ShiftedSolveReport, ShiftedSolveStats,
+    SeedProvider, ShiftedSolveEngine, ShiftedSolveJob, ShiftedSolveOutcome, ShiftedSolveReport,
+    ShiftedSolveStats, StoredSeeds,
 };
 pub use qep::{QepOperator, QepProblem};
-pub use ss::{solve_qep, solve_qep_with, QepEigenpair, SsConfig, SsResult, SsTimings};
+pub use ss::{
+    extract_from_moments, solve_qep, solve_qep_with, source_block, MomentAccumulator, QepEigenpair,
+    SsConfig, SsResult, SsTimings,
+};

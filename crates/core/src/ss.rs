@@ -23,8 +23,8 @@ use cbs_linalg::{svd, CMatrix, CVector, Complex64};
 use cbs_parallel::{SerialExecutor, TaskExecutor};
 use cbs_solver::{ConvergenceHistory, SolverOptions};
 
-use crate::contour::RingContour;
-use crate::engine::ShiftedSolveEngine;
+use crate::contour::{QuadraturePoint, RingContour};
+use crate::engine::{ShiftedSolveEngine, ShiftedSolveOutcome};
 use crate::qep::QepProblem;
 
 /// Parameters of the Sakurai-Sugiura solve (paper notation).
@@ -162,6 +162,69 @@ impl SsResult {
     }
 }
 
+/// The deterministic random source block `V` (`N_rh` columns of length `n`)
+/// implied by a configuration.  Depends only on `n`, `config.n_rh` and
+/// `config.seed`, so every scan energy of a sweep shares the same block —
+/// which is what makes cross-energy solution reuse meaningful.
+pub fn source_block(n: usize, config: &SsConfig) -> Vec<CVector> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    (0..config.n_rh).map(|_| CVector::random(n, &mut rng)).collect()
+}
+
+/// Streaming accumulator for step 2 of the method: folds each
+/// [`ShiftedSolveOutcome`] into the complex moments
+/// `Ŝ_k = Σ_j ω_j z_j^k Y_j` (both circles) **in job order**, and retains
+/// the primal convergence histories.
+///
+/// Factored out of [`solve_qep_with`] so that multi-energy drivers (the
+/// `cbs-sweep` crate) can run one accumulator per scan energy while the
+/// underlying solves of *all* energies share a single flattened task pool.
+/// The accumulation arithmetic is identical to the in-line fold it replaces,
+/// so results remain bit-identical.
+pub struct MomentAccumulator {
+    contour: RingContour,
+    outer: Vec<QuadraturePoint>,
+    /// `Ŝ_k` for `k = 0 .. 2 N_mm`, stored as `N_rh` columns each.
+    s_moments: Vec<Vec<CVector>>,
+    /// Primal convergence histories in job order.
+    histories: Vec<ConvergenceHistory>,
+}
+
+impl MomentAccumulator {
+    /// Fresh zeroed moments for an `n`-dimensional problem under `config`.
+    pub fn new(n: usize, config: &SsConfig) -> Self {
+        let contour = config.contour();
+        Self {
+            outer: contour.outer_points(),
+            contour,
+            s_moments: vec![vec![CVector::zeros(n); config.n_rh]; 2 * config.n_mm],
+            histories: Vec::with_capacity(config.n_int * config.n_rh),
+        }
+    }
+
+    /// Fold one solve outcome into the moments, returning its solution pair
+    /// for optional reuse (warm-start donor tables).  Must be called in job
+    /// order (`point_index * N_rh + rhs_index`) for executor-independent
+    /// results.
+    pub fn record(&mut self, outcome: ShiftedSolveOutcome) -> (CVector, CVector) {
+        let point = self.outer[outcome.point_index];
+        let inner_point = self.contour.paired_inner(&point);
+        // Accumulate the moments for this (j, rhs) pair:
+        //   outer:  + ω_j z_j^k  Y^(1)
+        //   inner:  - ω'_j z'^k  Y^(2)   (sign already in the weight)
+        let mut zk_outer = point.weight;
+        let mut zk_inner = inner_point.weight;
+        for s_k in self.s_moments.iter_mut() {
+            s_k[outcome.rhs_index].axpy(zk_outer, &outcome.x);
+            s_k[outcome.rhs_index].axpy(zk_inner, &outcome.dual_x);
+            zk_outer *= point.z;
+            zk_inner *= inner_point.z;
+        }
+        self.histories.push(outcome.history);
+        (outcome.x, outcome.dual_x)
+    }
+}
+
 /// Solve the QEP for all eigenvalues in the annulus with the Sakurai-Sugiura
 /// method, running the shifted solves serially.
 pub fn solve_qep(problem: &QepProblem<'_>, config: &SsConfig) -> SsResult {
@@ -181,16 +244,13 @@ pub fn solve_qep_with<E: TaskExecutor>(
 ) -> SsResult {
     let n = problem.dim();
     let contour = config.contour();
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
 
     // Random source block V (N x N_rh).
-    let v_cols: Vec<CVector> = (0..config.n_rh).map(|_| CVector::random(n, &mut rng)).collect();
+    let v_cols = source_block(n, config);
 
     // --- Step 1: shifted linear solves (the dominant cost), fanned out
     // through the operator-generic engine. --------------------------------
     let t_solve = std::time::Instant::now();
-    let outer = contour.outer_points();
-    let n_moments = 2 * config.n_mm;
 
     let engine = ShiftedSolveEngine::new(executor, config.solver_options())
         .with_majority_stop(config.majority_stop);
@@ -202,36 +262,50 @@ pub fn solve_qep_with<E: TaskExecutor>(
     // serial executor the fold streams (one solution pair alive at a
     // time), keeping the peak footprint at the O(N_mm N_rh N) moments
     // instead of the full N_int x N_rh solution set.
-    let s_moments: Vec<Vec<CVector>> = vec![vec![CVector::zeros(n); config.n_rh]; n_moments];
-    let histories: Vec<ConvergenceHistory> = Vec::with_capacity(config.n_int * config.n_rh);
-    let ((s_moments, histories), stats) = engine.solve_fold(
+    let (acc, stats) = engine.solve_fold(
         &contour,
         &v_cols,
         |z| problem.operator(z),
-        (s_moments, histories),
-        |(mut s_moments, mut histories), outcome| {
-            let point = outer[outcome.point_index];
-            let inner_point = contour.paired_inner(&point);
-            // Accumulate the moments for this (j, rhs) pair:
-            //   outer:  + ω_j z_j^k  Y^(1)
-            //   inner:  - ω'_j z'^k  Y^(2)   (sign already in the weight)
-            let mut zk_outer = point.weight;
-            let mut zk_inner = inner_point.weight;
-            for s_k in s_moments.iter_mut() {
-                s_k[outcome.rhs_index].axpy(zk_outer, &outcome.x);
-                s_k[outcome.rhs_index].axpy(zk_inner, &outcome.dual_x);
-                zk_outer *= point.z;
-                zk_inner *= inner_point.z;
-            }
-            histories.push(outcome.history);
-            (s_moments, histories)
+        MomentAccumulator::new(n, config),
+        |mut acc, outcome| {
+            acc.record(outcome);
+            acc
         },
     );
-    let total_iters = stats.total_iterations;
-    let total_matvecs = stats.total_matvecs;
     let linear_solve_seconds = t_solve.elapsed().as_secs_f64();
 
-    // --- Steps 2-4: moment matrices, Hankel SVD, reduced eigenproblem. ---
+    extract_from_moments(
+        problem,
+        config,
+        &v_cols,
+        acc,
+        stats.total_iterations,
+        stats.total_matvecs,
+        linear_solve_seconds,
+    )
+}
+
+/// Steps 2-4 of the method: build the projected moments `µ̂_k = V† Ŝ_k` and
+/// the block Hankel matrices, filter with the SVD, solve the reduced
+/// eigenproblem, recover and residual-check the eigenpairs.
+///
+/// Public so that multi-energy drivers (`cbs-sweep`) can run the extraction
+/// per energy on accumulators filled from a flattened cross-energy task
+/// pool; [`solve_qep_with`] is exactly `engine fold` + this function.
+pub fn extract_from_moments(
+    problem: &QepProblem<'_>,
+    config: &SsConfig,
+    v_cols: &[CVector],
+    acc: MomentAccumulator,
+    total_iters: usize,
+    total_matvecs: usize,
+    linear_solve_seconds: f64,
+) -> SsResult {
+    let n = problem.dim();
+    let contour = config.contour();
+    let n_moments = 2 * config.n_mm;
+    let MomentAccumulator { s_moments, histories, .. } = acc;
+
     let t_extract = std::time::Instant::now();
 
     // µ̂_k = V† Ŝ_k  (N_rh x N_rh).

@@ -35,15 +35,56 @@ impl BandStructure {
 
     /// Distance from `energy` to the nearest band value at the k-point
     /// closest to `k` — used to verify the real-k solutions of the CBS.
+    ///
+    /// An empty band list (no k-points, or no bands at the matched
+    /// k-point) has no nearest band: the distance is `f64::INFINITY`.
     pub fn distance_to_bands(&self, k: f64, energy: f64) -> f64 {
-        let (idx, _) = self
+        let Some((idx, _)) = self
             .kpoints
             .iter()
             .enumerate()
             .map(|(i, &kk)| (i, (kk - k).abs()))
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .expect("band structure has at least one k-point");
+        else {
+            return f64::INFINITY;
+        };
         self.bands[idx].iter().map(|&e| (e - energy).abs()).fold(f64::INFINITY, f64::min)
+    }
+
+    /// The band-edge energies: for each band index, the minimum and maximum
+    /// of `E_n(k)` over the sampled k-points.  Sorted ascending,
+    /// deduplicated within `tol`.
+    ///
+    /// Band edges are where propagating channels open and close, i.e. where
+    /// the CBS channel count jumps — exactly the energies an adaptive sweep
+    /// wants to resolve.
+    pub fn band_edges(&self, tol: f64) -> Vec<f64> {
+        let n_bands = self.bands.iter().map(|b| b.len()).max().unwrap_or(0);
+        let mut edges = Vec::new();
+        for band in 0..n_bands {
+            let values = self.bands.iter().filter_map(|b| b.get(band).copied());
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for v in values {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if lo.is_finite() {
+                edges.push(lo);
+                edges.push(hi);
+            }
+        }
+        edges.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        edges.dedup_by(|a, b| (*a - *b).abs() <= tol);
+        edges
+    }
+
+    /// `true` when at least one band edge lies strictly between `e_lo` and
+    /// `e_hi` — the refinement predicate an adaptive energy sweep uses to
+    /// decide whether an interval brackets the opening or closing of a
+    /// channel and deserves bisection.
+    pub fn brackets_band_edge(&self, e_lo: f64, e_hi: f64) -> bool {
+        let (lo, hi) = if e_lo <= e_hi { (e_lo, e_hi) } else { (e_hi, e_lo) };
+        self.band_edges(0.0).iter().any(|&edge| edge > lo && edge < hi)
     }
 }
 
@@ -179,6 +220,41 @@ mod tests {
         let ef = fermi_energy(&h, 4.0, 3);
         let bs = band_structure(&h, 3, 8);
         assert!(ef >= bs.min_energy() && ef <= bs.max_energy(), "EF = {ef}");
+    }
+
+    #[test]
+    fn distance_to_bands_of_empty_structure_is_infinite() {
+        // Regression: an empty band list used to panic in the k-point
+        // `expect`; it must report "infinitely far from any band" instead.
+        let empty = BandStructure { kpoints: Vec::new(), bands: Vec::new() };
+        assert_eq!(empty.distance_to_bands(0.3, 0.1), f64::INFINITY);
+        // A k-point with no band values is equally bandless.
+        let hollow = BandStructure { kpoints: vec![0.0], bands: vec![Vec::new()] };
+        assert_eq!(hollow.distance_to_bands(0.0, 0.1), f64::INFINITY);
+        assert!(empty.band_edges(0.0).is_empty());
+        assert!(!empty.brackets_band_edge(-1.0, 1.0));
+    }
+
+    #[test]
+    fn band_edges_bracket_channel_openings() {
+        // Two hand-built bands: band 0 spans [-1.0, -0.2], band 1 spans
+        // [0.4, 0.9].
+        let bs = BandStructure {
+            kpoints: vec![0.0, 0.5, 1.0],
+            bands: vec![vec![-1.0, 0.4], vec![-0.6, 0.9], vec![-0.2, 0.7]],
+        };
+        let edges = bs.band_edges(0.0);
+        assert_eq!(edges, vec![-1.0, -0.2, 0.4, 0.9]);
+        // The gap (-0.2, 0.4) contains no edge; intervals crossing an edge do.
+        assert!(!bs.brackets_band_edge(-0.15, 0.35));
+        assert!(bs.brackets_band_edge(-0.3, -0.1), "crosses the band-0 top");
+        assert!(bs.brackets_band_edge(0.35, 0.45), "crosses the band-1 bottom");
+        // Orientation-agnostic, endpoints excluded.
+        assert!(bs.brackets_band_edge(0.45, 0.35));
+        assert!(!bs.brackets_band_edge(0.4, 0.4));
+        // Dedup tolerance merges nearly equal edges.
+        let merged = bs.band_edges(0.7);
+        assert!(merged.len() < edges.len());
     }
 
     #[test]

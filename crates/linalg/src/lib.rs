@@ -13,7 +13,7 @@
 //! * [`LuDecomposition`] — LU with partial pivoting (solve / inverse / det),
 //! * [`QrDecomposition`] — Householder QR and least squares,
 //! * [`eig`] — Hessenberg + shifted-QR complex Schur form and eigenpairs,
-//! * [`svd`] — one-sided Jacobi SVD,
+//! * [`svd()`] — one-sided Jacobi SVD,
 //! * [`generalized_eigen`] — `A x = λ B x` by shift-and-invert reduction.
 //!
 //! All dense problems in this workspace are small (≲ a few thousand rows), so

@@ -8,6 +8,9 @@
 //! * [`TaskExecutor`] with [`SerialExecutor`] / [`RayonExecutor`] — the
 //!   pluggable, order-preserving batch-execution seam the Sakurai-Sugiura
 //!   shifted-solve engine in `cbs-core` fans out through,
+//! * [`SweepSchedule`] — the sweep-level release policy (flat vs dyadic
+//!   wavefront) that `cbs-sweep` uses to trade task-pool flattening against
+//!   cross-energy warm-start reuse,
 //! * [`DomainDecomposedOp`], [`solve_rhs_parallel`], [`solve_tasks_parallel`]
 //!   — threaded, functionally exact execution of the layers (validated
 //!   against the serial path),
@@ -21,6 +24,7 @@
 pub mod executor;
 pub mod hierarchy;
 pub mod perf_model;
+pub mod schedule;
 
 pub use executor::{
     measure_bicg_iteration_cost, solve_rhs_parallel, solve_tasks_parallel, DomainDecomposedOp,
@@ -30,3 +34,4 @@ pub use hierarchy::ParallelLayout;
 pub use perf_model::{
     default_workload, MachineModel, PerformanceModel, PredictedTime, ScalingLayer, WorkloadModel,
 };
+pub use schedule::SweepSchedule;

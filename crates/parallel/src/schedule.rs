@@ -1,0 +1,140 @@
+//! Sweep-level scheduling policy: the order in which the independent
+//! per-energy solve groups of a multi-energy scan are released into the
+//! executor's task pool.
+//!
+//! A scan over `n` energies is a batch of `n` independent solve groups, but
+//! *when* each group runs matters for two competing goals:
+//!
+//! * **Flattening** — the more groups run in one batch, the better a wide
+//!   machine is saturated even when a single group's `N_int x N_rh` grid is
+//!   small.  The extreme is [`SweepSchedule::Flat`]: everything in one round.
+//! * **Warm starting** — a group can reuse the solutions of an
+//!   already-*completed* neighbour as Krylov initial guesses, but only if
+//!   some neighbour completed in an earlier round.  The extreme is fully
+//!   sequential execution: maximal reuse, no flattening.
+//!
+//! [`SweepSchedule::Wavefront`] is the compromise: a dyadic
+//! (coarse-to-fine) ordering.  Round 0 solves a strided skeleton of the
+//! grid cold; every later round halves the stride, so each new index sits
+//! exactly halfway between two completed ones.  Rounds grow geometrically
+//! (the last round is `n/2` groups — plenty of flattening) while the
+//! seed distance shrinks to a single grid step.
+//!
+//! The policy is pure index arithmetic — deterministic, independent of the
+//! executor — which is what keeps warm-started sweeps bit-identical across
+//! serial and threaded execution.
+
+/// How a sweep's per-energy solve groups are released into rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepSchedule {
+    /// All groups in one round: maximal task-pool flattening, no
+    /// cross-energy reuse (every solve runs cold).
+    Flat,
+    /// Dyadic coarse-to-fine rounds: round 0 is a cold strided skeleton of
+    /// at most `initial_round` groups, each later round bisects the stride.
+    Wavefront {
+        /// Upper bound on the size of the first (cold) round.
+        initial_round: usize,
+    },
+}
+
+impl SweepSchedule {
+    /// Partition the indices `0..n` into execution rounds.  Every index
+    /// appears exactly once; indices in round `r` may seed from any index
+    /// of rounds `< r`.
+    pub fn rounds(&self, n: usize) -> Vec<Vec<usize>> {
+        if n == 0 {
+            return Vec::new();
+        }
+        match *self {
+            SweepSchedule::Flat | SweepSchedule::Wavefront { initial_round: 0 } => {
+                vec![(0..n).collect()]
+            }
+            SweepSchedule::Wavefront { initial_round } => {
+                // Smallest power-of-two stride whose skeleton fits the
+                // first-round budget.
+                let mut stride = 1usize;
+                while n.div_ceil(stride) > initial_round {
+                    stride *= 2;
+                }
+                let mut rounds = vec![(0..n).step_by(stride).collect::<Vec<_>>()];
+                let mut half = stride / 2;
+                while half >= 1 {
+                    let round: Vec<usize> = (half..n).step_by(2 * half).collect();
+                    if !round.is_empty() {
+                        rounds.push(round);
+                    }
+                    half /= 2;
+                }
+                rounds
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_partition(rounds: &[Vec<usize>], n: usize) {
+        let mut all: Vec<usize> = rounds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "rounds must partition 0..{n}");
+    }
+
+    #[test]
+    fn flat_is_one_round() {
+        let rounds = SweepSchedule::Flat.rounds(7);
+        assert_eq!(rounds.len(), 1);
+        assert_partition(&rounds, 7);
+    }
+
+    #[test]
+    fn wavefront_partitions_and_bounds_first_round() {
+        for n in [1usize, 2, 3, 8, 13, 32, 33, 100] {
+            for budget in [1usize, 2, 4, 8] {
+                let s = SweepSchedule::Wavefront { initial_round: budget };
+                let rounds = s.rounds(n);
+                assert_partition(&rounds, n);
+                assert!(
+                    rounds[0].len() <= budget.max(1),
+                    "n={n} budget={budget}: first round {:?}",
+                    rounds[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_indices_have_nearby_completed_neighbours() {
+        let s = SweepSchedule::Wavefront { initial_round: 4 };
+        let n = 33;
+        let rounds = s.rounds(n);
+        let mut completed = vec![false; n];
+        for (r, round) in rounds.iter().enumerate() {
+            if r > 0 {
+                for &i in round {
+                    // Some completed index within the current dyadic stride.
+                    let near = (0..n).filter(|&j| completed[j]).map(|j| i.abs_diff(j)).min();
+                    let stride = rounds[0].get(1).copied().unwrap_or(n).min(n);
+                    assert!(
+                        near.unwrap() <= stride,
+                        "round {r} index {i}: nearest completed at distance {near:?}"
+                    );
+                }
+            }
+            for &i in round {
+                completed[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_degenerates_to_flat() {
+        assert_eq!(
+            SweepSchedule::Wavefront { initial_round: 0 }.rounds(5),
+            SweepSchedule::Flat.rounds(5)
+        );
+        assert!(SweepSchedule::Flat.rounds(0).is_empty());
+    }
+}

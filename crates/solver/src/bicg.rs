@@ -49,14 +49,51 @@ pub fn bicg_dual<A: LinearOperator + ?Sized>(
     opts: &SolverOptions,
     external_stop: Option<&(dyn Fn(usize) -> bool + Sync)>,
 ) -> BicgResult {
+    bicg_dual_seeded(a, b, b_dual, None, opts, external_stop)
+}
+
+/// [`bicg_dual`] with optional warm-start initial guesses `(x₀, x̃₀)` for
+/// the primal and dual solutions.
+///
+/// With `seed = None` the iteration starts from zero and is **bit-identical
+/// to [`bicg_dual`]** — no extra work is performed.  With a seed, the
+/// initial residuals are `r₀ = b - A x₀` and `r̃₀ = b̃ - A† x̃₀` (two extra
+/// operator applications, counted in `matvecs`); a good seed — e.g. the
+/// solution of the same shifted system at a neighbouring scan energy, which
+/// differs from the current operator only by `(E' - E) I` — typically cuts
+/// the iteration count substantially.  This is the solver half of the
+/// energy-sweep warm-start seam (the other half is the seed hook on
+/// `cbs_core::ShiftedSolveEngine`).
+pub fn bicg_dual_seeded<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &CVector,
+    b_dual: &CVector,
+    seed: Option<(&CVector, &CVector)>,
+    opts: &SolverOptions,
+    external_stop: Option<&(dyn Fn(usize) -> bool + Sync)>,
+) -> BicgResult {
     let n = a.dim();
     assert_eq!(b.len(), n, "rhs length mismatch");
     assert_eq!(b_dual.len(), n, "dual rhs length mismatch");
 
-    let mut x = CVector::zeros(n);
-    let mut xt = CVector::zeros(n);
-    let mut r = b.clone();
-    let mut rt = b_dual.clone();
+    let mut seed_matvecs = 0usize;
+    let (mut x, mut xt, mut r, mut rt) = match seed {
+        None => (CVector::zeros(n), CVector::zeros(n), b.clone(), b_dual.clone()),
+        Some((x0, xt0)) => {
+            assert_eq!(x0.len(), n, "primal seed length mismatch");
+            assert_eq!(xt0.len(), n, "dual seed length mismatch");
+            let mut r = CVector::zeros(n);
+            let mut rt = CVector::zeros(n);
+            a.apply(x0.as_slice(), r.as_mut_slice());
+            a.apply_adjoint(xt0.as_slice(), rt.as_mut_slice());
+            seed_matvecs = 2;
+            for i in 0..n {
+                r[i] = b[i] - r[i];
+                rt[i] = b_dual[i] - rt[i];
+            }
+            (x0.clone(), xt0.clone(), r, rt)
+        }
+    };
     let mut p = r.clone();
     let mut pt = rt.clone();
 
@@ -75,7 +112,7 @@ pub fn bicg_dual<A: LinearOperator + ?Sized>(
     let mut q = CVector::zeros(n);
     let mut qt = CVector::zeros(n);
     let mut rho = rt.dot(&r);
-    let mut matvecs = 0usize;
+    let mut matvecs = seed_matvecs;
     let mut stop = StopReason::MaxIterations;
 
     for iter in 0..opts.max_iterations {
@@ -345,6 +382,70 @@ mod tests {
         let (x, hist) = bicg(&shifted, &rhs, &SolverOptions::default());
         assert!(hist.converged());
         assert!((&x - &x_true).norm() / x_true.norm() < 1e-7);
+    }
+
+    #[test]
+    fn seeded_solve_from_exact_solution_converges_instantly() {
+        let n = 30;
+        let a = random_diag_dominant(n, 212);
+        let op = DenseOp::new(a.clone());
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(213);
+        let x_true = CVector::random(n, &mut rng);
+        let b = a.matvec(&x_true);
+        let xd_true = CVector::random(n, &mut rng);
+        let bd = a.adjoint().matvec(&xd_true);
+        let opts = SolverOptions::default().with_tolerance(1e-10);
+        let res = bicg_dual_seeded(&op, &b, &bd, Some((&x_true, &xd_true)), &opts, None);
+        assert!(res.both_converged());
+        assert_eq!(res.history.iterations(), 0, "exact seed must converge without iterating");
+        // The two seed-residual applications are accounted for.
+        assert_eq!(res.history.matvecs, 2);
+    }
+
+    #[test]
+    fn seeded_solve_near_solution_beats_cold_start() {
+        let n = 40;
+        let a = random_diag_dominant(n, 214);
+        let op = DenseOp::new(a.clone());
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(215);
+        let x_true = CVector::random(n, &mut rng);
+        let b = a.matvec(&x_true);
+        let opts = SolverOptions::default().with_tolerance(1e-12);
+        let cold = bicg_dual(&op, &b, &b, &opts, None);
+        // Perturb the true solution slightly: a stand-in for the previous
+        // scan energy's solution in a sweep.
+        let mut near = x_true.clone();
+        let noise = CVector::random(n, &mut rng);
+        near.axpy(c64_small(), &noise);
+        let dual_seed = cold.dual_x.clone();
+        let warm = bicg_dual_seeded(&op, &b, &b, Some((&near, &dual_seed)), &opts, None);
+        assert!(warm.both_converged());
+        assert!(
+            warm.history.iterations() < cold.history.iterations(),
+            "warm {} vs cold {}",
+            warm.history.iterations(),
+            cold.history.iterations()
+        );
+        assert!((&warm.x - &x_true).norm() / x_true.norm() < 1e-8);
+    }
+
+    fn c64_small() -> Complex64 {
+        c64(1e-4, 0.0)
+    }
+
+    #[test]
+    fn unseeded_entry_points_are_bit_identical() {
+        let a = random_diag_dominant(25, 216);
+        let op = DenseOp::new(a);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(217);
+        let b = CVector::random(25, &mut rng);
+        let opts = SolverOptions::default();
+        let via_dual = bicg_dual(&op, &b, &b, &opts, None);
+        let via_seeded = bicg_dual_seeded(&op, &b, &b, None, &opts, None);
+        assert_eq!(via_dual.x, via_seeded.x);
+        assert_eq!(via_dual.dual_x, via_seeded.dual_x);
+        assert_eq!(via_dual.history.residuals, via_seeded.history.residuals);
+        assert_eq!(via_dual.history.matvecs, via_seeded.history.matvecs);
     }
 
     #[test]

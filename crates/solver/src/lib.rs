@@ -5,7 +5,9 @@
 //! * [`bicg_dual`] — BiCG solving `A x = b` *and* `A† x̃ = b̃` in one sweep;
 //!   this is the kernel the paper uses to halve the cost of the contour
 //!   quadrature (`P(z)† = P(1/z̄)`),
-//! * [`bicg`], [`bicgstab`], [`cg`] — single-system Krylov solvers,
+//! * [`bicg_dual_seeded`] — the same iteration warm-started from initial
+//!   guesses (the energy-sweep cross-energy reuse seam),
+//! * [`bicg()`], [`bicgstab`], [`cg`] — single-system Krylov solvers,
 //! * [`lanczos_lowest`] — Hermitian Lanczos with full reorthogonalization for
 //!   the conventional band-structure reference,
 //! * [`ConvergenceHistory`] / [`SolverOptions`] — the residual-history
@@ -17,6 +19,6 @@ pub mod bicg;
 pub mod history;
 pub mod lanczos;
 
-pub use bicg::{bicg, bicg_dual, bicgstab, cg, BicgResult};
+pub use bicg::{bicg, bicg_dual, bicg_dual_seeded, bicgstab, cg, BicgResult};
 pub use history::{ConvergenceHistory, SolverOptions, StopReason};
 pub use lanczos::{lanczos_lowest, LanczosOptions, LanczosResult};

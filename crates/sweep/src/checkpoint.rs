@@ -1,0 +1,440 @@
+//! Incremental sweep checkpointing.
+//!
+//! A [`SweepCheckpoint`] is written after every completed scan energy and
+//! restores a killed sweep **bit-identically**: it carries the completed
+//! [`EnergyRecord`]s (in completion order), the warm-start seed bank (the
+//! donor solution vectors later energies would have been seeded from), and
+//! a bit-exact fingerprint of the configuration and energy grid, verified
+//! on resume.
+//!
+//! The on-disk format is a line-oriented text file in which every `f64` is
+//! stored as the 16-hex-digit bit pattern of `f64::to_bits` — exact
+//! round-tripping is what makes resumed sweeps reproduce uninterrupted ones
+//! down to the last bit.  (The workspace's vendored `serde` is a marker-only
+//! shim, so the actual encoding is hand-rolled here; the structs still
+//! derive the markers like every other wire-ready type in the tree.)
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use cbs_core::CbsPoint;
+use cbs_linalg::{c64, CVector};
+
+use crate::sweep::{EnergyOrigin, EnergyRecord, EnergyStats, SeedTable};
+
+/// Everything needed to resume a killed sweep bit-identically.
+#[derive(Clone, Debug, Default)]
+pub struct SweepCheckpoint {
+    /// Bit-exact configuration + period fingerprint
+    /// ([`crate::SweepConfig::fingerprint`]).
+    pub fingerprint: Vec<u64>,
+    /// The initial (pre-refinement) energy grid, ascending.
+    pub initial_energies: Vec<f64>,
+    /// Completed energies, in completion order.
+    pub records: Vec<EnergyRecord>,
+    /// The warm-start donor bank at checkpoint time, in completion order
+    /// (oldest first), after capacity eviction.  Holds only fully completed
+    /// batches — donor selection reads exclusively from here.
+    pub seed_bank: Vec<(f64, SeedTable)>,
+    /// Donations of the batch in flight when the checkpoint was written, in
+    /// completion order; committed to the bank once that batch completes.
+    /// Keeping them out of the bank until then is what makes a mid-batch
+    /// kill/resume bit-identical even under capacity eviction.
+    pub pending_donations: Vec<(f64, SeedTable)>,
+}
+
+/// A malformed, truncated or mismatched checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointError(pub String);
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep checkpoint error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+const MAGIC: &str = "cbs-sweep-checkpoint v1";
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn err(msg: impl Into<String>) -> CheckpointError {
+    CheckpointError(msg.into())
+}
+
+struct Tokens<'s> {
+    line_no: usize,
+    toks: std::str::SplitWhitespace<'s>,
+}
+
+impl<'s> Tokens<'s> {
+    fn next(&mut self) -> Result<&'s str, CheckpointError> {
+        self.toks.next().ok_or_else(|| err(format!("line {}: missing token", self.line_no)))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        let t = self.next()?;
+        u64::from_str_radix(t, 16)
+            .map(f64::from_bits)
+            .map_err(|_| err(format!("line {}: bad f64 bits `{t}`", self.line_no)))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let t = self.next()?;
+        u64::from_str_radix(t, 16).map_err(|_| err(format!("line {}: bad u64 `{t}`", self.line_no)))
+    }
+
+    fn usize(&mut self) -> Result<usize, CheckpointError> {
+        Ok(self.u64()? as usize)
+    }
+
+    fn bool(&mut self) -> Result<bool, CheckpointError> {
+        Ok(self.u64()? != 0)
+    }
+}
+
+fn push_vector(out: &mut String, v: &CVector) {
+    for z in v.iter() {
+        let _ = write!(out, " {} {}", hex(z.re), hex(z.im));
+    }
+}
+
+fn read_vector(t: &mut Tokens<'_>, dim: usize) -> Result<CVector, CheckpointError> {
+    let mut data = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        let re = t.f64()?;
+        let im = t.f64()?;
+        data.push(c64(re, im));
+    }
+    Ok(CVector::from_vec(data))
+}
+
+impl SweepCheckpoint {
+    /// Serialize to the line-oriented bit-exact text format.
+    pub fn serialize_to_string(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC}");
+        let _ = write!(out, "fingerprint {:x}", self.fingerprint.len());
+        for f in &self.fingerprint {
+            let _ = write!(out, " {f:016x}");
+        }
+        out.push('\n');
+        let _ = write!(out, "grid {:x}", self.initial_energies.len());
+        for &e in &self.initial_energies {
+            let _ = write!(out, " {}", hex(e));
+        }
+        out.push('\n');
+        let _ = writeln!(out, "records {:x}", self.records.len());
+        for r in &self.records {
+            let origin = match r.origin {
+                EnergyOrigin::Initial(i) => format!("i {i:x} {} {}", hex(0.0), hex(0.0)),
+                EnergyOrigin::Refined { lo, hi } => format!("r 0 {} {}", hex(lo), hex(hi)),
+            };
+            let seeded = match r.seeded_from {
+                Some(e) => format!("1 {}", hex(e)),
+                None => format!("0 {}", hex(0.0)),
+            };
+            let s = &r.stats;
+            let _ = writeln!(
+                out,
+                "record {} {origin} {seeded} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x}",
+                hex(r.energy),
+                s.bicg_iterations,
+                s.matvecs,
+                s.warm_solves,
+                s.cold_solves,
+                s.warm_iterations,
+                s.cold_iterations,
+                s.capped_solves,
+                s.accepted,
+                s.discarded,
+                s.numerical_rank,
+                r.points.len(),
+            );
+            for p in &r.points {
+                let _ = writeln!(
+                    out,
+                    "point {} {} {} {} {} {:x} {}",
+                    hex(p.energy),
+                    hex(p.lambda.re),
+                    hex(p.lambda.im),
+                    hex(p.k_re),
+                    hex(p.k_im),
+                    p.propagating as u8,
+                    hex(p.residual),
+                );
+            }
+        }
+        for (section, bank) in [("seeds", &self.seed_bank), ("pending", &self.pending_donations)] {
+            let _ = writeln!(out, "{section} {:x}", bank.len());
+            for (energy, table) in bank {
+                let dim = table.first().map_or(0, |(x, _)| x.len());
+                let _ = writeln!(out, "seed {} {:x} {:x}", hex(*energy), table.len(), dim);
+                for (x, xt) in table {
+                    let mut line = String::from("pair");
+                    push_vector(&mut line, x);
+                    push_vector(&mut line, xt);
+                    out.push_str(&line);
+                    out.push('\n');
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parse the format produced by [`serialize_to_string`](Self::serialize_to_string).
+    pub fn parse(text: &str) -> Result<Self, CheckpointError> {
+        struct LineReader<'s> {
+            inner: std::iter::Enumerate<std::str::Lines<'s>>,
+        }
+        impl<'s> LineReader<'s> {
+            fn expect(&mut self, tag: &str) -> Result<Tokens<'s>, CheckpointError> {
+                let (i, line) =
+                    self.inner.next().ok_or_else(|| err(format!("truncated: expected `{tag}`")))?;
+                let line_no = i + 1;
+                let mut toks = Tokens { line_no, toks: line.split_whitespace() };
+                let head = toks.next()?;
+                if head != tag {
+                    return Err(err(format!("line {line_no}: expected `{tag}`, found `{head}`")));
+                }
+                Ok(toks)
+            }
+        }
+        let mut lines = LineReader { inner: text.lines().enumerate() };
+
+        let (_, magic) = lines.inner.next().ok_or_else(|| err("empty checkpoint"))?;
+        if magic.trim() != MAGIC {
+            return Err(err(format!("bad magic line `{}`", magic.trim())));
+        }
+
+        let mut t = lines.expect("fingerprint")?;
+        let nf = t.usize()?;
+        let fingerprint = (0..nf).map(|_| t.u64()).collect::<Result<Vec<_>, _>>()?;
+
+        let mut t = lines.expect("grid")?;
+        let ng = t.usize()?;
+        let initial_energies = (0..ng).map(|_| t.f64()).collect::<Result<Vec<_>, _>>()?;
+
+        let mut t = lines.expect("records")?;
+        let nr = t.usize()?;
+        let mut records = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            let mut t = lines.expect("record")?;
+            let energy = t.f64()?;
+            let origin_tag = t.next()?;
+            let origin_idx = t.usize()?;
+            let origin_lo = t.f64()?;
+            let origin_hi = t.f64()?;
+            let origin = match origin_tag {
+                "i" => EnergyOrigin::Initial(origin_idx),
+                "r" => EnergyOrigin::Refined { lo: origin_lo, hi: origin_hi },
+                other => return Err(err(format!("unknown origin tag `{other}`"))),
+            };
+            let has_seed = t.bool()?;
+            let seed_energy = t.f64()?;
+            let seeded_from = has_seed.then_some(seed_energy);
+            let stats = EnergyStats {
+                bicg_iterations: t.usize()?,
+                matvecs: t.usize()?,
+                warm_solves: t.usize()?,
+                cold_solves: t.usize()?,
+                warm_iterations: t.usize()?,
+                cold_iterations: t.usize()?,
+                capped_solves: t.usize()?,
+                accepted: t.usize()?,
+                discarded: t.usize()?,
+                numerical_rank: t.usize()?,
+            };
+            let npoints = t.usize()?;
+            let mut points = Vec::with_capacity(npoints);
+            for _ in 0..npoints {
+                let mut t = lines.expect("point")?;
+                points.push(CbsPoint {
+                    energy: t.f64()?,
+                    energy_index: 0,
+                    lambda: c64(t.f64()?, t.f64()?),
+                    k_re: t.f64()?,
+                    k_im: t.f64()?,
+                    propagating: t.bool()?,
+                    residual: t.f64()?,
+                });
+            }
+            records.push(EnergyRecord { energy, origin, seeded_from, stats, points });
+        }
+
+        let mut banks: Vec<Vec<(f64, SeedTable)>> = Vec::with_capacity(2);
+        for section in ["seeds", "pending"] {
+            let mut t = lines.expect(section)?;
+            let nb = t.usize()?;
+            let mut bank = Vec::with_capacity(nb);
+            for _ in 0..nb {
+                let mut t = lines.expect("seed")?;
+                let energy = t.f64()?;
+                let npairs = t.usize()?;
+                let dim = t.usize()?;
+                let mut table = Vec::with_capacity(npairs);
+                for _ in 0..npairs {
+                    let mut t = lines.expect("pair")?;
+                    let x = read_vector(&mut t, dim)?;
+                    let xt = read_vector(&mut t, dim)?;
+                    table.push((x, xt));
+                }
+                bank.push((energy, table));
+            }
+            banks.push(bank);
+        }
+        let pending_donations = banks.pop().unwrap();
+        let seed_bank = banks.pop().unwrap();
+        lines.expect("end")?;
+
+        Ok(Self { fingerprint, initial_energies, records, seed_bank, pending_donations })
+    }
+
+    /// Write atomically (temp file + rename) so a kill mid-save leaves the
+    /// previous checkpoint intact.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.serialize_to_string())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Load and parse a checkpoint file.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_linalg::Complex64;
+
+    fn sample() -> SweepCheckpoint {
+        let p = CbsPoint {
+            energy: 0.125,
+            energy_index: 0,
+            lambda: c64(0.5, -0.25),
+            k_re: 1.5,
+            k_im: -0.75,
+            propagating: true,
+            residual: 1e-9,
+        };
+        let rec = EnergyRecord {
+            energy: 0.125,
+            origin: EnergyOrigin::Initial(3),
+            seeded_from: Some(-0.5),
+            stats: EnergyStats {
+                bicg_iterations: 10,
+                matvecs: 22,
+                warm_solves: 4,
+                cold_solves: 0,
+                warm_iterations: 10,
+                cold_iterations: 0,
+                capped_solves: 2,
+                accepted: 1,
+                discarded: 3,
+                numerical_rank: 5,
+            },
+            points: vec![p],
+        };
+        let rec2 = EnergyRecord {
+            energy: 0.3,
+            origin: EnergyOrigin::Refined { lo: 0.125, hi: 0.475 },
+            seeded_from: None,
+            stats: EnergyStats::default(),
+            points: Vec::new(),
+        };
+        let table = vec![(
+            CVector::from_vec(vec![c64(1.0, 2.0), c64(-0.5, 1e-300)]),
+            CVector::from_vec(vec![Complex64::ZERO, c64(f64::MIN_POSITIVE, -0.0)]),
+        )];
+        let pending_table = vec![(
+            CVector::from_vec(vec![c64(3.5, -4.25)]),
+            CVector::from_vec(vec![c64(0.0, 1.0)]),
+        )];
+        SweepCheckpoint {
+            fingerprint: vec![1, 2, 0xdeadbeef],
+            initial_energies: vec![-0.5, 0.125, 0.475],
+            records: vec![rec, rec2],
+            seed_bank: vec![(0.125, table)],
+            pending_donations: vec![(0.475, pending_table)],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let cp = sample();
+        let text = cp.serialize_to_string();
+        let back = SweepCheckpoint::parse(&text).expect("parse");
+        assert_eq!(back.fingerprint, cp.fingerprint);
+        assert_eq!(back.initial_energies.len(), cp.initial_energies.len());
+        for (a, b) in back.initial_energies.iter().zip(&cp.initial_energies) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.records.len(), 2);
+        let (r0, c0) = (&back.records[0], &cp.records[0]);
+        assert_eq!(r0.energy.to_bits(), c0.energy.to_bits());
+        assert!(matches!(r0.origin, EnergyOrigin::Initial(3)));
+        assert_eq!(r0.seeded_from.map(f64::to_bits), c0.seeded_from.map(f64::to_bits));
+        assert_eq!(r0.stats, c0.stats);
+        assert_eq!(r0.points.len(), 1);
+        let (p, q) = (&r0.points[0], &c0.points[0]);
+        assert_eq!(p.lambda.re.to_bits(), q.lambda.re.to_bits());
+        assert_eq!(p.lambda.im.to_bits(), q.lambda.im.to_bits());
+        assert_eq!(p.k_im.to_bits(), q.k_im.to_bits());
+        assert_eq!(p.propagating, q.propagating);
+        match back.records[1].origin {
+            EnergyOrigin::Refined { lo, hi } => {
+                assert_eq!(lo.to_bits(), (0.125f64).to_bits());
+                assert_eq!(hi.to_bits(), (0.475f64).to_bits());
+            }
+            _ => panic!("wrong origin"),
+        }
+        // Seed vectors round-trip exactly, including -0.0 and subnormal-scale values.
+        let (e, table) = &back.seed_bank[0];
+        assert_eq!(e.to_bits(), (0.125f64).to_bits());
+        let (x, xt) = &table[0];
+        let (cx, cxt) = &cp.seed_bank[0].1[0];
+        assert_eq!(x, cx);
+        for (a, b) in xt.iter().zip(cxt.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        // In-flight donations round-trip separately from the committed bank.
+        assert_eq!(back.pending_donations.len(), 1);
+        let (pe, ptable) = &back.pending_donations[0];
+        assert_eq!(pe.to_bits(), (0.475f64).to_bits());
+        assert_eq!(ptable[0].0, cp.pending_donations[0].1[0].0);
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let cp = sample();
+        let dir = std::env::temp_dir().join("cbs_sweep_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.txt");
+        cp.save(&path).unwrap();
+        let back = SweepCheckpoint::load(&path).unwrap();
+        assert_eq!(back.records.len(), cp.records.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(SweepCheckpoint::parse("").is_err());
+        assert!(SweepCheckpoint::parse("not a checkpoint\n").is_err());
+        let text = sample().serialize_to_string();
+        // Truncation (drop the trailing `end`) must be detected.
+        let truncated = text.trim_end().trim_end_matches("end").to_string();
+        assert!(SweepCheckpoint::parse(&truncated).is_err());
+        // Corrupt a hex token.
+        let corrupt = text.replacen("record", "rekord", 1);
+        assert!(SweepCheckpoint::parse(&corrupt).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! The flattened cross-energy task pool.
+//!
+//! One round of a sweep holds several per-energy solve groups; each group is
+//! an `N_int x N_rh` grid of shifted dual-BiCG systems.  Instead of running
+//! the groups one after another (each dispatching its own small batch, as
+//! the per-energy `compute_cbs` loop does), this module concatenates the
+//! jobs of **all** groups of the round into a single batch per majority-stop
+//! stage and dispatches that through the [`TaskExecutor`] seam — so a wide
+//! executor stays saturated even when a single energy's grid is smaller
+//! than the machine.
+//!
+//! Determinism contract: jobs are listed group-major in engine job order
+//! (`j * N_rh + rhs`), executors return results in input order, and each
+//! group's [`MomentAccumulator`] folds only its own outcomes in that order —
+//! so the accumulated moments (and everything extracted from them) are
+//! bit-identical to running each group alone through
+//! [`cbs_core::ShiftedSolveEngine`], on every executor.  The per-group
+//! majority-stop rule is the engine's two-stage form evaluated per group:
+//! the cap is a pure function of the group's own first-stage results.
+
+use cbs_core::{MomentAccumulator, QepProblem, ShiftedSolveOutcome, SsConfig};
+use cbs_linalg::CVector;
+use cbs_parallel::TaskExecutor;
+use cbs_solver::bicg_dual_seeded;
+
+use crate::sweep::SeedTable;
+
+/// One per-energy solve group entering a round.
+pub(crate) struct SolveGroup<'a, 'p> {
+    /// The QEP at this group's scan energy.
+    pub problem: &'p QepProblem<'a>,
+    /// Full job-order warm-start table (`n_int * n_rh` pairs), or `None`
+    /// for a cold group.
+    pub seeds: Option<&'p SeedTable>,
+    /// Retain the group's solutions as a donor table.  `false` (cold
+    /// sweeps, or a bank that will not be consulted) drops each solution
+    /// after its moment contribution, keeping the cold sweep's footprint at
+    /// the per-energy loop's level.
+    pub keep_solutions: bool,
+}
+
+/// Everything the round solve produces for one group.
+pub(crate) struct GroupOutcome {
+    /// The group's accumulated moments and histories.
+    pub acc: MomentAccumulator,
+    /// Primal BiCG iterations summed over the group's solves.
+    pub iterations: usize,
+    /// Operator applications summed over the group's solves.
+    pub matvecs: usize,
+    /// Solves that ran under the majority-stop cap.
+    pub capped_solves: usize,
+    /// Number of solves (each = one primal+dual pair).
+    pub solves: usize,
+    /// `(x, x̃)` solutions in job order — the group's donor table for
+    /// later energies.
+    pub solutions: SeedTable,
+}
+
+/// Majority-stop bookkeeping for one group (the engine's rule, per group).
+struct GroupTracking {
+    point_converged: Vec<bool>,
+    converged_iter_max: usize,
+}
+
+impl GroupTracking {
+    fn new(n_int: usize) -> Self {
+        Self { point_converged: vec![true; n_int], converged_iter_max: 0 }
+    }
+
+    fn record(&mut self, o: &ShiftedSolveOutcome) {
+        self.point_converged[o.point_index] &= o.history.converged() && o.dual_history.converged();
+        if o.history.converged() {
+            self.converged_iter_max = self.converged_iter_max.max(o.history.iterations());
+        }
+    }
+
+    fn converged_among(&self, n_points: usize) -> usize {
+        self.point_converged[..n_points].iter().filter(|&&c| c).count()
+    }
+}
+
+/// One job of the flattened pool.
+#[derive(Clone, Copy)]
+struct FlatJob {
+    group: usize,
+    point_index: usize,
+    rhs_index: usize,
+    cap: Option<usize>,
+}
+
+/// Solve all groups of one round through a single flattened task pool.
+///
+/// Returns one [`GroupOutcome`] per group, in group order.
+pub(crate) fn solve_round<E: TaskExecutor>(
+    groups: &[SolveGroup<'_, '_>],
+    config: &SsConfig,
+    v_cols: &[CVector],
+    executor: &E,
+) -> Vec<GroupOutcome> {
+    let n = v_cols.first().map_or(0, |v| v.len());
+    let contour = config.contour();
+    let outer = contour.outer_points();
+    let n_int = config.n_int;
+    let n_rh = config.n_rh;
+    let options = config.solver_options();
+
+    let run_job = |job: FlatJob| -> (usize, ShiftedSolveOutcome) {
+        let group = &groups[job.group];
+        let op = group.problem.operator(outer[job.point_index].z);
+        let v = &v_cols[job.rhs_index];
+        let stop_at = job.cap.map(|c| c.max(1));
+        let stop_cb = move |iter: usize| stop_at.is_some_and(|c| iter >= c);
+        let external: Option<&(dyn Fn(usize) -> bool + Sync)> =
+            if stop_at.is_some() { Some(&stop_cb) } else { None };
+        let seed =
+            group.seeds.map(|t| &t[job.point_index * n_rh + job.rhs_index]).map(|(x, xt)| (x, xt));
+        let res = bicg_dual_seeded(&op, v, v, seed, &options, external);
+        (
+            job.group,
+            ShiftedSolveOutcome {
+                point_index: job.point_index,
+                rhs_index: job.rhs_index,
+                x: res.x,
+                dual_x: res.dual_x,
+                history: res.history,
+                dual_history: res.dual_history,
+            },
+        )
+    };
+
+    let mut outcomes: Vec<GroupOutcome> = groups
+        .iter()
+        .map(|g| GroupOutcome {
+            acc: MomentAccumulator::new(n, config),
+            iterations: 0,
+            matvecs: 0,
+            capped_solves: 0,
+            solves: 0,
+            solutions: if g.keep_solutions { Vec::with_capacity(n_int * n_rh) } else { Vec::new() },
+        })
+        .collect();
+    let mut tracking: Vec<GroupTracking> =
+        groups.iter().map(|_| GroupTracking::new(n_int)).collect();
+
+    // Fold step shared by both stages: runs on the calling thread in input
+    // (= group-major job) order on every executor.  Takes its state
+    // explicitly so the borrows end with each stage.
+    let record = |tracking: &mut [GroupTracking],
+                  outcomes: &mut [GroupOutcome],
+                  (g, outcome): (usize, ShiftedSolveOutcome)| {
+        tracking[g].record(&outcome);
+        let out = &mut outcomes[g];
+        out.iterations += outcome.history.iterations();
+        out.matvecs += outcome.history.matvecs;
+        out.solves += 1;
+        let pair = out.acc.record(outcome);
+        if groups[g].keep_solutions {
+            out.solutions.push(pair);
+        }
+    };
+
+    let jobs_for = |points: std::ops::Range<usize>, caps: &[Option<usize>]| -> Vec<FlatJob> {
+        let mut jobs = Vec::new();
+        for (g, _) in groups.iter().enumerate() {
+            for point_index in points.clone() {
+                for rhs_index in 0..n_rh {
+                    jobs.push(FlatJob { group: g, point_index, rhs_index, cap: caps[g] });
+                }
+            }
+        }
+        jobs
+    };
+
+    if !config.majority_stop {
+        let caps = vec![None; groups.len()];
+        executor.execute_fold(jobs_for(0..n_int, &caps), run_job, (), |(), o| {
+            record(&mut tracking, &mut outcomes, o)
+        });
+    } else {
+        // Stage 1: strictly more than half of each group's quadrature
+        // points run to convergence, uncapped.
+        let stage1_points = (n_int / 2 + 1).min(n_int);
+        let caps = vec![None; groups.len()];
+        executor.execute_fold(jobs_for(0..stage1_points, &caps), run_job, (), |(), o| {
+            record(&mut tracking, &mut outcomes, o)
+        });
+
+        // Per-group cap: the engine's rule, from the group's own stage-1
+        // results only.
+        let caps: Vec<Option<usize>> = tracking
+            .iter()
+            .map(|t| {
+                let converged = t.converged_among(stage1_points);
+                if converged * 2 > n_int && t.converged_iter_max > 0 {
+                    Some(t.converged_iter_max)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let stage2_per_group = (n_int - stage1_points) * n_rh;
+        for (g, cap) in caps.iter().enumerate() {
+            if cap.is_some() {
+                outcomes[g].capped_solves = stage2_per_group;
+            }
+        }
+        executor.execute_fold(jobs_for(stage1_points..n_int, &caps), run_job, (), |(), o| {
+            record(&mut tracking, &mut outcomes, o)
+        });
+    }
+
+    outcomes
+}

@@ -1,0 +1,618 @@
+//! The multi-energy sweep orchestrator.
+//!
+//! [`EnergySweep`] owns the whole Figures-6/11 workload: it plans the scan
+//! energies into release rounds ([`cbs_parallel::SweepSchedule`]), solves
+//! each round's per-energy groups through one flattened task pool
+//! (the `pool` module), warm-starts every group from the nearest
+//! already-completed energy's solutions, adaptively bisects intervals where
+//! the propagating-channel count changes (or a caller-supplied predicate
+//! fires), and checkpoints after every completed energy so a killed sweep
+//! resumes bit-identically.
+//!
+//! Determinism invariants, locked in by `tests/sweep_determinism.rs` at the
+//! workspace root:
+//!
+//! * serial and rayon executors produce bit-identical results for any
+//!   fixed configuration (warm or cold);
+//! * a cold sweep ([`SweepConfig::cold`]) on an ascending grid is
+//!   bit-identical to the per-energy `compute_cbs` loop;
+//! * a resumed sweep reproduces the uninterrupted one bit-for-bit
+//!   (counters included; wall-clock timings are per-run).
+
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+
+use cbs_core::{
+    classify_point, extract_from_moments, source_block, CbsPoint, CbsStatistics,
+    ComplexBandStructure, QepProblem,
+};
+use cbs_dft::BandStructure;
+use cbs_linalg::CVector;
+use cbs_parallel::TaskExecutor;
+use cbs_sparse::LinearOperator;
+use serde::{Deserialize, Serialize};
+
+use crate::checkpoint::{CheckpointError, SweepCheckpoint};
+use crate::config::SweepConfig;
+use crate::pool::{solve_round, SolveGroup};
+
+/// A full `(x, x̃)` solution table in engine job order
+/// (`point_index * N_rh + rhs_index`) — the currency of warm-starting: each
+/// completed energy donates its table, each new energy seeds from the
+/// nearest donor.
+pub type SeedTable = Vec<(CVector, CVector)>;
+
+/// Where a scan energy came from.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EnergyOrigin {
+    /// Member of the caller's initial grid (position in the ascending,
+    /// deduplicated grid).
+    Initial(usize),
+    /// Inserted by adaptive refinement as the midpoint of a flagged
+    /// interval.
+    Refined {
+        /// Lower endpoint of the bisected interval.
+        lo: f64,
+        /// Upper endpoint of the bisected interval.
+        hi: f64,
+    },
+}
+
+/// Per-energy solver counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyStats {
+    /// Primal BiCG iterations over the energy's solves.
+    pub bicg_iterations: usize,
+    /// Operator applications over the energy's solves.
+    pub matvecs: usize,
+    /// Solves that started from a donor seed.
+    pub warm_solves: usize,
+    /// Solves that started cold.
+    pub cold_solves: usize,
+    /// Iterations spent in warm-started solves.
+    pub warm_iterations: usize,
+    /// Iterations spent in cold solves.
+    pub cold_iterations: usize,
+    /// Solves run under the majority-stop cap.
+    pub capped_solves: usize,
+    /// Eigenpairs accepted by the residual filter.
+    pub accepted: usize,
+    /// Candidates discarded by the residual filter.
+    pub discarded: usize,
+    /// Numerical rank selected by the Hankel SVD.
+    pub numerical_rank: usize,
+}
+
+/// One completed scan energy: its classified CBS points plus provenance and
+/// counters.  The unit of checkpointing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EnergyRecord {
+    /// The scan energy (hartree).
+    pub energy: f64,
+    /// Where this energy came from.
+    pub origin: EnergyOrigin,
+    /// Energy of the warm-start donor, if the solves were seeded.
+    pub seeded_from: Option<f64>,
+    /// Solver counters.
+    pub stats: EnergyStats,
+    /// Classified solutions at this energy (`energy_index` is assigned at
+    /// assembly time, once the final grid is known).
+    pub points: Vec<CbsPoint>,
+}
+
+impl EnergyRecord {
+    /// Number of propagating channels at this energy.
+    pub fn channel_count(&self) -> usize {
+        self.points.iter().filter(|p| p.propagating).count()
+    }
+}
+
+/// Decides whether the interval between two completed neighbouring energies
+/// deserves bisection, *in addition to* the built-in channel-count-change
+/// rule.  Implementations must be pure functions of their arguments so
+/// refinement stays deterministic across executors and resumes.
+pub trait RefinementPredicate: Sync {
+    /// `true` to bisect the interval `(lo.energy, hi.energy)`.
+    fn should_refine(&self, lo: &EnergyRecord, hi: &EnergyRecord) -> bool;
+}
+
+/// Bisect intervals that bracket a band edge of a reference (real-k) band
+/// structure — the `cbs-dft` predicate for resolving channel openings
+/// cheaply: band edges are exactly where the CBS channel count jumps.
+///
+/// The (sorted) edge list is extracted once at construction, so each
+/// interval query is a scan of a small precomputed vector rather than a
+/// rescan of the full band structure.
+pub struct BandEdgeRefiner {
+    edges: Vec<f64>,
+}
+
+impl BandEdgeRefiner {
+    /// Precompute the band edges of `bands` (see
+    /// [`BandStructure::band_edges`]).
+    pub fn new(bands: &BandStructure) -> Self {
+        Self { edges: bands.band_edges(0.0) }
+    }
+}
+
+impl RefinementPredicate for BandEdgeRefiner {
+    fn should_refine(&self, lo: &EnergyRecord, hi: &EnergyRecord) -> bool {
+        let (a, b) =
+            if lo.energy <= hi.energy { (lo.energy, hi.energy) } else { (hi.energy, lo.energy) };
+        self.edges.iter().any(|&edge| edge > a && edge < b)
+    }
+}
+
+/// Result of a completed sweep.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// The band structure: energies ascending (refined energies merged in),
+    /// every point carrying its `energy_index`.
+    pub cbs: ComplexBandStructure,
+    /// Aggregate statistics, including the cold/warm iteration split and
+    /// the number of refined energies.
+    pub stats: CbsStatistics,
+    /// Per-energy records, ascending in energy.
+    pub records: Vec<EnergyRecord>,
+}
+
+/// Optional knobs of [`EnergySweep::run_with`].
+#[derive(Default)]
+pub struct RunOptions<'p> {
+    /// Write a [`SweepCheckpoint`] here after every completed energy
+    /// (atomically: temp file + rename).
+    pub checkpoint_path: Option<&'p Path>,
+    /// Resume from a previously saved checkpoint.  The configuration,
+    /// period and initial grid must match bit-exactly.
+    pub resume: Option<SweepCheckpoint>,
+    /// Stop (checkpointably) after this many *newly solved* energies — the
+    /// test hook that simulates a killed sweep.
+    pub max_new_energies: Option<usize>,
+    /// Extra refinement trigger, OR-ed with the channel-count-change rule.
+    pub predicate: Option<&'p dyn RefinementPredicate>,
+}
+
+/// What [`EnergySweep::run_with`] came back with.
+pub enum RunOutcome {
+    /// The sweep ran to completion.
+    Complete(SweepResult),
+    /// The `max_new_energies` budget ran out; the checkpoint resumes it.
+    Interrupted(SweepCheckpoint),
+}
+
+impl RunOutcome {
+    /// Unwrap a completed sweep.
+    pub fn expect_complete(self, msg: &str) -> SweepResult {
+        match self {
+            RunOutcome::Complete(r) => r,
+            RunOutcome::Interrupted(_) => panic!("{msg}"),
+        }
+    }
+}
+
+/// Warm-start donor bank: completed energies' solution tables in completion
+/// order, evicting the oldest beyond the configured capacity.
+struct SeedBank {
+    entries: VecDeque<(f64, SeedTable)>,
+}
+
+impl SeedBank {
+    fn new() -> Self {
+        Self { entries: VecDeque::new() }
+    }
+
+    fn insert(&mut self, energy: f64, table: SeedTable, capacity: usize) {
+        self.entries.push_back((energy, table));
+        while self.entries.len() > capacity.max(1) {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Nearest donor by `|ΔE|`; ties resolved toward the lower energy so
+    /// the choice is deterministic.
+    fn nearest(&self, energy: f64) -> Option<(f64, &SeedTable)> {
+        self.entries
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.0 - energy).abs();
+                let db = (b.0 - energy).abs();
+                da.partial_cmp(&db).unwrap().then(a.0.partial_cmp(&b.0).unwrap())
+            })
+            .map(|(e, t)| (*e, t))
+    }
+}
+
+/// Mutable progress of one run (completed records, donor bank, counters).
+struct State {
+    records: Vec<EnergyRecord>,
+    /// Bits of completed energies → index into `records`.
+    done: HashMap<u64, usize>,
+    /// Committed donor tables: only *fully completed* batches.  Donor
+    /// selection reads exclusively from here, so the donors of a batch are
+    /// a pure function of the batches before it — which is what keeps a
+    /// mid-batch kill/resume bit-identical even once capacity eviction
+    /// starts (the in-flight batch's donations live in `pending` until the
+    /// batch completes, and are carried by the checkpoint).
+    bank: SeedBank,
+    /// Donations of the batch currently in flight, in completion order,
+    /// committed to `bank` when the batch's last energy finishes.
+    pending: Vec<(f64, SeedTable)>,
+    new_energies: usize,
+    linear_solve_seconds: f64,
+    extraction_seconds: f64,
+}
+
+enum BatchStatus {
+    Done,
+    BudgetExhausted,
+}
+
+/// The batched, warm-started, adaptive multi-energy CBS driver.
+pub struct EnergySweep<'a> {
+    h00: &'a dyn LinearOperator,
+    h01: &'a dyn LinearOperator,
+    period: f64,
+    config: SweepConfig,
+}
+
+impl<'a> EnergySweep<'a> {
+    /// Build a sweep over the block Hamiltonian `h00`/`h01` with lattice
+    /// period `period` (bohr).
+    pub fn new(
+        h00: &'a dyn LinearOperator,
+        h01: &'a dyn LinearOperator,
+        period: f64,
+        config: SweepConfig,
+    ) -> Self {
+        assert_eq!(h00.nrows(), h00.ncols(), "H00 must be square");
+        assert_eq!(h01.nrows(), h01.ncols(), "H01 must be square");
+        assert_eq!(h00.nrows(), h01.nrows(), "H00 and H01 must have the same size");
+        assert!(period > 0.0, "period must be positive");
+        assert!(config.ss.n_rh > 0, "need at least one right-hand side");
+        Self { h00, h01, period, config }
+    }
+
+    /// The sweep's configuration.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+
+    /// Run the sweep to completion with no checkpointing.
+    pub fn run<E: TaskExecutor>(&self, energies: &[f64], executor: &E) -> SweepResult {
+        self.run_with(energies, executor, RunOptions::default())
+            .expect("no checkpoint I/O involved")
+            .expect_complete("no energy budget set")
+    }
+
+    /// Run with checkpointing, resume, an energy budget, or an extra
+    /// refinement predicate.
+    pub fn run_with<E: TaskExecutor>(
+        &self,
+        energies: &[f64],
+        executor: &E,
+        opts: RunOptions<'_>,
+    ) -> Result<RunOutcome, CheckpointError> {
+        let mut opts = opts;
+        let n = self.h00.dim();
+        let fingerprint = self.config.fingerprint(self.period);
+
+        // Ascending, bit-deduplicated grid: the canonical processing order.
+        let mut grid: Vec<f64> = energies.to_vec();
+        grid.sort_by(|a, b| a.partial_cmp(b).expect("scan energies must not be NaN"));
+        grid.dedup_by(|a, b| a.to_bits() == b.to_bits());
+        assert!(!grid.is_empty(), "need at least one scan energy");
+
+        let mut st = State {
+            records: Vec::new(),
+            done: HashMap::new(),
+            bank: SeedBank::new(),
+            pending: Vec::new(),
+            new_energies: 0,
+            linear_solve_seconds: 0.0,
+            extraction_seconds: 0.0,
+        };
+        if let Some(cp) = opts.resume.take() {
+            if cp.fingerprint != fingerprint {
+                return Err(CheckpointError(
+                    "configuration fingerprint mismatch: cannot resume".into(),
+                ));
+            }
+            let grid_bits: Vec<u64> = grid.iter().map(|e| e.to_bits()).collect();
+            let cp_bits: Vec<u64> = cp.initial_energies.iter().map(|e| e.to_bits()).collect();
+            if grid_bits != cp_bits {
+                return Err(CheckpointError("energy grid mismatch: cannot resume".into()));
+            }
+            for (i, r) in cp.records.iter().enumerate() {
+                st.done.insert(r.energy.to_bits(), i);
+            }
+            st.records = cp.records;
+            for (e, t) in cp.seed_bank {
+                st.bank.entries.push_back((e, t));
+            }
+            st.pending = cp.pending_donations;
+        }
+
+        let v_cols = source_block(n, &self.config.ss);
+        let checkpoint = |st: &State| SweepCheckpoint {
+            fingerprint: fingerprint.clone(),
+            initial_energies: grid.clone(),
+            records: st.records.clone(),
+            seed_bank: st.bank.entries.iter().cloned().collect(),
+            pending_donations: st.pending.clone(),
+        };
+
+        // --- Initial grid, released round by round. -----------------------
+        for round in self.config.schedule().rounds(grid.len()) {
+            let batch: Vec<(f64, EnergyOrigin)> =
+                round.into_iter().map(|i| (grid[i], EnergyOrigin::Initial(i))).collect();
+            match self.solve_batch(batch, &v_cols, executor, &mut st, &opts, &checkpoint)? {
+                BatchStatus::Done => {}
+                BatchStatus::BudgetExhausted => {
+                    return Ok(RunOutcome::Interrupted(checkpoint(&st)))
+                }
+            }
+        }
+
+        // --- Adaptive refinement, generation by generation. ---------------
+        //
+        // Each generation's candidate list is a pure function of the records
+        // *visible* to it (initial grid + earlier generations), replayed
+        // from completed records on resume — so an interrupted sweep makes
+        // exactly the same refinement decisions as an uninterrupted one.
+        if self.config.max_refinements > 0 {
+            let mut visible: Vec<usize> = (0..st.records.len())
+                .filter(|&i| matches!(st.records[i].origin, EnergyOrigin::Initial(_)))
+                .collect();
+            loop {
+                // Replay invariant: only *earlier generations* (the visible
+                // refined records) count against this generation's budget,
+                // so a resumed sweep recomputes exactly the candidate list
+                // the uninterrupted sweep acted on.
+                let visible_refined = visible
+                    .iter()
+                    .filter(|&&i| matches!(st.records[i].origin, EnergyOrigin::Refined { .. }))
+                    .count();
+                let candidates = self.refinement_candidates(
+                    &st,
+                    &visible,
+                    self.config.max_refinements.saturating_sub(visible_refined),
+                    opts.predicate,
+                );
+                if candidates.is_empty() {
+                    break;
+                }
+                match self.solve_batch(
+                    candidates.clone(),
+                    &v_cols,
+                    executor,
+                    &mut st,
+                    &opts,
+                    &checkpoint,
+                )? {
+                    BatchStatus::Done => {}
+                    BatchStatus::BudgetExhausted => {
+                        return Ok(RunOutcome::Interrupted(checkpoint(&st)))
+                    }
+                }
+                for (e, _) in &candidates {
+                    let idx = st.done[&e.to_bits()];
+                    visible.push(idx);
+                }
+            }
+        }
+
+        Ok(RunOutcome::Complete(self.assemble(st)))
+    }
+
+    /// Solve one *logical* batch of energies (a release round or refinement
+    /// generation) through a single flattened task pool and fold the
+    /// outcomes into the state, checkpointing after each energy.
+    ///
+    /// `batch` is the full batch including energies a resumed run already
+    /// completed; only the missing ones are solved.  Donor tables are read
+    /// from the committed bank only, and the batch's own donations are
+    /// committed together once its last energy finishes — so donors depend
+    /// solely on which *batches* completed, never on where inside a batch a
+    /// previous run was killed.
+    fn solve_batch<E: TaskExecutor>(
+        &self,
+        batch: Vec<(f64, EnergyOrigin)>,
+        v_cols: &[CVector],
+        executor: &E,
+        st: &mut State,
+        opts: &RunOptions<'_>,
+        checkpoint: &dyn Fn(&State) -> SweepCheckpoint,
+    ) -> Result<BatchStatus, CheckpointError> {
+        let batch_bits: std::collections::HashSet<u64> =
+            batch.iter().map(|(e, _)| e.to_bits()).collect();
+        let mut to_solve: Vec<(f64, EnergyOrigin)> =
+            batch.into_iter().filter(|(e, _)| !st.done.contains_key(&e.to_bits())).collect();
+        let mut truncated = false;
+        if let Some(max_new) = opts.max_new_energies {
+            let allowed = max_new.saturating_sub(st.new_energies);
+            if allowed < to_solve.len() {
+                to_solve.truncate(allowed);
+                truncated = true;
+            }
+        }
+        let warm = self.config.warm_start;
+
+        if !to_solve.is_empty() {
+            let problems: Vec<QepProblem<'_>> = to_solve
+                .iter()
+                .map(|&(e, _)| QepProblem::new(self.h00, self.h01, e, self.period))
+                .collect();
+            let donors: Vec<Option<(f64, &SeedTable)>> = to_solve
+                .iter()
+                .map(|&(e, _)| if warm { st.bank.nearest(e) } else { None })
+                .collect();
+            let donor_energies: Vec<Option<f64>> =
+                donors.iter().map(|d| d.map(|(e, _)| e)).collect();
+            let groups: Vec<SolveGroup<'_, '_>> = problems
+                .iter()
+                .zip(&donors)
+                .map(|(p, d)| SolveGroup {
+                    problem: p,
+                    seeds: d.map(|(_, t)| t),
+                    // Cold sweeps never consult the bank, so don't pay the
+                    // memory of retaining every solution vector.
+                    keep_solutions: warm,
+                })
+                .collect();
+
+            let t0 = std::time::Instant::now();
+            let outcomes = solve_round(&groups, &self.config.ss, v_cols, executor);
+            st.linear_solve_seconds += t0.elapsed().as_secs_f64();
+            drop(groups);
+            drop(donors);
+
+            for (i, ((energy, origin), outcome)) in to_solve.into_iter().zip(outcomes).enumerate() {
+                let result = extract_from_moments(
+                    &problems[i],
+                    &self.config.ss,
+                    v_cols,
+                    outcome.acc,
+                    outcome.iterations,
+                    outcome.matvecs,
+                    0.0,
+                );
+                st.extraction_seconds += result.timings.extraction_seconds;
+                // `energy_index` is a placeholder until assembly fixes the
+                // grid.
+                let points: Vec<CbsPoint> =
+                    result.eigenpairs.iter().map(|p| classify_point(&problems[i], 0, p)).collect();
+                let seeded = donor_energies[i];
+                let stats = EnergyStats {
+                    bicg_iterations: outcome.iterations,
+                    matvecs: outcome.matvecs,
+                    warm_solves: if seeded.is_some() { outcome.solves } else { 0 },
+                    cold_solves: if seeded.is_some() { 0 } else { outcome.solves },
+                    warm_iterations: if seeded.is_some() { outcome.iterations } else { 0 },
+                    cold_iterations: if seeded.is_some() { 0 } else { outcome.iterations },
+                    capped_solves: outcome.capped_solves,
+                    accepted: result.eigenpairs.len(),
+                    discarded: result.discarded,
+                    numerical_rank: result.numerical_rank,
+                };
+                st.done.insert(energy.to_bits(), st.records.len());
+                st.records.push(EnergyRecord {
+                    energy,
+                    origin,
+                    seeded_from: seeded,
+                    stats,
+                    points,
+                });
+                if warm {
+                    st.pending.push((energy, outcome.solutions));
+                }
+                st.new_energies += 1;
+                if let Some(path) = opts.checkpoint_path {
+                    checkpoint(st)
+                        .save(path)
+                        .map_err(|e| CheckpointError(format!("checkpoint save failed: {e}")))?;
+                }
+            }
+        }
+
+        if !truncated {
+            // The logical batch is complete: commit its donations (restored
+            // prefix + freshly solved suffix, in completion order) to the
+            // donor bank.  Donations of a *different* in-flight batch — a
+            // resumed checkpoint replaying earlier, already-complete rounds
+            // — stay pending until their own batch comes around.
+            let mut i = 0;
+            while i < st.pending.len() {
+                if batch_bits.contains(&st.pending[i].0.to_bits()) {
+                    let (e, t) = st.pending.remove(i);
+                    st.bank.insert(e, t, self.config.seed_bank_capacity);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        Ok(if truncated { BatchStatus::BudgetExhausted } else { BatchStatus::Done })
+    }
+
+    /// One generation of refinement candidates: midpoints of visible
+    /// adjacent intervals that are wide enough and flagged by the
+    /// channel-count rule or the extra predicate, truncated to `remaining`.
+    fn refinement_candidates(
+        &self,
+        st: &State,
+        visible: &[usize],
+        remaining: usize,
+        predicate: Option<&dyn RefinementPredicate>,
+    ) -> Vec<(f64, EnergyOrigin)> {
+        if remaining == 0 {
+            return Vec::new();
+        }
+        let mut sorted: Vec<&EnergyRecord> = visible.iter().map(|&i| &st.records[i]).collect();
+        sorted.sort_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap());
+        let mut out = Vec::new();
+        for w in sorted.windows(2) {
+            if out.len() == remaining {
+                break;
+            }
+            let (lo, hi) = (w[0], w[1]);
+            if hi.energy - lo.energy <= self.config.min_refine_spacing {
+                continue;
+            }
+            let trigger = lo.channel_count() != hi.channel_count()
+                || predicate.is_some_and(|p| p.should_refine(lo, hi));
+            if !trigger {
+                continue;
+            }
+            let mid = 0.5 * (lo.energy + hi.energy);
+            if mid <= lo.energy || mid >= hi.energy {
+                continue; // interval too narrow for a representable midpoint
+            }
+            out.push((mid, EnergyOrigin::Refined { lo: lo.energy, hi: hi.energy }));
+        }
+        out
+    }
+
+    /// Sort the records into the final ascending grid, assign
+    /// `energy_index` and aggregate the statistics.
+    fn assemble(&self, st: State) -> SweepResult {
+        let mut records = st.records;
+        records.sort_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap());
+        let energies: Vec<f64> = records.iter().map(|r| r.energy).collect();
+        let mut points = Vec::new();
+        let mut stats = CbsStatistics {
+            linear_solve_seconds: st.linear_solve_seconds,
+            extraction_seconds: st.extraction_seconds,
+            ..CbsStatistics::default()
+        };
+        for (index, rec) in records.iter_mut().enumerate() {
+            for p in rec.points.iter_mut() {
+                p.energy_index = index;
+            }
+            points.extend(rec.points.iter().copied());
+            stats.total_bicg_iterations += rec.stats.bicg_iterations;
+            stats.total_matvecs += rec.stats.matvecs;
+            stats.cold_bicg_iterations += rec.stats.cold_iterations;
+            stats.warm_bicg_iterations += rec.stats.warm_iterations;
+            stats.cold_solves += rec.stats.cold_solves;
+            stats.warm_started_solves += rec.stats.warm_solves;
+            stats.accepted += rec.stats.accepted;
+            stats.discarded += rec.stats.discarded;
+            if matches!(rec.origin, EnergyOrigin::Refined { .. }) {
+                stats.refined_energies += 1;
+            }
+        }
+        SweepResult { cbs: ComplexBandStructure { points, energies }, stats, records }
+    }
+}
+
+/// Convenience wrapper: sweep the given energies with `config`, mirroring
+/// `cbs_core::compute_cbs_with`'s signature.
+pub fn sweep_cbs<E: TaskExecutor>(
+    h00: &dyn LinearOperator,
+    h01: &dyn LinearOperator,
+    period: f64,
+    energies: &[f64],
+    config: &SweepConfig,
+    executor: &E,
+) -> SweepResult {
+    EnergySweep::new(h00, h01, period, *config).run(energies, executor)
+}

@@ -48,3 +48,7 @@ pub use cbs_obm as obm;
 
 /// Hierarchical parallel runtime and performance model (re-export of `cbs-parallel`).
 pub use cbs_parallel as parallel;
+
+/// Batched, warm-started, adaptive energy-sweep orchestration (re-export of
+/// `cbs-sweep`).
+pub use cbs_sweep as sweep;

@@ -1,0 +1,323 @@
+//! Determinism and acceptance tests of the `cbs-sweep` orchestrator:
+//!
+//! * a cold sweep is bit-identical to the per-energy `compute_cbs` loop,
+//!   on the serial *and* rayon executors;
+//! * a warm-started sweep is bit-identical across executors and uses
+//!   strictly fewer BiCG iterations than the cold loop on a fig6-style
+//!   (≥ 32 energies) scan;
+//! * a checkpointed sweep killed partway through resumes to a result
+//!   bit-identical to an uninterrupted run;
+//! * adaptive refinement inserts midpoints only where the channel count
+//!   changes, within budget, deterministically.
+
+use rand::SeedableRng;
+
+use cbs::core::{compute_cbs, SsConfig};
+use cbs::linalg::{c64, CMatrix};
+use cbs::parallel::{RayonExecutor, SerialExecutor};
+use cbs::sparse::DenseOp;
+use cbs::sweep::{
+    sweep_cbs, EnergyOrigin, RunOptions, RunOutcome, SweepCheckpoint, SweepConfig, SweepResult,
+};
+
+fn random_blocks(n: usize, seed: u64) -> (CMatrix, CMatrix) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let a = CMatrix::random(n, n, &mut rng);
+    let h00 = (&a + &a.adjoint()).scale(c64(0.5, 0.0));
+    let h01 = CMatrix::random(n, n, &mut rng).scale(c64(0.35, 0.0));
+    (h00, h01)
+}
+
+fn test_ss() -> SsConfig {
+    SsConfig {
+        n_int: 16,
+        n_mm: 4,
+        n_rh: 6,
+        bicg_tolerance: 1e-11,
+        residual_cutoff: 1e-6,
+        ..SsConfig::small()
+    }
+}
+
+fn assert_same_cbs(a: &SweepResult, b: &SweepResult) {
+    assert_eq!(a.cbs.energies.len(), b.cbs.energies.len());
+    for (x, y) in a.cbs.energies.iter().zip(&b.cbs.energies) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert_eq!(a.cbs.points.len(), b.cbs.points.len());
+    for (p, q) in a.cbs.points.iter().zip(&b.cbs.points) {
+        assert_eq!(p.energy_index, q.energy_index);
+        assert_eq!(p.lambda.re.to_bits(), q.lambda.re.to_bits());
+        assert_eq!(p.lambda.im.to_bits(), q.lambda.im.to_bits());
+        assert_eq!(p.k_re.to_bits(), q.k_re.to_bits());
+        assert_eq!(p.k_im.to_bits(), q.k_im.to_bits());
+        assert_eq!(p.propagating, q.propagating);
+        assert_eq!(p.residual.to_bits(), q.residual.to_bits());
+    }
+    assert_eq!(a.stats.total_bicg_iterations, b.stats.total_bicg_iterations);
+    assert_eq!(a.stats.total_matvecs, b.stats.total_matvecs);
+    assert_eq!(a.stats.warm_bicg_iterations, b.stats.warm_bicg_iterations);
+    assert_eq!(a.stats.cold_bicg_iterations, b.stats.cold_bicg_iterations);
+    assert_eq!(a.stats.refined_energies, b.stats.refined_energies);
+}
+
+/// Cold flattened sweep == per-energy loop, bit for bit, on both executors.
+#[test]
+fn cold_sweep_reproduces_per_energy_loop_on_both_executors() {
+    let (h00, h01) = random_blocks(10, 71);
+    let op00 = DenseOp::new(h00);
+    let op01 = DenseOp::new(h01);
+    let energies = [-0.3, -0.1, 0.1, 0.3];
+    let cold = SweepConfig::cold(test_ss());
+
+    let loop_run = compute_cbs(&op00, &op01, 1.6, &energies, &test_ss());
+    assert!(!loop_run.cbs.points.is_empty(), "test problem found no CBS points");
+
+    let serial = sweep_cbs(&op00, &op01, 1.6, &energies, &cold, &SerialExecutor);
+    let rayon = sweep_cbs(&op00, &op01, 1.6, &energies, &cold, &RayonExecutor);
+    assert_same_cbs(&serial, &rayon);
+
+    assert_eq!(serial.cbs.points.len(), loop_run.cbs.points.len());
+    for (p, q) in serial.cbs.points.iter().zip(&loop_run.cbs.points) {
+        assert_eq!(p.energy_index, q.energy_index);
+        assert_eq!(p.lambda.re.to_bits(), q.lambda.re.to_bits());
+        assert_eq!(p.lambda.im.to_bits(), q.lambda.im.to_bits());
+        assert_eq!(p.k_re.to_bits(), q.k_re.to_bits());
+        assert_eq!(p.k_im.to_bits(), q.k_im.to_bits());
+    }
+    assert_eq!(serial.stats.total_bicg_iterations, loop_run.stats.total_bicg_iterations);
+}
+
+/// Fig6-style acceptance: on a ≥ 32-energy scan, the warm-started sweep
+/// reports fewer total BiCG iterations than the cold loop, stays
+/// executor-independent, and finds the same physics (same per-energy point
+/// counts, matching eigenvalues within the solver tolerance).
+#[test]
+fn warm_sweep_beats_cold_loop_on_fig6_style_scan() {
+    let (h00, h01) = random_blocks(12, 72);
+    let op00 = DenseOp::new(h00);
+    let op01 = DenseOp::new(h01);
+    let n_energies = 32;
+    let energies: Vec<f64> =
+        (0..n_energies).map(|i| -0.3 + 0.6 * i as f64 / (n_energies - 1) as f64).collect();
+    let ss = test_ss();
+
+    let cold = sweep_cbs(&op00, &op01, 1.6, &energies, &SweepConfig::cold(ss), &SerialExecutor);
+    let warm_cfg = SweepConfig { initial_round: 4, ..SweepConfig::new(ss) };
+    let warm = sweep_cbs(&op00, &op01, 1.6, &energies, &warm_cfg, &SerialExecutor);
+
+    // Fewer iterations in total, with the split recorded in CbsStatistics.
+    assert!(
+        warm.stats.total_bicg_iterations < cold.stats.total_bicg_iterations,
+        "warm {} >= cold {}",
+        warm.stats.total_bicg_iterations,
+        cold.stats.total_bicg_iterations
+    );
+    assert!(warm.stats.warm_started_solves > 0);
+    assert_eq!(
+        warm.stats.warm_bicg_iterations + warm.stats.cold_bicg_iterations,
+        warm.stats.total_bicg_iterations
+    );
+    // The warm-started solves are cheaper per solve than the cold ones.
+    let warm_rate = warm.stats.warm_bicg_iterations as f64 / warm.stats.warm_started_solves as f64;
+    let cold_rate = cold.stats.total_bicg_iterations as f64 / cold.stats.cold_solves as f64;
+    assert!(warm_rate < cold_rate, "warm {warm_rate:.1} it/solve vs cold {cold_rate:.1}");
+
+    // Same physics: identical point counts per energy, eigenvalues within
+    // the solver tolerance of the cold run's.
+    assert_eq!(warm.cbs.points.len(), cold.cbs.points.len());
+    for (i, _) in energies.iter().enumerate() {
+        let wp: Vec<_> = warm.cbs.at_energy(i).collect();
+        let cp: Vec<_> = cold.cbs.at_energy(i).collect();
+        assert_eq!(wp.len(), cp.len(), "point count differs at energy {i}");
+        for (w, c) in wp.iter().zip(&cp) {
+            assert!(
+                (w.lambda - c.lambda).abs() < 1e-6,
+                "λ drifted: {:?} vs {:?}",
+                w.lambda,
+                c.lambda
+            );
+            assert_eq!(w.propagating, c.propagating);
+        }
+    }
+
+    // Executor independence of the warm-started sweep.
+    let warm_rayon = sweep_cbs(&op00, &op01, 1.6, &energies, &warm_cfg, &RayonExecutor);
+    assert_same_cbs(&warm, &warm_rayon);
+}
+
+/// Kill a checkpointed sweep partway, resume it, and get bit-identical
+/// results — including when the interruption lands mid-round.
+#[test]
+fn checkpointed_sweep_resumes_bit_identically() {
+    let (h00, h01) = random_blocks(10, 73);
+    let op00 = DenseOp::new(h00);
+    let op01 = DenseOp::new(h01);
+    let energies: Vec<f64> = (0..12).map(|i| -0.25 + 0.05 * i as f64).collect();
+    let config = SweepConfig { initial_round: 4, ..SweepConfig::new(test_ss()) };
+    let sweep = cbs::sweep::EnergySweep::new(&op00, &op01, 1.5, config);
+
+    let uninterrupted = sweep.run(&energies, &SerialExecutor);
+
+    let dir = std::env::temp_dir().join(format!("cbs_sweep_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sweep.cp");
+
+    for kill_after in [3usize, 7] {
+        // Run until the kill point, checkpointing each energy.
+        let outcome = sweep
+            .run_with(
+                &energies,
+                &SerialExecutor,
+                RunOptions {
+                    checkpoint_path: Some(&path),
+                    max_new_energies: Some(kill_after),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        let cp = match outcome {
+            RunOutcome::Interrupted(cp) => cp,
+            RunOutcome::Complete(_) => panic!("budget of {kill_after} should interrupt"),
+        };
+        assert_eq!(cp.records.len(), kill_after);
+
+        // The on-disk checkpoint equals the returned one.
+        let from_disk = SweepCheckpoint::load(&path).unwrap();
+        assert_eq!(from_disk.records.len(), cp.records.len());
+        assert_eq!(from_disk.fingerprint, cp.fingerprint);
+
+        // Resume from disk and compare against the uninterrupted run.
+        let resumed = sweep
+            .run_with(
+                &energies,
+                &SerialExecutor,
+                RunOptions { resume: Some(from_disk), ..RunOptions::default() },
+            )
+            .unwrap()
+            .expect_complete("resume must finish");
+        assert_same_cbs(&uninterrupted, &resumed);
+    }
+
+    // Resuming under a different configuration is refused.
+    let other = cbs::sweep::EnergySweep::new(
+        &op00,
+        &op01,
+        1.5,
+        SweepConfig { initial_round: 2, ..*sweep.config() },
+    );
+    let cp = SweepCheckpoint::load(&path).unwrap();
+    assert!(other
+        .run_with(
+            &energies,
+            &SerialExecutor,
+            RunOptions { resume: Some(cp), ..RunOptions::default() }
+        )
+        .is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resume stays bit-identical even once the seed bank's capacity eviction
+/// kicks in: donors are chosen from completed batches only, and a mid-batch
+/// kill must not let the killed batch's own donations evict the donors its
+/// remaining members would have used.
+#[test]
+fn resume_is_bit_identical_under_seed_bank_eviction() {
+    let (h00, h01) = random_blocks(10, 75);
+    let op00 = DenseOp::new(h00);
+    let op01 = DenseOp::new(h01);
+    let energies: Vec<f64> = (0..16).map(|i| -0.3 + 0.04 * i as f64).collect();
+    // Tiny bank: every completion evicts, so any donor-selection dependence
+    // on where a previous run was killed would show up bitwise.
+    let config =
+        SweepConfig { initial_round: 4, seed_bank_capacity: 2, ..SweepConfig::new(test_ss()) };
+    let sweep = cbs::sweep::EnergySweep::new(&op00, &op01, 1.5, config);
+    let uninterrupted = sweep.run(&energies, &SerialExecutor);
+    assert!(uninterrupted.stats.warm_started_solves > 0);
+
+    let dir = std::env::temp_dir().join(format!("cbs_sweep_evict_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sweep.cp");
+    // Kill points chosen to land mid-round of the 4/4/8 wavefront rounds.
+    for kill_after in [2usize, 6, 11, 15] {
+        let outcome = sweep
+            .run_with(
+                &energies,
+                &SerialExecutor,
+                RunOptions {
+                    checkpoint_path: Some(&path),
+                    max_new_energies: Some(kill_after),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        let RunOutcome::Interrupted(_) = outcome else { panic!("should interrupt") };
+        let resumed = sweep
+            .run_with(
+                &energies,
+                &SerialExecutor,
+                RunOptions {
+                    resume: Some(SweepCheckpoint::load(&path).unwrap()),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap()
+            .expect_complete("resume must finish");
+        assert_same_cbs(&uninterrupted, &resumed);
+        // The donor choices themselves must match, not just the physics.
+        for (a, b) in uninterrupted.records.iter().zip(&resumed.records) {
+            assert_eq!(
+                a.seeded_from.map(f64::to_bits),
+                b.seeded_from.map(f64::to_bits),
+                "donor differs at E = {} after kill at {kill_after}",
+                a.energy
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Adaptive refinement bisects exactly the intervals where the propagating
+/// channel count changes, respects its budget, and stays deterministic.
+#[test]
+fn refinement_bisects_channel_count_changes_within_budget() {
+    let (h00, h01) = random_blocks(12, 74);
+    let op00 = DenseOp::new(h00);
+    let op01 = DenseOp::new(h01);
+    let energies: Vec<f64> = (0..9).map(|i| -0.4 + 0.1 * i as f64).collect();
+    let budget = 6;
+    let config = SweepConfig {
+        initial_round: 4,
+        min_refine_spacing: 1e-3,
+        ..SweepConfig::new(test_ss()).with_refinement(budget)
+    };
+    let run = sweep_cbs(&op00, &op01, 1.6, &energies, &config, &SerialExecutor);
+
+    let refined: Vec<_> =
+        run.records.iter().filter(|r| matches!(r.origin, EnergyOrigin::Refined { .. })).collect();
+    assert_eq!(run.stats.refined_energies, refined.len());
+    assert!(refined.len() <= budget);
+    // The base grid had at least one channel-count change, so something was
+    // refined (otherwise this test exercises nothing).
+    assert!(!refined.is_empty(), "no interval triggered refinement");
+    for r in &refined {
+        match r.origin {
+            EnergyOrigin::Refined { lo, hi } => {
+                assert!((r.energy - 0.5 * (lo + hi)).abs() < 1e-14, "not a midpoint");
+                assert!(hi - lo > config.min_refine_spacing);
+            }
+            _ => unreachable!(),
+        }
+    }
+    // Energies stay sorted with the refined points merged in, and every
+    // point's energy_index is consistent.
+    for w in run.cbs.energies.windows(2) {
+        assert!(w[0] < w[1]);
+    }
+    for p in &run.cbs.points {
+        assert_eq!(run.cbs.energies[p.energy_index].to_bits(), p.energy.to_bits());
+    }
+    // Determinism: an identical run makes identical refinement decisions.
+    let again = sweep_cbs(&op00, &op01, 1.6, &energies, &config, &RayonExecutor);
+    assert_same_cbs(&run, &again);
+}
