@@ -1,7 +1,9 @@
 //! Criterion benchmarks of the `cbs-sweep` orchestrator: the same small
 //! Al(100) multi-energy scan run cold (flat pool, no seeding — the
 //! per-energy-loop equivalent) and warm-started (dyadic wavefront with
-//! cross-energy BiCG seeding).  The committed baseline lives in
+//! cross-energy BiCG seeding), each under both job granularities
+//! (`BlockPolicy::PerNode` fused block solves vs `BlockPolicy::PerRhs`
+//! single-vector solves).  The committed baseline lives in
 //! `baselines/sweep_cbs.json`; regenerate with
 //!
 //! ```sh
@@ -9,7 +11,7 @@
 //!     cargo bench -p cbs-bench --bench sweep
 //! ```
 
-use cbs_core::SsConfig;
+use cbs_core::{BlockPolicy, SsConfig};
 use cbs_dft::{bulk_al_100, grid_for_structure, BlockHamiltonian, HamiltonianParams};
 use cbs_parallel::SerialExecutor;
 use cbs_sweep::{sweep_cbs, SweepConfig};
@@ -26,18 +28,27 @@ fn bench_sweep(c: &mut Criterion) {
     let h00 = h.h00();
     let h01 = h.h01();
     let energies: Vec<f64> = (0..8).map(|i| 0.05 + 0.02 * i as f64).collect();
-    let ss = SsConfig { n_int: 8, n_mm: 4, n_rh: 4, bicg_max_iterations: 400, ..SsConfig::small() };
+    let ss = |block: BlockPolicy| SsConfig {
+        n_int: 8,
+        n_mm: 4,
+        n_rh: 4,
+        bicg_max_iterations: 400,
+        block,
+        ..SsConfig::small()
+    };
 
     let mut group = c.benchmark_group("sweep_cbs");
     group.sample_size(10);
-    group.bench_function("cold_8_energies", |b| {
-        let config = SweepConfig::cold(ss);
-        b.iter(|| sweep_cbs(&h00, &h01, h.period(), &energies, &config, &SerialExecutor));
-    });
-    group.bench_function("warm_8_energies", |b| {
-        let config = SweepConfig { initial_round: 2, ..SweepConfig::new(ss) };
-        b.iter(|| sweep_cbs(&h00, &h01, h.period(), &energies, &config, &SerialExecutor));
-    });
+    for (policy, tag) in [(BlockPolicy::PerNode, ""), (BlockPolicy::PerRhs, "_per_rhs")] {
+        group.bench_function(&format!("cold_8_energies{tag}"), |b| {
+            let config = SweepConfig::cold(ss(policy));
+            b.iter(|| sweep_cbs(&h00, &h01, h.period(), &energies, &config, &SerialExecutor));
+        });
+        group.bench_function(&format!("warm_8_energies{tag}"), |b| {
+            let config = SweepConfig { initial_round: 2, ..SweepConfig::new(ss(policy)) };
+            b.iter(|| sweep_cbs(&h00, &h01, h.period(), &energies, &config, &SerialExecutor));
+        });
+    }
     group.finish();
 }
 

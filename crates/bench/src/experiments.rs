@@ -3,7 +3,7 @@
 //! stdout in the same layout as the corresponding figure/table of the paper
 //! and returns the key numbers so integration tests can assert on them.
 
-use cbs_core::{solve_qep_with, QepProblem, SsConfig, SsResult};
+use cbs_core::{solve_qep_with, BlockPolicy, QepProblem, SsConfig, SsResult};
 use cbs_dft::band_structure;
 use cbs_linalg::Complex64;
 use cbs_obm::{obm_solve, ObmConfig};
@@ -18,11 +18,14 @@ use crate::systems::{self, BenchSystem};
 
 /// Solve one QEP through the shifted-solve engine, with the executor chosen
 /// by the `CBS_EXECUTOR` environment variable (`serial` default, `rayon`
-/// for the threaded fan-out; the results are identical either way).
+/// for the threaded fan-out) and the job granularity by `CBS_BLOCK`
+/// (`per-node` block solves by default, `per-rhs` reverts to single-vector
+/// jobs; the results are bit-identical whatever the combination).
 pub fn solve_qep_env(problem: &QepProblem<'_>, config: &SsConfig) -> SsResult {
+    let config = SsConfig { block: block_policy_env(config.block), ..*config };
     match ExecutorChoice::from_env("CBS_EXECUTOR") {
-        ExecutorChoice::Serial => solve_qep_with(problem, config, &SerialExecutor),
-        ExecutorChoice::Rayon => solve_qep_with(problem, config, &RayonExecutor),
+        ExecutorChoice::Serial => solve_qep_with(problem, &config, &SerialExecutor),
+        ExecutorChoice::Rayon => solve_qep_with(problem, &config, &RayonExecutor),
     }
 }
 
@@ -38,9 +41,10 @@ pub fn compute_cbs_env(
     energies: &[f64],
     config: &SsConfig,
 ) -> SweepResult {
+    let config = SsConfig { block: block_policy_env(config.block), ..*config };
     let sweep_config = match std::env::var("CBS_SWEEP") {
-        Ok(v) if v.eq_ignore_ascii_case("cold") => SweepConfig::cold(*config),
-        _ => SweepConfig::new(*config),
+        Ok(v) if v.eq_ignore_ascii_case("cold") => SweepConfig::cold(config),
+        _ => SweepConfig::new(config),
     };
     match ExecutorChoice::from_env("CBS_EXECUTOR") {
         ExecutorChoice::Serial => {
@@ -65,6 +69,12 @@ fn ss_config() -> SsConfig {
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// `CBS_BLOCK` overrides the configured job granularity only when it is
+/// actually set; an unset variable keeps the caller's choice.
+fn block_policy_env(configured: BlockPolicy) -> BlockPolicy {
+    std::env::var("CBS_BLOCK").map_or(configured, |v| BlockPolicy::from_name(&v))
 }
 
 /// Serial head-to-head of QEP/SS vs OBM on one system (one bar group of

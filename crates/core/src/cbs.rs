@@ -86,8 +86,13 @@ impl ComplexBandStructure {
 pub struct CbsStatistics {
     /// Total BiCG iterations over the whole sweep.
     pub total_bicg_iterations: usize,
-    /// Total operator applications.
+    /// Total operator applications (matvec-equivalents; identical under
+    /// every `BlockPolicy`).
     pub total_matvecs: usize,
+    /// Operator-storage traversals actually performed — the figure the
+    /// per-node block data path shrinks by up to `N_rh`x relative to
+    /// [`total_matvecs`](Self::total_matvecs).
+    pub operator_traversals: usize,
     /// BiCG iterations spent in cold-started solves.
     pub cold_bicg_iterations: usize,
     /// BiCG iterations spent in warm-started solves (seeded from a
@@ -174,6 +179,7 @@ pub fn compute_cbs_with<E: TaskExecutor>(
         let result = solve_qep_with(&problem, config, executor);
         stats.total_bicg_iterations += result.total_bicg_iterations;
         stats.total_matvecs += result.total_matvecs;
+        stats.operator_traversals += result.total_traversals;
         stats.cold_bicg_iterations += result.total_bicg_iterations;
         stats.cold_solves += result.solve_histories.len();
         stats.linear_solve_seconds += result.timings.linear_solve_seconds;

@@ -30,10 +30,67 @@ use std::sync::OnceLock;
 
 use cbs_linalg::{CVector, Complex64};
 use cbs_parallel::{SerialExecutor, TaskExecutor};
-use cbs_solver::{bicg_dual_seeded, ConvergenceHistory, SolverOptions};
+use cbs_solver::{bicg_dual_block, bicg_dual_seeded, ConvergenceHistory, SolverOptions};
 use cbs_sparse::LinearOperator;
+use serde::{Deserialize, Serialize};
 
 use crate::contour::{QuadraturePoint, RingContour};
+
+/// Granularity of the shifted-solve jobs the engine hands to its
+/// [`TaskExecutor`].
+///
+/// Both policies produce **bit-identical results** (solutions, residual
+/// histories, iteration and matvec counts): the per-node block solver
+/// advances one independent BiCG recurrence per right-hand side whose
+/// per-column arithmetic exactly matches the per-rhs solver, fused matvecs
+/// included.  What changes is the work shape — [`PerNode`](Self::PerNode)
+/// reads the operator storage once per iteration for all right-hand sides
+/// (roughly an `N_rh`-fold cut in operator traversals, reported via
+/// [`ShiftedSolveStats::total_traversals`]) at the price of coarser jobs
+/// for the executor (`N_int` instead of `N_int x N_rh`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockPolicy {
+    /// One job per `(quadrature node, right-hand side)` pair: each job is a
+    /// single-vector dual-BiCG solve.  Maximum executor parallelism,
+    /// `N_rh` operator traversals per iteration set.
+    PerRhs,
+    /// One job per quadrature node: all `N_rh` right-hand sides advance in
+    /// lockstep through `cbs_solver::bicg_dual_block` with fused block
+    /// matvecs (converged columns deflate but keep their slots).
+    #[default]
+    PerNode,
+}
+
+impl BlockPolicy {
+    /// Read the policy from an environment variable (mirrors
+    /// `cbs_parallel::ExecutorChoice::from_env`): `"per-rhs"` / `"perrhs"`
+    /// / `"rhs"` select [`PerRhs`](Self::PerRhs); anything else — including
+    /// unset — is the default [`PerNode`](Self::PerNode).
+    pub fn from_env(var: &str) -> Self {
+        std::env::var(var).map_or(Self::PerNode, |v| Self::from_name(&v))
+    }
+
+    /// Parse a policy name (the `from_env` value syntax); unrecognized
+    /// names fall back to the default [`PerNode`](Self::PerNode).
+    pub fn from_name(name: &str) -> Self {
+        if name.eq_ignore_ascii_case("per-rhs")
+            || name.eq_ignore_ascii_case("perrhs")
+            || name.eq_ignore_ascii_case("rhs")
+        {
+            Self::PerRhs
+        } else {
+            Self::PerNode
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::PerRhs => "per-rhs",
+            Self::PerNode => "per-node",
+        }
+    }
+}
 
 /// Supplies warm-start initial guesses for the shifted solves — the
 /// engine-side half of the energy-sweep cross-energy reuse seam (the solver
@@ -129,6 +186,9 @@ pub struct ShiftedSolveReport {
     pub capped_solves: usize,
     /// The iteration cap applied to the second stage, when the rule fired.
     pub iteration_cap: Option<usize>,
+    /// Operator-storage traversals actually performed (each fused block
+    /// apply counts one); see [`ShiftedSolveStats::total_traversals`].
+    pub operator_traversals: usize,
 }
 
 impl ShiftedSolveReport {
@@ -155,8 +215,15 @@ pub struct ShiftedSolveStats {
     pub iteration_cap: Option<usize>,
     /// Total BiCG iterations over all solves.
     pub total_iterations: usize,
-    /// Total operator applications over all solves.
+    /// Total operator applications over all solves (matvec-equivalents: the
+    /// per-column work performed, identical under every [`BlockPolicy`]).
     pub total_matvecs: usize,
+    /// Operator-storage traversals actually performed.  Under
+    /// [`BlockPolicy::PerRhs`] every matvec is its own traversal, so this
+    /// equals [`total_matvecs`](Self::total_matvecs); under
+    /// [`BlockPolicy::PerNode`] a fused block apply over any number of
+    /// active columns counts one, cutting the figure by up to `N_rh`x.
+    pub total_traversals: usize,
 }
 
 /// The engine: solves the outer-circle systems of a [`RingContour`] for a
@@ -185,6 +252,7 @@ pub struct ShiftedSolveEngine<'e, E: TaskExecutor> {
     executor: &'e E,
     options: SolverOptions,
     majority_stop: bool,
+    block: BlockPolicy,
     seeds: Option<&'e dyn SeedProvider>,
 }
 
@@ -197,12 +265,20 @@ impl Default for ShiftedSolveEngine<'static, SerialExecutor> {
 impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
     /// Build an engine running on `executor` with the given solver options.
     pub fn new(executor: &'e E, options: SolverOptions) -> Self {
-        Self { executor, options, majority_stop: false, seeds: None }
+        Self { executor, options, majority_stop: false, block: BlockPolicy::default(), seeds: None }
     }
 
     /// Enable or disable the deterministic majority-stop rule.
     pub fn with_majority_stop(mut self, enabled: bool) -> Self {
         self.majority_stop = enabled;
+        self
+    }
+
+    /// Select the job granularity (see [`BlockPolicy`]).  Results are
+    /// bit-identical under both policies; only the work shape and the
+    /// traversal count change.
+    pub fn with_block_policy(mut self, policy: BlockPolicy) -> Self {
+        self.block = policy;
         self
     }
 
@@ -249,6 +325,7 @@ impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
             converged_points: stats.converged_points,
             capped_solves: stats.capped_solves,
             iteration_cap: stats.iteration_cap,
+            operator_traversals: stats.total_traversals,
         }
     }
 
@@ -282,18 +359,12 @@ impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
         let n_int = outer.len();
         let n_rh = rhs.len();
 
-        let jobs_for = |points: &[QuadraturePoint]| -> Vec<ShiftedSolveJob> {
-            points
-                .iter()
-                .flat_map(|&point| {
-                    (0..n_rh).map(move |rhs_index| ShiftedSolveJob { point, rhs_index })
-                })
-                .collect()
-        };
-
-        // One operator per quadrature node, built by whichever job of that
-        // node runs first and shared by the rest (`LinearOperator: Sync`).
+        // One operator per quadrature node.  Under `PerRhs` the cell is
+        // filled by whichever job of that node runs first and shared by the
+        // rest (`LinearOperator: Sync`); under `PerNode` the node *is* the
+        // job, so the factory is likewise invoked exactly once per node.
         let op_cells: Vec<OnceLock<Op>> = (0..n_int).map(|_| OnceLock::new()).collect();
+
         let run_job = |job: ShiftedSolveJob, cap: Option<usize>| -> ShiftedSolveOutcome {
             let op = op_cells[job.point.index].get_or_init(|| operator_at(job.point.z));
             let v = &rhs[job.rhs_index];
@@ -313,41 +384,99 @@ impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
             }
         };
 
+        // One *block* job per quadrature node: all right-hand sides advance
+        // in lockstep through fused block matvecs; outcomes come back in
+        // rhs order, so the overall fold order (`j * N_rh + rhs`) is the
+        // same as under `PerRhs`.
+        let run_node =
+            |point: QuadraturePoint, cap: Option<usize>| -> (Vec<ShiftedSolveOutcome>, usize) {
+                let op = op_cells[point.index].get_or_init(|| operator_at(point.z));
+                let stop_at = cap.map(|c| c.max(1));
+                let stop_cb = move |iter: usize| stop_at.is_some_and(|c| iter >= c);
+                let external: Option<&(dyn Fn(usize) -> bool + Sync)> =
+                    if stop_at.is_some() { Some(&stop_cb) } else { None };
+                let seed_vec: Vec<Option<(&CVector, &CVector)>> =
+                    (0..n_rh).map(|r| self.seeds.and_then(|s| s.seed(point.index, r))).collect();
+                let res = bicg_dual_block(op, rhs, rhs, Some(&seed_vec), &self.options, external);
+                let traversals = res.traversals;
+                let outcomes = res
+                    .columns
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rhs_index, col)| ShiftedSolveOutcome {
+                        point_index: point.index,
+                        rhs_index,
+                        x: col.x,
+                        dual_x: col.dual_x,
+                        history: col.history,
+                        dual_history: col.dual_history,
+                    })
+                    .collect();
+                (outcomes, traversals)
+            };
+
         // Convergence bookkeeping, updated inside the fold wrapper (which
         // runs on the calling thread, in job order, for every executor).
         let mut tracking = ConvergenceTracking::new(n_int);
 
+        // One majority-stop stage over `points` with a fixed cap, at the
+        // configured job granularity.  Takes its mutable state explicitly
+        // so the borrows end with each stage.
+        let run_stage = |points: &[QuadraturePoint],
+                         cap: Option<usize>,
+                         acc: A,
+                         tracking: &mut ConvergenceTracking,
+                         fold: &mut G|
+         -> A {
+            match self.block {
+                BlockPolicy::PerRhs => {
+                    let jobs: Vec<ShiftedSolveJob> = points
+                        .iter()
+                        .flat_map(|&point| {
+                            (0..n_rh).map(move |rhs_index| ShiftedSolveJob { point, rhs_index })
+                        })
+                        .collect();
+                    self.executor.execute_fold(
+                        jobs,
+                        |job| run_job(job, cap),
+                        acc,
+                        |acc, o| {
+                            tracking.total_traversals += o.history.matvecs;
+                            tracking.record(&o);
+                            fold(acc, o)
+                        },
+                    )
+                }
+                BlockPolicy::PerNode => self.executor.execute_fold(
+                    points.to_vec(),
+                    |point| run_node(point, cap),
+                    acc,
+                    |acc, (outcomes, traversals)| {
+                        tracking.total_traversals += traversals;
+                        outcomes.into_iter().fold(acc, |acc, o| {
+                            tracking.record(&o);
+                            fold(acc, o)
+                        })
+                    },
+                ),
+            }
+        };
+
         let (acc, cap, capped_solves) = if !self.majority_stop {
-            let acc = self.executor.execute_fold(
-                jobs_for(&outer),
-                |job| run_job(job, None),
-                init,
-                |acc, o| {
-                    tracking.record(&o);
-                    fold(acc, o)
-                },
-            );
-            (acc, None, 0)
+            (run_stage(&outer, None, init, &mut tracking, &mut fold), None, 0)
         } else {
             // Deterministic majority stop, stage 1: strictly more than half
             // of the quadrature points always run to convergence.
             let stage1_points = (n_int / 2 + 1).min(n_int);
-            let acc = self.executor.execute_fold(
-                jobs_for(&outer[..stage1_points]),
-                |job| run_job(job, None),
-                init,
-                |acc, o| {
-                    tracking.record(&o);
-                    fold(acc, o)
-                },
-            );
+            let acc = run_stage(&outer[..stage1_points], None, init, &mut tracking, &mut fold);
 
             // The rule may fire only if the whole first stage converged
             // (then `converged * 2 > n_int` holds by construction, as in
             // the paper's "more than half of the points have converged"
             // condition).  The cap is the worst iteration count among the
             // converged stage-1 solves — a pure function of stage-1
-            // results, independent of scheduling.
+            // results, independent of scheduling and of the job
+            // granularity (both policies record identical histories).
             let stage1_converged = tracking.converged_among(stage1_points);
             let cap = if stage1_converged * 2 > n_int && tracking.converged_iter_max > 0 {
                 Some(tracking.converged_iter_max)
@@ -355,17 +484,8 @@ impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
                 None
             };
 
-            let stage2_jobs = jobs_for(&outer[stage1_points..]);
-            let capped_solves = if cap.is_some() { stage2_jobs.len() } else { 0 };
-            let acc = self.executor.execute_fold(
-                stage2_jobs,
-                |job| run_job(job, cap),
-                acc,
-                |acc, o| {
-                    tracking.record(&o);
-                    fold(acc, o)
-                },
-            );
+            let capped_solves = if cap.is_some() { (n_int - stage1_points) * n_rh } else { 0 };
+            let acc = run_stage(&outer[stage1_points..], cap, acc, &mut tracking, &mut fold);
             (acc, cap, capped_solves)
         };
 
@@ -375,6 +495,7 @@ impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
             iteration_cap: cap,
             total_iterations: tracking.total_iterations,
             total_matvecs: tracking.total_matvecs,
+            total_traversals: tracking.total_traversals,
         };
         (acc, stats)
     }
@@ -388,6 +509,9 @@ struct ConvergenceTracking {
     converged_iter_max: usize,
     total_iterations: usize,
     total_matvecs: usize,
+    /// Operator traversals, accumulated per job by the stage wrappers (per
+    /// outcome under `PerRhs`, per block solve under `PerNode`).
+    total_traversals: usize,
 }
 
 impl ConvergenceTracking {
@@ -397,6 +521,7 @@ impl ConvergenceTracking {
             converged_iter_max: 0,
             total_iterations: 0,
             total_matvecs: 0,
+            total_traversals: 0,
         }
     }
 
@@ -604,6 +729,88 @@ mod tests {
             assert_eq!(a.x, b.x);
             assert_eq!(a.history.residuals, b.history.residuals);
         }
+    }
+
+    #[test]
+    fn block_policies_are_bitwise_identical_and_cut_traversals() {
+        let a = diag_dominant(18, 44);
+        let op = DenseOp::new(a);
+        let n_rh = 4;
+        let rhs = rhs_block(18, n_rh, 45);
+        let contour = RingContour::new(0.5, 6);
+        let opts = SolverOptions::default().with_tolerance(1e-11);
+        for majority in [false, true] {
+            let per_rhs = ShiftedSolveEngine::new(&SerialExecutor, opts)
+                .with_majority_stop(majority)
+                .with_block_policy(BlockPolicy::PerRhs)
+                .solve(&contour, &rhs, |z| ShiftedOp::new(&op, z));
+            let per_node = ShiftedSolveEngine::new(&SerialExecutor, opts)
+                .with_majority_stop(majority)
+                .with_block_policy(BlockPolicy::PerNode)
+                .solve(&contour, &rhs, |z| ShiftedOp::new(&op, z));
+            assert_eq!(per_rhs.outcomes.len(), per_node.outcomes.len());
+            for (a, b) in per_rhs.outcomes.iter().zip(&per_node.outcomes) {
+                assert_eq!((a.point_index, a.rhs_index), (b.point_index, b.rhs_index));
+                assert_eq!(a.x, b.x, "block path drifted from the per-rhs path");
+                assert_eq!(a.dual_x, b.dual_x);
+                assert_eq!(a.history.residuals, b.history.residuals);
+                assert_eq!(a.history.matvecs, b.history.matvecs);
+                assert_eq!(a.history.stop_reason, b.history.stop_reason);
+            }
+            assert_eq!(per_rhs.converged_points, per_node.converged_points);
+            assert_eq!(per_rhs.iteration_cap, per_node.iteration_cap);
+            assert_eq!(per_rhs.capped_solves, per_node.capped_solves);
+            // Identical per-column work, far fewer operator traversals.
+            assert_eq!(per_rhs.total_matvecs(), per_node.total_matvecs());
+            assert_eq!(per_rhs.operator_traversals, per_rhs.total_matvecs());
+            assert!(
+                per_node.operator_traversals * 2 < per_rhs.operator_traversals,
+                "per-node {} vs per-rhs {} traversals",
+                per_node.operator_traversals,
+                per_rhs.operator_traversals
+            );
+        }
+    }
+
+    #[test]
+    fn per_node_policy_is_executor_independent() {
+        let a = diag_dominant(16, 46);
+        let op = DenseOp::new(a);
+        let rhs = rhs_block(16, 3, 47);
+        let contour = RingContour::new(0.5, 8);
+        let opts = SolverOptions::default().with_tolerance(1e-11);
+        for majority in [false, true] {
+            let serial = ShiftedSolveEngine::new(&SerialExecutor, opts)
+                .with_majority_stop(majority)
+                .with_block_policy(BlockPolicy::PerNode)
+                .solve(&contour, &rhs, |z| ShiftedOp::new(&op, z));
+            let rayon = ShiftedSolveEngine::new(&RayonExecutor, opts)
+                .with_majority_stop(majority)
+                .with_block_policy(BlockPolicy::PerNode)
+                .solve(&contour, &rhs, |z| ShiftedOp::new(&op, z));
+            for (s, r) in serial.outcomes.iter().zip(&rayon.outcomes) {
+                assert_eq!(s.x, r.x);
+                assert_eq!(s.dual_x, r.dual_x);
+                assert_eq!(s.history.residuals, r.history.residuals);
+            }
+            assert_eq!(serial.iteration_cap, rayon.iteration_cap);
+            assert_eq!(serial.operator_traversals, rayon.operator_traversals);
+        }
+    }
+
+    #[test]
+    fn block_policy_env_knob_parses_like_the_executor_knob() {
+        // Unset variable → default (read-only env access; the value syntax
+        // is covered through `from_name` to avoid mutating process-global
+        // state from a threaded test harness).
+        assert_eq!(BlockPolicy::from_env("CBS_BLOCK_TEST_UNSET_VAR"), BlockPolicy::PerNode);
+        assert_eq!(BlockPolicy::from_name("per-rhs"), BlockPolicy::PerRhs);
+        assert_eq!(BlockPolicy::from_name("PerRhs"), BlockPolicy::PerRhs);
+        assert_eq!(BlockPolicy::from_name("rhs"), BlockPolicy::PerRhs);
+        assert_eq!(BlockPolicy::from_name("per-node"), BlockPolicy::PerNode);
+        assert_eq!(BlockPolicy::from_name("anything-else"), BlockPolicy::PerNode);
+        assert_eq!(BlockPolicy::PerNode.name(), "per-node");
+        assert_eq!(BlockPolicy::PerRhs.name(), "per-rhs");
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub use cbs::{
 };
 pub use contour::{QuadraturePoint, RingContour};
 pub use engine::{
-    SeedProvider, ShiftedSolveEngine, ShiftedSolveJob, ShiftedSolveOutcome, ShiftedSolveReport,
-    ShiftedSolveStats, StoredSeeds,
+    BlockPolicy, SeedProvider, ShiftedSolveEngine, ShiftedSolveJob, ShiftedSolveOutcome,
+    ShiftedSolveReport, ShiftedSolveStats, StoredSeeds,
 };
 pub use qep::{QepOperator, QepProblem};
 pub use ss::{

@@ -52,6 +52,13 @@ pub struct SsConfig {
     /// Enable the paper's load-balancing rule: once more than half of the
     /// quadrature points have converged, the stragglers are stopped early.
     pub majority_stop: bool,
+    /// Job granularity of the shifted solves (see
+    /// [`BlockPolicy`](crate::engine::BlockPolicy)).  Results are
+    /// bit-identical under both policies, so this knob is *not* part of the
+    /// sweep checkpoint fingerprint; the default
+    /// [`BlockPolicy::PerNode`](crate::engine::BlockPolicy::PerNode) fuses
+    /// each node's `N_rh` solves into block matvecs.
+    pub block: crate::engine::BlockPolicy,
 }
 
 impl Default for SsConfig {
@@ -76,6 +83,7 @@ impl SsConfig {
             residual_cutoff: 1e-5,
             seed: 0x5a5a_5a5a,
             majority_stop: true,
+            block: crate::engine::BlockPolicy::PerNode,
         }
     }
 
@@ -147,8 +155,14 @@ pub struct SsResult {
     pub projected_moments: Vec<CMatrix>,
     /// Total number of BiCG iterations summed over all systems.
     pub total_bicg_iterations: usize,
-    /// Total number of operator applications.
+    /// Total number of operator applications (matvec-equivalents; identical
+    /// under every [`BlockPolicy`](crate::engine::BlockPolicy)).
     pub total_matvecs: usize,
+    /// Operator-storage traversals actually performed — under
+    /// `BlockPolicy::PerNode` one fused block apply per iteration per node
+    /// replaces `N_rh` single matvecs, so this is up to `N_rh`x smaller
+    /// than [`total_matvecs`](Self::total_matvecs).
+    pub total_traversals: usize,
     /// Timing breakdown.
     pub timings: SsTimings,
     /// Eigenpairs discarded by the residual filter (diagnostics).
@@ -253,7 +267,8 @@ pub fn solve_qep_with<E: TaskExecutor>(
     let t_solve = std::time::Instant::now();
 
     let engine = ShiftedSolveEngine::new(executor, config.solver_options())
-        .with_majority_stop(config.majority_stop);
+        .with_majority_stop(config.majority_stop)
+        .with_block_policy(config.block);
 
     // Moment accumulators Ŝ_k (N x N_rh each), stored as columns, folded
     // directly off the engine: outcomes arrive in job order `j * N_rh +
@@ -281,6 +296,7 @@ pub fn solve_qep_with<E: TaskExecutor>(
         acc,
         stats.total_iterations,
         stats.total_matvecs,
+        stats.total_traversals,
         linear_solve_seconds,
     )
 }
@@ -292,6 +308,7 @@ pub fn solve_qep_with<E: TaskExecutor>(
 /// Public so that multi-energy drivers (`cbs-sweep`) can run the extraction
 /// per energy on accumulators filled from a flattened cross-energy task
 /// pool; [`solve_qep_with`] is exactly `engine fold` + this function.
+#[allow(clippy::too_many_arguments)]
 pub fn extract_from_moments(
     problem: &QepProblem<'_>,
     config: &SsConfig,
@@ -299,6 +316,7 @@ pub fn extract_from_moments(
     acc: MomentAccumulator,
     total_iters: usize,
     total_matvecs: usize,
+    total_traversals: usize,
     linear_solve_seconds: f64,
 ) -> SsResult {
     let n = problem.dim();
@@ -403,6 +421,7 @@ pub fn extract_from_moments(
         projected_moments: mu,
         total_bicg_iterations: total_iters,
         total_matvecs,
+        total_traversals,
         timings: SsTimings { setup_seconds: 0.0, linear_solve_seconds, extraction_seconds },
         discarded,
     }
@@ -471,6 +490,7 @@ mod tests {
             residual_cutoff: 1e-6,
             seed: 7,
             majority_stop: false,
+            ..SsConfig::paper()
         };
         let result = solve_qep(&qep, &config);
 

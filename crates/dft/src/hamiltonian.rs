@@ -78,23 +78,31 @@ impl LinearOperator for BlockOp<'_> {
         self.sparse.ncols()
     }
     fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
-        self.sparse.matvec_into(x, y);
-        if self.lowrank.rank() > 0 {
-            let mut tmp = vec![Complex64::ZERO; self.scratch_rows];
-            self.lowrank.apply(x, &mut tmp);
-            for (yi, ti) in y.iter_mut().zip(&tmp) {
-                *yi += *ti;
-            }
-        }
+        self.apply_block(x, y, 1);
     }
     fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
-        self.sparse.matvec_adjoint_into(x, y);
+        self.apply_adjoint_block(x, y, 1);
+    }
+    fn apply_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        self.sparse.matvec_block_into(x, y, nvecs);
         if self.lowrank.rank() > 0 {
-            let mut tmp = vec![Complex64::ZERO; self.sparse.ncols()];
-            self.lowrank.apply_adjoint(x, &mut tmp);
-            for (yi, ti) in y.iter_mut().zip(&tmp) {
-                *yi += *ti;
-            }
+            cbs_sparse::with_scratch(self.scratch_rows * nvecs, |tmp| {
+                self.lowrank.apply_block(x, tmp, nvecs);
+                for (yi, ti) in y.iter_mut().zip(tmp.iter()) {
+                    *yi += *ti;
+                }
+            });
+        }
+    }
+    fn apply_adjoint_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        self.sparse.matvec_adjoint_block_into(x, y, nvecs);
+        if self.lowrank.rank() > 0 {
+            cbs_sparse::with_scratch(self.sparse.ncols() * nvecs, |tmp| {
+                self.lowrank.apply_adjoint_block(x, tmp, nvecs);
+                for (yi, ti) in y.iter_mut().zip(tmp.iter()) {
+                    *yi += *ti;
+                }
+            });
         }
     }
     fn memory_bytes(&self) -> usize {

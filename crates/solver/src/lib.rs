@@ -7,6 +7,9 @@
 //!   quadrature (`P(z)† = P(1/z̄)`),
 //! * [`bicg_dual_seeded`] — the same iteration warm-started from initial
 //!   guesses (the energy-sweep cross-energy reuse seam),
+//! * [`bicg_dual_block`] — all right-hand sides of one shifted system
+//!   advanced in lockstep through fused block matvecs, with per-column
+//!   deflation and bitwise parity with the per-column solver,
 //! * [`bicg()`], [`bicgstab`], [`cg`] — single-system Krylov solvers,
 //! * [`lanczos_lowest`] — Hermitian Lanczos with full reorthogonalization for
 //!   the conventional band-structure reference,
@@ -16,9 +19,11 @@
 #![warn(missing_docs)]
 
 pub mod bicg;
+pub mod block;
 pub mod history;
 pub mod lanczos;
 
 pub use bicg::{bicg, bicg_dual, bicg_dual_seeded, bicgstab, cg, BicgResult};
+pub use block::{bicg_dual_block, BlockBicgResult};
 pub use history::{ConvergenceHistory, SolverOptions, StopReason};
 pub use lanczos::{lanczos_lowest, LanczosOptions, LanczosResult};

@@ -16,7 +16,9 @@
 pub mod csr;
 pub mod lowrank;
 pub mod ops;
+pub mod scratch;
 
 pub use csr::{CooBuilder, CsrMatrix};
 pub use lowrank::{LowRankOp, RankOneTerm, SparseVec};
 pub use ops::{adjoint_defect, DenseOp, IdentityOp, LinearOperator, ScaledOp, ShiftedOp, SumOp};
+pub use scratch::with_scratch;

@@ -25,6 +25,40 @@ pub trait LinearOperator: Sync {
     /// `y = A† x`.  `y` is fully overwritten.
     fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]);
 
+    /// `Y = A X` for a block of `nvecs` vectors stored column-major in
+    /// contiguous slabs: column `c` of `X` is `x[c * ncols .. (c+1) * ncols]`
+    /// and column `c` of `Y` is `y[c * nrows .. (c+1) * nrows]`.
+    ///
+    /// The default loops [`apply`](Self::apply) over the columns, so every
+    /// implementation gets the block entry point for free.  Operators whose
+    /// storage traversal dominates (CSR matrices, factored projector sums,
+    /// compositions of them) override this with a **fused** kernel that
+    /// walks the operator once for all columns; overrides must produce
+    /// results **bit-identical** to the per-column default — the block data
+    /// path of the solvers relies on that equivalence for its determinism
+    /// guarantees (`tests/properties.rs` locks it in).
+    fn apply_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        let (nc, nr) = (self.ncols(), self.nrows());
+        assert_eq!(x.len(), nc * nvecs, "apply_block: x slab length mismatch");
+        assert_eq!(y.len(), nr * nvecs, "apply_block: y slab length mismatch");
+        for (xc, yc) in x.chunks_exact(nc).zip(y.chunks_exact_mut(nr)) {
+            self.apply(xc, yc);
+        }
+    }
+
+    /// `Y = A† X` over column-major slabs; the adjoint twin of
+    /// [`apply_block`](Self::apply_block) (column `c` of `X` has length
+    /// `nrows`, column `c` of `Y` has length `ncols`).  Overrides must stay
+    /// bit-identical to the per-column default.
+    fn apply_adjoint_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        let (nc, nr) = (self.ncols(), self.nrows());
+        assert_eq!(x.len(), nr * nvecs, "apply_adjoint_block: x slab length mismatch");
+        assert_eq!(y.len(), nc * nvecs, "apply_adjoint_block: y slab length mismatch");
+        for (xc, yc) in x.chunks_exact(nr).zip(y.chunks_exact_mut(nc)) {
+            self.apply_adjoint(xc, yc);
+        }
+    }
+
     /// Convenience wrapper allocating the output.
     fn apply_vec(&self, x: &CVector) -> CVector {
         let mut y = CVector::zeros(self.nrows());
@@ -65,6 +99,12 @@ impl<T: LinearOperator + ?Sized> LinearOperator for &T {
     fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
         (**self).apply_adjoint(x, y)
     }
+    fn apply_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        (**self).apply_block(x, y, nvecs)
+    }
+    fn apply_adjoint_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        (**self).apply_adjoint_block(x, y, nvecs)
+    }
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
     }
@@ -82,6 +122,12 @@ impl<T: LinearOperator + ?Sized> LinearOperator for Box<T> {
     }
     fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
         (**self).apply_adjoint(x, y)
+    }
+    fn apply_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        (**self).apply_block(x, y, nvecs)
+    }
+    fn apply_adjoint_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        (**self).apply_adjoint_block(x, y, nvecs)
     }
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
@@ -112,6 +158,16 @@ impl LinearOperator for IdentityOp {
         y.copy_from_slice(x);
     }
     fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
+        y.copy_from_slice(x);
+    }
+    fn apply_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        assert_eq!(x.len(), self.n * nvecs, "apply_block: x slab length mismatch");
+        assert_eq!(y.len(), self.n * nvecs, "apply_block: y slab length mismatch");
+        y.copy_from_slice(x);
+    }
+    fn apply_adjoint_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        assert_eq!(x.len(), self.n * nvecs, "apply_adjoint_block: x slab length mismatch");
+        assert_eq!(y.len(), self.n * nvecs, "apply_adjoint_block: y slab length mismatch");
         y.copy_from_slice(x);
     }
 }
@@ -149,6 +205,19 @@ impl<A: LinearOperator> LinearOperator for ScaledOp<A> {
             *v *= ac;
         }
     }
+    fn apply_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        self.inner.apply_block(x, y, nvecs);
+        for v in y.iter_mut() {
+            *v *= self.alpha;
+        }
+    }
+    fn apply_adjoint_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        self.inner.apply_adjoint_block(x, y, nvecs);
+        let ac = self.alpha.conj();
+        for v in y.iter_mut() {
+            *v *= ac;
+        }
+    }
     fn memory_bytes(&self) -> usize {
         self.inner.memory_bytes()
     }
@@ -179,21 +248,29 @@ impl<A: LinearOperator, B: LinearOperator> LinearOperator for SumOp<A, B> {
         self.a.ncols()
     }
     fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
-        self.a.apply(x, y);
-        let mut tmp = vec![Complex64::ZERO; self.b.nrows()];
-        self.b.apply(x, &mut tmp);
-        for (yi, ti) in y.iter_mut().zip(&tmp) {
-            *yi = self.alpha * *yi + self.beta * *ti;
-        }
+        self.apply_block(x, y, 1);
     }
     fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
-        self.a.apply_adjoint(x, y);
-        let mut tmp = vec![Complex64::ZERO; self.b.ncols()];
-        self.b.apply_adjoint(x, &mut tmp);
+        self.apply_adjoint_block(x, y, 1);
+    }
+    fn apply_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        self.a.apply_block(x, y, nvecs);
+        crate::scratch::with_scratch(self.b.nrows() * nvecs, |tmp| {
+            self.b.apply_block(x, tmp, nvecs);
+            for (yi, ti) in y.iter_mut().zip(tmp.iter()) {
+                *yi = self.alpha * *yi + self.beta * *ti;
+            }
+        });
+    }
+    fn apply_adjoint_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        self.a.apply_adjoint_block(x, y, nvecs);
         let (ac, bc) = (self.alpha.conj(), self.beta.conj());
-        for (yi, ti) in y.iter_mut().zip(&tmp) {
-            *yi = ac * *yi + bc * *ti;
-        }
+        crate::scratch::with_scratch(self.b.ncols() * nvecs, |tmp| {
+            self.b.apply_adjoint_block(x, tmp, nvecs);
+            for (yi, ti) in y.iter_mut().zip(tmp.iter()) {
+                *yi = ac * *yi + bc * *ti;
+            }
+        });
     }
     fn memory_bytes(&self) -> usize {
         self.a.memory_bytes() + self.b.memory_bytes()
@@ -230,6 +307,21 @@ impl<A: LinearOperator> LinearOperator for ShiftedOp<A> {
     }
     fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
         self.inner.apply_adjoint(x, y);
+        let sc = self.sigma.conj();
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi -= sc * *xi;
+        }
+    }
+    fn apply_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        self.inner.apply_block(x, y, nvecs);
+        // Square operator: the x and y slabs align elementwise, so one flat
+        // pass equals the per-column shift subtraction.
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi -= self.sigma * *xi;
+        }
+    }
+    fn apply_adjoint_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
+        self.inner.apply_adjoint_block(x, y, nvecs);
         let sc = self.sigma.conj();
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi -= sc * *xi;
@@ -362,6 +454,31 @@ mod tests {
         let got = shifted.apply_vec(&x);
         let want = &a.matvec(&x) - &(&x * c64(1.5, -0.5));
         assert!((&got - &want).norm() < 1e-12);
+    }
+
+    #[test]
+    fn combinator_block_apply_is_bitwise_column_equivalent() {
+        // A composed operator exercising SumOp + ScaledOp + ShiftedOp fused
+        // block kernels: the slab result must equal column-by-column apply
+        // down to the last bit.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(64);
+        let a = CMatrix::random(7, 7, &mut rng);
+        let b = CMatrix::random(7, 7, &mut rng);
+        let sum = SumOp::new(c64(1.2, -0.3), DenseOp::new(a), c64(0.0, 0.7), DenseOp::new(b));
+        let op = ShiftedOp::new(ScaledOp::new(c64(0.5, 0.5), sum), c64(0.9, -0.1));
+        let nvecs = 3;
+        let x: Vec<Complex64> = (0..7 * nvecs).map(|_| CVector::random(1, &mut rng)[0]).collect();
+        let mut y_block = vec![Complex64::ZERO; 7 * nvecs];
+        op.apply_block(&x, &mut y_block, nvecs);
+        let mut y_adj = vec![Complex64::ZERO; 7 * nvecs];
+        op.apply_adjoint_block(&x, &mut y_adj, nvecs);
+        for c in 0..nvecs {
+            let mut col = vec![Complex64::ZERO; 7];
+            op.apply(&x[c * 7..(c + 1) * 7], &mut col);
+            assert_eq!(&y_block[c * 7..(c + 1) * 7], &col[..]);
+            op.apply_adjoint(&x[c * 7..(c + 1) * 7], &mut col);
+            assert_eq!(&y_adj[c * 7..(c + 1) * 7], &col[..]);
+        }
     }
 
     #[test]

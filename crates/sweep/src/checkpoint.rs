@@ -55,7 +55,10 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-const MAGIC: &str = "cbs-sweep-checkpoint v1";
+// v2 added `operator_traversals` to the per-record solver counters (the
+// block-solve data path); older checkpoints are rejected rather than read
+// with silently zeroed counters.
+const MAGIC: &str = "cbs-sweep-checkpoint v2";
 
 fn hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
@@ -140,10 +143,11 @@ impl SweepCheckpoint {
             let s = &r.stats;
             let _ = writeln!(
                 out,
-                "record {} {origin} {seeded} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x}",
+                "record {} {origin} {seeded} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x}",
                 hex(r.energy),
                 s.bicg_iterations,
                 s.matvecs,
+                s.operator_traversals,
                 s.warm_solves,
                 s.cold_solves,
                 s.warm_iterations,
@@ -240,6 +244,7 @@ impl SweepCheckpoint {
             let stats = EnergyStats {
                 bicg_iterations: t.usize()?,
                 matvecs: t.usize()?,
+                operator_traversals: t.usize()?,
                 warm_solves: t.usize()?,
                 cold_solves: t.usize()?,
                 warm_iterations: t.usize()?,
@@ -332,6 +337,7 @@ mod tests {
             stats: EnergyStats {
                 bicg_iterations: 10,
                 matvecs: 22,
+                operator_traversals: 6,
                 warm_solves: 4,
                 cold_solves: 0,
                 warm_iterations: 10,

@@ -9,10 +9,13 @@
 //! and serially across energies; this crate exploits the cross-energy
 //! structure instead:
 //!
-//! * **Flattening** — the whole `(energy × quadrature-node × rhs)` solve
-//!   grid of a release round becomes one task pool dispatched through the
-//!   `cbs_parallel::TaskExecutor` seam, so a sweep saturates a wide
-//!   executor even when one energy's `N_int × N_rh` grid is small
+//! * **Flattening** — a release round's solve grid becomes one task pool
+//!   dispatched through the `cbs_parallel::TaskExecutor` seam — `(energy ×
+//!   quadrature-node)` block jobs under the default
+//!   `cbs_core::BlockPolicy::PerNode` (each advancing all `N_rh`
+//!   right-hand sides through fused block matvecs), `(energy ×
+//!   quadrature-node × rhs)` single-vector jobs under `PerRhs` — so a
+//!   sweep saturates a wide executor even when one energy's grid is small
 //!   (the `pool` module).
 //! * **Warm starting** — each energy's dual-BiCG solves are seeded from
 //!   the nearest already-completed energy's solutions (`P(z; E')` differs

@@ -9,19 +9,28 @@
 //! executor stays saturated even when a single energy's grid is smaller
 //! than the machine.
 //!
+//! The job granularity follows the engine's
+//! [`BlockPolicy`](cbs_core::BlockPolicy): under `PerRhs` the pool flattens
+//! `(energy x node x rhs)` single-vector solves, under the default
+//! `PerNode` it flattens `(energy x node)` **block** jobs — each advancing
+//! all `N_rh` right-hand sides of one node in lockstep through
+//! `cbs_solver::bicg_dual_block`'s fused block matvecs.
+//!
 //! Determinism contract: jobs are listed group-major in engine job order
-//! (`j * N_rh + rhs`), executors return results in input order, and each
-//! group's [`MomentAccumulator`] folds only its own outcomes in that order —
-//! so the accumulated moments (and everything extracted from them) are
+//! (`j * N_rh + rhs`; a block job unpacks its outcomes in rhs order),
+//! executors return results in input order, and each group's
+//! [`MomentAccumulator`] folds only its own outcomes in that order — so the
+//! accumulated moments (and everything extracted from them) are
 //! bit-identical to running each group alone through
-//! [`cbs_core::ShiftedSolveEngine`], on every executor.  The per-group
-//! majority-stop rule is the engine's two-stage form evaluated per group:
-//! the cap is a pure function of the group's own first-stage results.
+//! [`cbs_core::ShiftedSolveEngine`], on every executor and under either
+//! block policy.  The per-group majority-stop rule is the engine's
+//! two-stage form evaluated per group: the cap is a pure function of the
+//! group's own first-stage results.
 
-use cbs_core::{MomentAccumulator, QepProblem, ShiftedSolveOutcome, SsConfig};
+use cbs_core::{BlockPolicy, MomentAccumulator, QepProblem, ShiftedSolveOutcome, SsConfig};
 use cbs_linalg::CVector;
 use cbs_parallel::TaskExecutor;
-use cbs_solver::bicg_dual_seeded;
+use cbs_solver::{bicg_dual_block, bicg_dual_seeded};
 
 use crate::sweep::SeedTable;
 
@@ -45,8 +54,12 @@ pub(crate) struct GroupOutcome {
     pub acc: MomentAccumulator,
     /// Primal BiCG iterations summed over the group's solves.
     pub iterations: usize,
-    /// Operator applications summed over the group's solves.
+    /// Operator applications (matvec-equivalents) summed over the group's
+    /// solves.
     pub matvecs: usize,
+    /// Operator-storage traversals actually performed for the group (fused
+    /// block applies count one).
+    pub traversals: usize,
     /// Solves that ran under the majority-stop cap.
     pub capped_solves: usize,
     /// Number of solves (each = one primal+dual pair).
@@ -79,12 +92,21 @@ impl GroupTracking {
     }
 }
 
-/// One job of the flattened pool.
+/// One single-vector job of the flattened `PerRhs` pool.
 #[derive(Clone, Copy)]
 struct FlatJob {
     group: usize,
     point_index: usize,
     rhs_index: usize,
+    cap: Option<usize>,
+}
+
+/// One block job of the flattened `PerNode` pool: a whole quadrature node
+/// of one group (all right-hand sides).
+#[derive(Clone, Copy)]
+struct FlatNodeJob {
+    group: usize,
+    point_index: usize,
     cap: Option<usize>,
 }
 
@@ -104,7 +126,7 @@ pub(crate) fn solve_round<E: TaskExecutor>(
     let n_rh = config.n_rh;
     let options = config.solver_options();
 
-    let run_job = |job: FlatJob| -> (usize, ShiftedSolveOutcome) {
+    let run_job = |job: FlatJob| -> (usize, usize, Vec<ShiftedSolveOutcome>) {
         let group = &groups[job.group];
         let op = group.problem.operator(outer[job.point_index].z);
         let v = &v_cols[job.rhs_index];
@@ -115,17 +137,47 @@ pub(crate) fn solve_round<E: TaskExecutor>(
         let seed =
             group.seeds.map(|t| &t[job.point_index * n_rh + job.rhs_index]).map(|(x, xt)| (x, xt));
         let res = bicg_dual_seeded(&op, v, v, seed, &options, external);
+        let traversals = res.history.matvecs;
         (
             job.group,
-            ShiftedSolveOutcome {
+            traversals,
+            vec![ShiftedSolveOutcome {
                 point_index: job.point_index,
                 rhs_index: job.rhs_index,
                 x: res.x,
                 dual_x: res.dual_x,
                 history: res.history,
                 dual_history: res.dual_history,
-            },
+            }],
         )
+    };
+
+    let run_node_job = |job: FlatNodeJob| -> (usize, usize, Vec<ShiftedSolveOutcome>) {
+        let group = &groups[job.group];
+        let op = group.problem.operator(outer[job.point_index].z);
+        let stop_at = job.cap.map(|c| c.max(1));
+        let stop_cb = move |iter: usize| stop_at.is_some_and(|c| iter >= c);
+        let external: Option<&(dyn Fn(usize) -> bool + Sync)> =
+            if stop_at.is_some() { Some(&stop_cb) } else { None };
+        let seed_vec: Vec<Option<(&CVector, &CVector)>> = (0..n_rh)
+            .map(|r| group.seeds.map(|t| &t[job.point_index * n_rh + r]).map(|(x, xt)| (x, xt)))
+            .collect();
+        let res = bicg_dual_block(&op, v_cols, v_cols, Some(&seed_vec), &options, external);
+        let traversals = res.traversals;
+        let outcomes = res
+            .columns
+            .into_iter()
+            .enumerate()
+            .map(|(rhs_index, col)| ShiftedSolveOutcome {
+                point_index: job.point_index,
+                rhs_index,
+                x: col.x,
+                dual_x: col.dual_x,
+                history: col.history,
+                dual_history: col.dual_history,
+            })
+            .collect();
+        (job.group, traversals, outcomes)
     };
 
     let mut outcomes: Vec<GroupOutcome> = groups
@@ -134,6 +186,7 @@ pub(crate) fn solve_round<E: TaskExecutor>(
             acc: MomentAccumulator::new(n, config),
             iterations: 0,
             matvecs: 0,
+            traversals: 0,
             capped_solves: 0,
             solves: 0,
             solutions: if g.keep_solutions { Vec::with_capacity(n_int * n_rh) } else { Vec::new() },
@@ -142,48 +195,67 @@ pub(crate) fn solve_round<E: TaskExecutor>(
     let mut tracking: Vec<GroupTracking> =
         groups.iter().map(|_| GroupTracking::new(n_int)).collect();
 
-    // Fold step shared by both stages: runs on the calling thread in input
-    // (= group-major job) order on every executor.  Takes its state
-    // explicitly so the borrows end with each stage.
-    let record = |tracking: &mut [GroupTracking],
-                  outcomes: &mut [GroupOutcome],
-                  (g, outcome): (usize, ShiftedSolveOutcome)| {
-        tracking[g].record(&outcome);
-        let out = &mut outcomes[g];
-        out.iterations += outcome.history.iterations();
-        out.matvecs += outcome.history.matvecs;
-        out.solves += 1;
-        let pair = out.acc.record(outcome);
-        if groups[g].keep_solutions {
-            out.solutions.push(pair);
-        }
-    };
-
-    let jobs_for = |points: std::ops::Range<usize>, caps: &[Option<usize>]| -> Vec<FlatJob> {
-        let mut jobs = Vec::new();
-        for (g, _) in groups.iter().enumerate() {
-            for point_index in points.clone() {
-                for rhs_index in 0..n_rh {
-                    jobs.push(FlatJob { group: g, point_index, rhs_index, cap: caps[g] });
+    // Fold step shared by both stages and both policies: runs on the
+    // calling thread in input (= group-major job) order on every executor.
+    // Takes its state explicitly so the borrows end with each stage.
+    let record =
+        |tracking: &mut [GroupTracking],
+         outcomes: &mut [GroupOutcome],
+         (g, traversals, job_outcomes): (usize, usize, Vec<ShiftedSolveOutcome>)| {
+            outcomes[g].traversals += traversals;
+            for outcome in job_outcomes {
+                tracking[g].record(&outcome);
+                let out = &mut outcomes[g];
+                out.iterations += outcome.history.iterations();
+                out.matvecs += outcome.history.matvecs;
+                out.solves += 1;
+                let pair = out.acc.record(outcome);
+                if groups[g].keep_solutions {
+                    out.solutions.push(pair);
                 }
             }
+        };
+
+    // Dispatch one majority-stop stage over `points` at the configured
+    // granularity.
+    let run_stage = |points: std::ops::Range<usize>,
+                     caps: &[Option<usize>],
+                     tracking: &mut Vec<GroupTracking>,
+                     outcomes: &mut Vec<GroupOutcome>| {
+        match config.block {
+            BlockPolicy::PerRhs => {
+                let mut jobs = Vec::new();
+                for (g, _) in groups.iter().enumerate() {
+                    for point_index in points.clone() {
+                        for rhs_index in 0..n_rh {
+                            jobs.push(FlatJob { group: g, point_index, rhs_index, cap: caps[g] });
+                        }
+                    }
+                }
+                executor.execute_fold(jobs, run_job, (), |(), o| record(tracking, outcomes, o));
+            }
+            BlockPolicy::PerNode => {
+                let mut jobs = Vec::new();
+                for (g, _) in groups.iter().enumerate() {
+                    for point_index in points.clone() {
+                        jobs.push(FlatNodeJob { group: g, point_index, cap: caps[g] });
+                    }
+                }
+                executor
+                    .execute_fold(jobs, run_node_job, (), |(), o| record(tracking, outcomes, o));
+            }
         }
-        jobs
     };
 
     if !config.majority_stop {
         let caps = vec![None; groups.len()];
-        executor.execute_fold(jobs_for(0..n_int, &caps), run_job, (), |(), o| {
-            record(&mut tracking, &mut outcomes, o)
-        });
+        run_stage(0..n_int, &caps, &mut tracking, &mut outcomes);
     } else {
         // Stage 1: strictly more than half of each group's quadrature
         // points run to convergence, uncapped.
         let stage1_points = (n_int / 2 + 1).min(n_int);
         let caps = vec![None; groups.len()];
-        executor.execute_fold(jobs_for(0..stage1_points, &caps), run_job, (), |(), o| {
-            record(&mut tracking, &mut outcomes, o)
-        });
+        run_stage(0..stage1_points, &caps, &mut tracking, &mut outcomes);
 
         // Per-group cap: the engine's rule, from the group's own stage-1
         // results only.
@@ -204,9 +276,7 @@ pub(crate) fn solve_round<E: TaskExecutor>(
                 outcomes[g].capped_solves = stage2_per_group;
             }
         }
-        executor.execute_fold(jobs_for(stage1_points..n_int, &caps), run_job, (), |(), o| {
-            record(&mut tracking, &mut outcomes, o)
-        });
+        run_stage(stage1_points..n_int, &caps, &mut tracking, &mut outcomes);
     }
 
     outcomes

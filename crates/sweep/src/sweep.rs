@@ -63,8 +63,13 @@ pub enum EnergyOrigin {
 pub struct EnergyStats {
     /// Primal BiCG iterations over the energy's solves.
     pub bicg_iterations: usize,
-    /// Operator applications over the energy's solves.
+    /// Operator applications over the energy's solves (matvec-equivalents;
+    /// identical under every `BlockPolicy`).
     pub matvecs: usize,
+    /// Operator-storage traversals actually performed (fused block applies
+    /// count one; up to `N_rh`x below [`matvecs`](Self::matvecs) under
+    /// `BlockPolicy::PerNode`).
+    pub operator_traversals: usize,
     /// Solves that started from a donor seed.
     pub warm_solves: usize,
     /// Solves that started cold.
@@ -474,6 +479,7 @@ impl<'a> EnergySweep<'a> {
                     outcome.acc,
                     outcome.iterations,
                     outcome.matvecs,
+                    outcome.traversals,
                     0.0,
                 );
                 st.extraction_seconds += result.timings.extraction_seconds;
@@ -485,6 +491,7 @@ impl<'a> EnergySweep<'a> {
                 let stats = EnergyStats {
                     bicg_iterations: outcome.iterations,
                     matvecs: outcome.matvecs,
+                    operator_traversals: outcome.traversals,
                     warm_solves: if seeded.is_some() { outcome.solves } else { 0 },
                     cold_solves: if seeded.is_some() { 0 } else { outcome.solves },
                     warm_iterations: if seeded.is_some() { outcome.iterations } else { 0 },
@@ -590,6 +597,7 @@ impl<'a> EnergySweep<'a> {
             points.extend(rec.points.iter().copied());
             stats.total_bicg_iterations += rec.stats.bicg_iterations;
             stats.total_matvecs += rec.stats.matvecs;
+            stats.operator_traversals += rec.stats.operator_traversals;
             stats.cold_bicg_iterations += rec.stats.cold_iterations;
             stats.warm_bicg_iterations += rec.stats.warm_iterations;
             stats.cold_solves += rec.stats.cold_solves;

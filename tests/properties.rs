@@ -107,6 +107,104 @@ proptest! {
         prop_assert!((&y_dd - &y_serial).norm() < 1e-11 * (1.0 + y_serial.norm()));
     }
 
+    /// The fused block kernels of every operator in the QEP hot path
+    /// (`CsrMatrix`, `LowRankOp`, `ShiftedOp`, `QepOperator`) are
+    /// bit-identical to column-by-column application — the invariant the
+    /// block dual-BiCG's determinism guarantees rest on.
+    #[test]
+    fn apply_block_is_bitwise_column_equivalent(
+        seed in 0u64..1000,
+        nvecs in 1usize..6,
+        zre in -2.0f64..2.0,
+        zim in -2.0f64..2.0,
+    ) {
+        prop_assume!(zre * zre + zim * zim > 0.05);
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let grid = Grid3::isotropic(3, 3, 4, 0.5);
+        let n = grid.npoints();
+        let csr = laplacian_like(grid, 5.0);
+        let mut lr = cbs::sparse::LowRankOp::new(n, n);
+        for _ in 0..3 {
+            let ket = cbs::sparse::SparseVec::new(vec![
+                (rand::Rng::gen_range(&mut rng, 0..n), c64(0.4, -0.6)),
+                (rand::Rng::gen_range(&mut rng, 0..n), c64(-0.2, 0.3)),
+            ]);
+            let bra = cbs::sparse::SparseVec::new(vec![
+                (rand::Rng::gen_range(&mut rng, 0..n), c64(0.7, 0.1)),
+            ]);
+            lr.push(ket, bra, c64(rand::Rng::gen_range(&mut rng, -1.0..1.0), 0.4));
+        }
+        let z = c64(zre, zim);
+        let shifted = cbs::sparse::ShiftedOp::new(&csr, z);
+        let qep = QepProblem::new(&csr, &lr, 0.2, 1.0);
+        let qep_op = qep.operator(z);
+
+        let x: Vec<Complex64> = CVector::random(n * nvecs, &mut rng).into_vec();
+        let mut block = vec![Complex64::ZERO; n * nvecs];
+        let mut col = vec![Complex64::ZERO; n];
+        macro_rules! check {
+            ($op:expr, $name:literal) => {
+                $op.apply_block(&x, &mut block, nvecs);
+                for c in 0..nvecs {
+                    $op.apply(&x[c * n..(c + 1) * n], &mut col);
+                    prop_assert!(block[c * n..(c + 1) * n] == col[..],
+                        "{} column {} differs", $name, c);
+                }
+                $op.apply_adjoint_block(&x, &mut block, nvecs);
+                for c in 0..nvecs {
+                    $op.apply_adjoint(&x[c * n..(c + 1) * n], &mut col);
+                    prop_assert!(block[c * n..(c + 1) * n] == col[..],
+                        "{} adjoint column {} differs", $name, c);
+                }
+            };
+        }
+        check!(&csr, "CsrMatrix");
+        check!(&lr, "LowRankOp");
+        check!(&shifted, "ShiftedOp");
+        check!(&qep_op, "QepOperator");
+    }
+
+    /// Adjoint consistency of the block path: `⟨Y, A X⟩ = ⟨A† Y, X⟩`
+    /// column-wise for the QEP operator applied through slabs.
+    #[test]
+    fn block_adjoint_identity_holds(
+        seed in 0u64..1000,
+        nvecs in 1usize..5,
+        zre in -1.5f64..1.5,
+        zim in -1.5f64..1.5,
+        energy in -1.0f64..1.0,
+    ) {
+        prop_assume!(zre * zre + zim * zim > 0.05);
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let n = 8;
+        let a = CMatrix::random(n, n, &mut rng);
+        let h00 = &a + &a.adjoint();
+        let h01 = CMatrix::random(n, n, &mut rng);
+        let op00 = DenseOp::new(h00);
+        let op01 = DenseOp::new(h01);
+        let qep = QepProblem::new(&op00, &op01, energy, 1.0);
+        let op = qep.operator(c64(zre, zim));
+        let x: Vec<Complex64> = CVector::random(n * nvecs, &mut rng).into_vec();
+        let y: Vec<Complex64> = CVector::random(n * nvecs, &mut rng).into_vec();
+        let mut ax = vec![Complex64::ZERO; n * nvecs];
+        op.apply_block(&x, &mut ax, nvecs);
+        let mut aty = vec![Complex64::ZERO; n * nvecs];
+        op.apply_adjoint_block(&y, &mut aty, nvecs);
+        for c in 0..nvecs {
+            let r = c * n..(c + 1) * n;
+            // ⟨y_c, A x_c⟩ vs ⟨A† y_c, x_c⟩
+            let lhs: Complex64 = ax[r.clone()].iter().zip(&y[r.clone()])
+                .map(|(axi, yi)| yi.conj() * *axi).sum();
+            let rhs: Complex64 = x[r.clone()].iter().zip(&aty[r.clone()])
+                .map(|(xi, ayi)| ayi.conj() * *xi).sum();
+            let scale = 1.0 + lhs.abs().max(rhs.abs());
+            prop_assert!((lhs - rhs).abs() < 1e-10 * scale,
+                "column {} adjoint defect: {:?} vs {:?}", c, lhs, rhs);
+        }
+    }
+
     /// λ → k → λ round-trips through the Brillouin-zone folding.
     #[test]
     fn lambda_k_roundtrip(
