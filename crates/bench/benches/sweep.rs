@@ -1,20 +1,30 @@
 //! Criterion benchmarks of the `cbs-sweep` orchestrator: the same small
 //! Al(100) multi-energy scan run cold (flat pool, no seeding — the
 //! per-energy-loop equivalent) and warm-started (dyadic wavefront with
-//! cross-energy BiCG seeding), each under both job granularities
+//! cross-energy BiCG seeding), under both job granularities
 //! (`BlockPolicy::PerNode` fused block solves vs `BlockPolicy::PerRhs`
-//! single-vector solves).  The committed baseline lives in
-//! `baselines/sweep_cbs.json`; regenerate with
+//! single-vector solves) and the three operator policies
+//! (`PrecondPolicy::MatrixFree` / `Assembled` / `AssembledIlu0`).  The
+//! committed baseline lives in `baselines/sweep_cbs.json`; regenerate with
 //!
 //! ```sh
 //! CRITERION_JSON=$PWD/crates/bench/baselines/sweep_cbs.json \
 //!     cargo bench -p cbs-bench --bench sweep
 //! ```
+//!
+//! In addition to the criterion timings, every run writes a
+//! machine-readable `BENCH_sweep.json` at the repository root — wall time,
+//! operator traversals/assemblies and the cold/warm iteration split per
+//! policy combination — which CI uploads as an artifact so the perf
+//! trajectory is tracked across PRs.
 
-use cbs_core::{BlockPolicy, SsConfig};
+use std::io::Write as _;
+use std::time::Instant;
+
+use cbs_core::{BlockPolicy, PrecondPolicy, SsConfig};
 use cbs_dft::{bulk_al_100, grid_for_structure, BlockHamiltonian, HamiltonianParams};
 use cbs_parallel::SerialExecutor;
-use cbs_sweep::{sweep_cbs, SweepConfig};
+use cbs_sweep::{EnergySweep, SweepConfig, SweepResult};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn small_hamiltonian() -> BlockHamiltonian {
@@ -23,33 +33,127 @@ fn small_hamiltonian() -> BlockHamiltonian {
     BlockHamiltonian::build(grid, &s, HamiltonianParams::default())
 }
 
-fn bench_sweep(c: &mut Criterion) {
-    let h = small_hamiltonian();
-    let h00 = h.h00();
-    let h01 = h.h01();
-    let energies: Vec<f64> = (0..8).map(|i| 0.05 + 0.02 * i as f64).collect();
-    let ss = |block: BlockPolicy| SsConfig {
+fn ss(block: BlockPolicy, precond: PrecondPolicy) -> SsConfig {
+    SsConfig {
         n_int: 8,
         n_mm: 4,
         n_rh: 4,
         bicg_max_iterations: 400,
         block,
+        precond,
         ..SsConfig::small()
-    };
+    }
+}
+
+fn run_sweep(h: &BlockHamiltonian, energies: &[f64], config: SweepConfig) -> SweepResult {
+    let h00 = h.h00();
+    let h01 = h.h01();
+    let mut sweep = EnergySweep::new(&h00, &h01, h.period(), config);
+    if config.ss.precond.is_assembled() {
+        sweep = sweep.with_pattern(h.qep_pattern());
+    }
+    sweep.run(energies, &SerialExecutor)
+}
+
+/// One row of the machine-readable report.
+struct BenchRow {
+    name: String,
+    sweep: &'static str,
+    block: BlockPolicy,
+    precond: PrecondPolicy,
+    wall_seconds: f64,
+    result: SweepResult,
+}
+
+/// Write `BENCH_sweep.json` at the repository root: one entry per policy
+/// combination with wall time and the solver counters that track the perf
+/// levers (traversals for the block/assembled data paths, iteration splits
+/// for warm-starting and ILU preconditioning).
+fn emit_bench_json(rows: &[BenchRow]) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_sweep.json");
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"sweep_cbs\",\n  \"system\": \"Al(100) x 8 energies\",\n");
+    out.push_str("  \"configs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let s = &row.result.stats;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sweep\": \"{}\", \"block\": \"{}\", \
+             \"precond\": \"{}\", \"wall_seconds\": {:.6}, \
+             \"bicg_iterations\": {}, \"cold_iterations\": {}, \
+             \"warm_iterations\": {}, \"matvecs\": {}, \"traversals\": {}, \
+             \"assemblies\": {}, \"accepted\": {}}}{}\n",
+            row.name,
+            row.sweep,
+            row.block.name(),
+            row.precond.name(),
+            row.wall_seconds,
+            s.total_bicg_iterations,
+            s.cold_bicg_iterations,
+            s.warm_bicg_iterations,
+            s.total_matvecs,
+            s.operator_traversals,
+            s.operator_assemblies,
+            s.accepted,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let h = small_hamiltonian();
+    let energies: Vec<f64> = (0..8).map(|i| 0.05 + 0.02 * i as f64).collect();
+    let cold = |b, p| SweepConfig::cold(ss(b, p));
+    let warm = |b, p| SweepConfig { initial_round: 2, ..SweepConfig::new(ss(b, p)) };
+
+    // The benchmark matrix: (cold, warm) x per-node {matrix-free,
+    // assembled, ilu0} plus the legacy per-rhs matrix-free shape.
+    let matrix: Vec<(&'static str, BlockPolicy, PrecondPolicy)> = vec![
+        ("", BlockPolicy::PerNode, PrecondPolicy::MatrixFree),
+        ("_per_rhs", BlockPolicy::PerRhs, PrecondPolicy::MatrixFree),
+        ("_assembled", BlockPolicy::PerNode, PrecondPolicy::Assembled),
+        ("_ilu0", BlockPolicy::PerNode, PrecondPolicy::AssembledIlu0),
+    ];
 
     let mut group = c.benchmark_group("sweep_cbs");
     group.sample_size(10);
-    for (policy, tag) in [(BlockPolicy::PerNode, ""), (BlockPolicy::PerRhs, "_per_rhs")] {
+    for &(tag, block, precond) in &matrix {
         group.bench_function(&format!("cold_8_energies{tag}"), |b| {
-            let config = SweepConfig::cold(ss(policy));
-            b.iter(|| sweep_cbs(&h00, &h01, h.period(), &energies, &config, &SerialExecutor));
+            let config = cold(block, precond);
+            b.iter(|| run_sweep(&h, &energies, config));
         });
         group.bench_function(&format!("warm_8_energies{tag}"), |b| {
-            let config = SweepConfig { initial_round: 2, ..SweepConfig::new(ss(policy)) };
-            b.iter(|| sweep_cbs(&h00, &h01, h.period(), &energies, &config, &SerialExecutor));
+            let config = warm(block, precond);
+            b.iter(|| run_sweep(&h, &energies, config));
         });
     }
     group.finish();
+
+    // Machine-readable perf trajectory: one timed run per combination (a
+    // separate pass so the counters come from exactly the timed sweep).
+    let mut rows = Vec::new();
+    for &(tag, block, precond) in &matrix {
+        for (sweep_kind, config) in [("cold", cold(block, precond)), ("warm", warm(block, precond))]
+        {
+            let _warmup = run_sweep(&h, &energies, config);
+            let t = Instant::now();
+            let result = run_sweep(&h, &energies, config);
+            rows.push(BenchRow {
+                name: format!("{sweep_kind}_8_energies{tag}"),
+                sweep: sweep_kind,
+                block,
+                precond,
+                wall_seconds: t.elapsed().as_secs_f64(),
+                result,
+            });
+        }
+    }
+    emit_bench_json(&rows);
 }
 
 criterion_group!(benches, bench_sweep);

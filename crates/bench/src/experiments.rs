@@ -3,26 +3,34 @@
 //! stdout in the same layout as the corresponding figure/table of the paper
 //! and returns the key numbers so integration tests can assert on them.
 
-use cbs_core::{solve_qep_with, BlockPolicy, QepProblem, SsConfig, SsResult};
-use cbs_dft::band_structure;
+use cbs_core::{solve_qep_with, BlockPolicy, PrecondPolicy, QepProblem, SsConfig, SsResult};
+use cbs_dft::{band_structure, BlockHamiltonian};
 use cbs_linalg::Complex64;
 use cbs_obm::{obm_solve, ObmConfig};
 use cbs_parallel::{
     measure_bicg_iteration_cost, ExecutorChoice, MachineModel, ParallelLayout, PerformanceModel,
     RayonExecutor, ScalingLayer, SerialExecutor, WorkloadModel,
 };
-use cbs_sparse::LinearOperator;
-use cbs_sweep::{sweep_cbs, SweepConfig, SweepResult};
+use cbs_sparse::{AssembledPattern, LinearOperator};
+use cbs_sweep::{EnergySweep, SweepConfig, SweepResult};
 
 use crate::systems::{self, BenchSystem};
 
 /// Solve one QEP through the shifted-solve engine, with the executor chosen
 /// by the `CBS_EXECUTOR` environment variable (`serial` default, `rayon`
-/// for the threaded fan-out) and the job granularity by `CBS_BLOCK`
+/// for the threaded fan-out), the job granularity by `CBS_BLOCK`
 /// (`per-node` block solves by default, `per-rhs` reverts to single-vector
-/// jobs; the results are bit-identical whatever the combination).
+/// jobs; the results are bit-identical whatever the combination) and the
+/// operator representation by `CBS_PRECOND` (`matrix-free` default,
+/// `assembled` for the single-CSR fast path, `ilu0` to add the ILU(0)
+/// preconditioner; the assembled policies need a pattern on the problem —
+/// see [`env_pattern`]).
 pub fn solve_qep_env(problem: &QepProblem<'_>, config: &SsConfig) -> SsResult {
-    let config = SsConfig { block: block_policy_env(config.block), ..*config };
+    let config = SsConfig {
+        block: block_policy_env(config.block),
+        precond: precond_policy_env(config.precond),
+        ..*config
+    };
     match ExecutorChoice::from_env("CBS_EXECUTOR") {
         ExecutorChoice::Serial => solve_qep_with(problem, &config, &SerialExecutor),
         ExecutorChoice::Rayon => solve_qep_with(problem, &config, &RayonExecutor),
@@ -33,26 +41,28 @@ pub fn solve_qep_env(problem: &QepProblem<'_>, config: &SsConfig) -> SsResult {
 /// orchestrator: the energies of each release round share one flattened
 /// task pool and (unless `CBS_SWEEP=cold`) each energy's solves are
 /// warm-started from the nearest completed neighbour.  `CBS_SWEEP=cold`
-/// reproduces the per-energy `compute_cbs` loop bit for bit.
-pub fn compute_cbs_env(
-    h00: &dyn LinearOperator,
-    h01: &dyn LinearOperator,
-    period: f64,
-    energies: &[f64],
-    config: &SsConfig,
-) -> SweepResult {
-    let config = SsConfig { block: block_policy_env(config.block), ..*config };
+/// reproduces the per-energy `compute_cbs` loop bit for bit.  Under an
+/// assembled `CBS_PRECOND` policy the Hamiltonian's `qep_pattern` is built
+/// once and shared across the whole sweep.
+pub fn compute_cbs_env(h: &BlockHamiltonian, energies: &[f64], config: &SsConfig) -> SweepResult {
+    let config = SsConfig {
+        block: block_policy_env(config.block),
+        precond: precond_policy_env(config.precond),
+        ..*config
+    };
     let sweep_config = match std::env::var("CBS_SWEEP") {
         Ok(v) if v.eq_ignore_ascii_case("cold") => SweepConfig::cold(config),
         _ => SweepConfig::new(config),
     };
+    let h00 = h.h00();
+    let h01 = h.h01();
+    let mut sweep = EnergySweep::new(&h00, &h01, h.period(), sweep_config);
+    if config.precond.is_assembled() {
+        sweep = sweep.with_pattern(h.qep_pattern());
+    }
     match ExecutorChoice::from_env("CBS_EXECUTOR") {
-        ExecutorChoice::Serial => {
-            sweep_cbs(h00, h01, period, energies, &sweep_config, &SerialExecutor)
-        }
-        ExecutorChoice::Rayon => {
-            sweep_cbs(h00, h01, period, energies, &sweep_config, &RayonExecutor)
-        }
+        ExecutorChoice::Serial => sweep.run(energies, &SerialExecutor),
+        ExecutorChoice::Rayon => sweep.run(energies, &RayonExecutor),
     }
 }
 
@@ -77,6 +87,20 @@ fn block_policy_env(configured: BlockPolicy) -> BlockPolicy {
     std::env::var("CBS_BLOCK").map_or(configured, |v| BlockPolicy::from_name(&v))
 }
 
+/// `CBS_PRECOND` overrides the configured operator representation /
+/// preconditioning only when it is actually set.
+fn precond_policy_env(configured: PrecondPolicy) -> PrecondPolicy {
+    std::env::var("CBS_PRECOND").map_or(configured, |v| PrecondPolicy::from_name(&v))
+}
+
+/// The assembled pattern a single-energy harness should attach to its
+/// [`QepProblem`] given the env-resolved policy over the harness's
+/// `configured` default: `Some` when the effective policy is assembled,
+/// `None` (no assembly cost) under matrix-free.
+pub fn env_pattern(h: &BlockHamiltonian, configured: PrecondPolicy) -> Option<AssembledPattern> {
+    precond_policy_env(configured).is_assembled().then(|| h.qep_pattern())
+}
+
 /// Serial head-to-head of QEP/SS vs OBM on one system (one bar group of
 /// Figure 4).  Returns `(ss_seconds, obm_seconds, ss_bytes, obm_bytes)`.
 pub fn fig4_compare(sys: &BenchSystem) -> (f64, f64, usize, usize) {
@@ -84,7 +108,11 @@ pub fn fig4_compare(sys: &BenchSystem) -> (f64, f64, usize, usize) {
     let energy = sys.fermi;
     let h00 = h.h00();
     let h01 = h.h01();
-    let problem = QepProblem::new(&h00, &h01, energy, h.period());
+    let pattern = env_pattern(h, ss_config().precond);
+    let mut problem = QepProblem::new(&h00, &h01, energy, h.period());
+    if let Some(p) = &pattern {
+        problem = problem.with_pattern(p);
+    }
 
     let t0 = std::time::Instant::now();
     let ss = solve_qep_env(&problem, &ss_config());
@@ -129,8 +157,12 @@ pub fn table1_breakdown(sys: &BenchSystem) -> (f64, f64, f64) {
     let t0 = std::time::Instant::now();
     let h00 = h.h00();
     let h01 = h.h01();
+    let pattern = env_pattern(h, ss_config().precond);
     let setup = t0.elapsed().as_secs_f64();
-    let problem = QepProblem::new(&h00, &h01, sys.fermi, h.period());
+    let mut problem = QepProblem::new(&h00, &h01, sys.fermi, h.period());
+    if let Some(p) = &pattern {
+        problem = problem.with_pattern(p);
+    }
     let ss = solve_qep_env(&problem, &ss_config());
     println!("-- {} --", sys.name);
     println!("   read/setup matrix data [s]   {:>10.3}", setup);
@@ -145,7 +177,11 @@ pub fn fig5_convergence(sys: &BenchSystem) -> Vec<usize> {
     let h = &sys.hamiltonian;
     let h00 = h.h00();
     let h01 = h.h01();
-    let problem = QepProblem::new(&h00, &h01, sys.fermi, h.period());
+    let pattern = env_pattern(h, ss_config().precond);
+    let mut problem = QepProblem::new(&h00, &h01, sys.fermi, h.period());
+    if let Some(p) = &pattern {
+        problem = problem.with_pattern(p);
+    }
     let config = ss_config();
     let ss = solve_qep_env(&problem, &config);
     println!("-- {}: BiCG convergence at each quadrature point z_j --", sys.name);
@@ -172,9 +208,7 @@ pub fn fig6_cbs_vs_bands(sys: &BenchSystem, n_energies: usize) -> f64 {
     let energies: Vec<f64> = (0..n_energies)
         .map(|i| emin + (emax - emin) * i as f64 / (n_energies - 1).max(1) as f64)
         .collect();
-    let h00 = h.h00();
-    let h01 = h.h01();
-    let run = compute_cbs_env(&h00, &h01, h.period(), &energies, &ss_config());
+    let run = compute_cbs_env(h, &energies, &ss_config());
     println!("-- {}: complex band structure --", sys.name);
     println!("   E [Ha]      Re k [1/bohr]   Im k [1/bohr]   |λ|        type");
     let mut worst = 0.0f64;
@@ -281,13 +315,11 @@ pub fn fig11_bundles(n_energies: usize) -> Vec<(String, usize)> {
     let mut out = Vec::new();
     for sys in [systems::cnt80(), systems::crystalline_bundle_system()] {
         let h = &sys.hamiltonian;
-        let h00 = h.h00();
-        let h01 = h.h01();
         let energies: Vec<f64> = (0..n_energies)
             .map(|i| sys.fermi - 0.037 + 0.074 * i as f64 / (n_energies - 1).max(1) as f64)
             .collect();
         let config = SsConfig { n_rh: 4, ..ss_config() };
-        let run = compute_cbs_env(&h00, &h01, h.period(), &energies, &config);
+        let run = compute_cbs_env(h, &energies, &config);
         let channels = run.cbs.propagating().count();
         println!(
             "-- {}: {} atoms, {} propagating / {} evanescent states over {} energies --",

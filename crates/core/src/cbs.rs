@@ -89,10 +89,15 @@ pub struct CbsStatistics {
     /// Total operator applications (matvec-equivalents; identical under
     /// every `BlockPolicy`).
     pub total_matvecs: usize,
-    /// Operator-storage traversals actually performed — the figure the
-    /// per-node block data path shrinks by up to `N_rh`x relative to
-    /// [`total_matvecs`](Self::total_matvecs).
+    /// Operator-storage traversals actually performed (weighted by the
+    /// operator's `traversal_weight`) — the figure the per-node block data
+    /// path shrinks by up to `N_rh`x relative to
+    /// [`total_matvecs`](Self::total_matvecs), and the assembled operator
+    /// shrinks by a further 3x per apply.
     pub operator_traversals: usize,
+    /// Numeric refills of the assembled `P(z)` pattern (ILU(0)
+    /// factorizations included); zero under `PrecondPolicy::MatrixFree`.
+    pub operator_assemblies: usize,
     /// BiCG iterations spent in cold-started solves.
     pub cold_bicg_iterations: usize,
     /// BiCG iterations spent in warm-started solves (seeded from a
@@ -180,6 +185,7 @@ pub fn compute_cbs_with<E: TaskExecutor>(
         stats.total_bicg_iterations += result.total_bicg_iterations;
         stats.total_matvecs += result.total_matvecs;
         stats.operator_traversals += result.total_traversals;
+        stats.operator_assemblies += result.operator_assemblies;
         stats.cold_bicg_iterations += result.total_bicg_iterations;
         stats.cold_solves += result.solve_histories.len();
         stats.linear_solve_seconds += result.timings.linear_solve_seconds;

@@ -9,11 +9,17 @@
 //!
 //! ```text
 //! z_j^(1) = λ_min^{-1} e^{iθ_j},   z_j^(2) = λ_min e^{iθ_j},
-//! θ_j = 2π (j - 1/2)/N_int,        ω_j = z_j / N_int,
+//! θ_j = 2π (j + 1/2)/N_int,        ω_j = z_j / N_int,
 //! ```
 //!
-//! and the inner-circle nodes are exactly `1 / conj(z_j^(1))`, which is why
-//! the dual BiCG solutions can serve them.
+//! for the **0-based** node index `j = 0, …, N_int − 1 ` (the convention of
+//! [`QuadraturePoint::index`] throughout this crate).  This is the same
+//! node set as the paper's 1-based `θ_{j'} = 2π (j' − 1/2)/N_int` with
+//! `j' = j + 1`: the half-step offset keeps every node off the real axis,
+//! which is what makes the nodes conjugate-symmetric
+//! (`z_{N−1−j} = conj(z_j)`).  The inner-circle nodes are exactly
+//! `1 / conj(z_j^(1))`, which is why the dual BiCG solutions can serve
+//! them.
 
 use serde::{Deserialize, Serialize};
 
@@ -22,7 +28,8 @@ use cbs_linalg::Complex64;
 /// One quadrature node of the ring contour.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct QuadraturePoint {
-    /// Index `j` along the circle.
+    /// 0-based index `j` along the circle (`θ_j = 2π (j + 1/2)/N_int`; the
+    /// paper's 1-based `j'` is `j + 1`).
     pub index: usize,
     /// The node `z_j`.
     pub z: Complex64,
@@ -67,7 +74,7 @@ impl RingContour {
         r > self.inner_radius() * (1.0 + margin) && r < self.outer_radius() * (1.0 - margin)
     }
 
-    /// Quadrature angle `θ_j`.
+    /// Quadrature angle `θ_j = 2π (j + 1/2)/N_int` for the 0-based `j`.
     fn theta(&self, j: usize) -> f64 {
         2.0 * std::f64::consts::PI * (j as f64 + 0.5) / self.n_int as f64
     }

@@ -30,11 +30,33 @@ use std::sync::OnceLock;
 
 use cbs_linalg::{CVector, Complex64};
 use cbs_parallel::{SerialExecutor, TaskExecutor};
-use cbs_solver::{bicg_dual_block, bicg_dual_seeded, ConvergenceHistory, SolverOptions};
-use cbs_sparse::LinearOperator;
+use cbs_solver::{
+    bicg_dual_block_precond, bicg_dual_precond_seeded, ConvergenceHistory, SolverOptions,
+};
+use cbs_sparse::{LinearOperator, Preconditioner};
 use serde::{Deserialize, Serialize};
 
 use crate::contour::{QuadraturePoint, RingContour};
+
+/// Crate-private type-level placeholder instantiating the unpreconditioned
+/// [`ShiftedSolveEngine::solve_fold`] path through
+/// [`solve_fold_precond`](ShiftedSolveEngine::solve_fold_precond).  Only
+/// ever passed as `None`, so the methods are genuinely unreachable — and it
+/// is deliberately *not* exported, so no caller can hand the solvers a
+/// `Some(&NoPrecond)` expecting identity behaviour.
+struct NoPrecond;
+
+impl Preconditioner for NoPrecond {
+    fn dim(&self) -> usize {
+        unreachable!("NoPrecond is never instantiated")
+    }
+    fn solve(&self, _r: &[Complex64], _z: &mut [Complex64]) {
+        unreachable!("NoPrecond is never instantiated")
+    }
+    fn solve_adjoint(&self, _r: &[Complex64], _z: &mut [Complex64]) {
+        unreachable!("NoPrecond is never instantiated")
+    }
+}
 
 /// Granularity of the shifted-solve jobs the engine hands to its
 /// [`TaskExecutor`].
@@ -89,6 +111,75 @@ impl BlockPolicy {
             Self::PerRhs => "per-rhs",
             Self::PerNode => "per-node",
         }
+    }
+}
+
+/// How the shifted operator `P(z)` is represented — and whether its solves
+/// are preconditioned.
+///
+/// Unlike [`BlockPolicy`], the policies are **not** bitwise-interchangeable:
+/// the assembled operator sums the three Hamiltonian contributions per entry
+/// (instead of per application) and ILU(0) changes the Krylov trajectory
+/// entirely.  What every policy preserves is the solution contract (relative
+/// residual ≤ tolerance) and serial ≡ rayon bit-identity *within* the
+/// policy; the default [`MatrixFree`](Self::MatrixFree) path is bitwise
+/// unchanged from before this knob existed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrecondPolicy {
+    /// Apply `P(z)` matrix-free (three storage traversals per application:
+    /// `H₀₀`, `H₀₁`, `H₀₁†`), unpreconditioned.  The historical default.
+    #[default]
+    MatrixFree,
+    /// Materialize `P(z)` once per quadrature node as a single CSR by
+    /// numeric refill of the shared `cbs_sparse::AssembledPattern` — one
+    /// storage traversal per application — still unpreconditioned.
+    Assembled,
+    /// The assembled operator plus a complex ILU(0) factorization per node,
+    /// applied as a preconditioner on both the primal (`M⁻¹`) and dual
+    /// (`M⁻†`, i.e. the `P(1/z̄)` side) recurrences — the iteration-count
+    /// lever on top of the traversal lever.
+    AssembledIlu0,
+}
+
+impl PrecondPolicy {
+    /// Read the policy from an environment variable (mirrors
+    /// [`BlockPolicy::from_env`]): `"assembled"` / `"asm"` select
+    /// [`Assembled`](Self::Assembled), `"assembled-ilu0"` / `"ilu0"` /
+    /// `"ilu"` select [`AssembledIlu0`](Self::AssembledIlu0); anything else
+    /// — including unset — is the default
+    /// [`MatrixFree`](Self::MatrixFree).
+    pub fn from_env(var: &str) -> Self {
+        std::env::var(var).map_or(Self::MatrixFree, |v| Self::from_name(&v))
+    }
+
+    /// Parse a policy name (the `from_env` value syntax); unrecognized
+    /// names fall back to the default [`MatrixFree`](Self::MatrixFree).
+    pub fn from_name(name: &str) -> Self {
+        if name.eq_ignore_ascii_case("assembled-ilu0")
+            || name.eq_ignore_ascii_case("assembled_ilu0")
+            || name.eq_ignore_ascii_case("ilu0")
+            || name.eq_ignore_ascii_case("ilu")
+        {
+            Self::AssembledIlu0
+        } else if name.eq_ignore_ascii_case("assembled") || name.eq_ignore_ascii_case("asm") {
+            Self::Assembled
+        } else {
+            Self::MatrixFree
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::MatrixFree => "matrix-free",
+            Self::Assembled => "assembled",
+            Self::AssembledIlu0 => "assembled-ilu0",
+        }
+    }
+
+    /// `true` for the policies that materialize the assembled CSR.
+    pub fn is_assembled(self) -> bool {
+        !matches!(self, Self::MatrixFree)
     }
 }
 
@@ -218,11 +309,14 @@ pub struct ShiftedSolveStats {
     /// Total operator applications over all solves (matvec-equivalents: the
     /// per-column work performed, identical under every [`BlockPolicy`]).
     pub total_matvecs: usize,
-    /// Operator-storage traversals actually performed.  Under
-    /// [`BlockPolicy::PerRhs`] every matvec is its own traversal, so this
-    /// equals [`total_matvecs`](Self::total_matvecs); under
-    /// [`BlockPolicy::PerNode`] a fused block apply over any number of
-    /// active columns counts one, cutting the figure by up to `N_rh`x.
+    /// Operator-storage traversals actually performed, each apply counting
+    /// the operator's `traversal_weight` (3 for the matrix-free QEP
+    /// operator, 1 for its assembled CSR form).  Under
+    /// [`BlockPolicy::PerRhs`] every matvec is its own weighted traversal,
+    /// so this equals [`total_matvecs`](Self::total_matvecs) x weight;
+    /// under [`BlockPolicy::PerNode`] a fused block apply over any number
+    /// of active columns counts one weighted traversal, cutting the figure
+    /// by up to a further `N_rh`x.
     pub total_traversals: usize,
 }
 
@@ -348,40 +442,76 @@ impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
         rhs: &[CVector],
         operator_at: F,
         init: A,
-        mut fold: G,
+        fold: G,
     ) -> (A, ShiftedSolveStats)
     where
         Op: LinearOperator + Send,
         F: Fn(Complex64) -> Op + Sync,
         G: FnMut(A, ShiftedSolveOutcome) -> A,
     {
+        self.solve_fold_precond(contour, rhs, |z| (operator_at(z), None::<NoPrecond>), init, fold)
+    }
+
+    /// [`solve_fold`](Self::solve_fold) with a per-node preconditioner: the
+    /// factory returns `(P(z), Option<M>)` per quadrature node, and every
+    /// solve of that node runs the preconditioned dual BiCG
+    /// (`cbs_solver::bicg_dual_precond_seeded` /
+    /// `cbs_solver::bicg_dual_block_precond`).  A factory that always
+    /// returns `None` is bit-identical to [`solve_fold`](Self::solve_fold)
+    /// — which is in fact implemented as exactly that.
+    ///
+    /// Like the operator, the preconditioner is built **once per node** and
+    /// shared across that node's right-hand sides, so an ILU(0)
+    /// factorization is paid `N_int` times per sweep energy, not
+    /// `N_int x N_rh` times.
+    pub fn solve_fold_precond<Op, M, F, A, G>(
+        &self,
+        contour: &RingContour,
+        rhs: &[CVector],
+        operator_at: F,
+        init: A,
+        mut fold: G,
+    ) -> (A, ShiftedSolveStats)
+    where
+        Op: LinearOperator + Send,
+        M: Preconditioner + Send + Sync,
+        F: Fn(Complex64) -> (Op, Option<M>) + Sync,
+        G: FnMut(A, ShiftedSolveOutcome) -> A,
+    {
         let outer = contour.outer_points();
         let n_int = outer.len();
         let n_rh = rhs.len();
 
-        // One operator per quadrature node.  Under `PerRhs` the cell is
-        // filled by whichever job of that node runs first and shared by the
-        // rest (`LinearOperator: Sync`); under `PerNode` the node *is* the
-        // job, so the factory is likewise invoked exactly once per node.
-        let op_cells: Vec<OnceLock<Op>> = (0..n_int).map(|_| OnceLock::new()).collect();
+        // One operator (+ optional preconditioner) per quadrature node.
+        // Under `PerRhs` the cell is filled by whichever job of that node
+        // runs first and shared by the rest (`LinearOperator: Sync`); under
+        // `PerNode` the node *is* the job, so the factory is likewise
+        // invoked exactly once per node.
+        let op_cells: Vec<OnceLock<(Op, Option<M>)>> =
+            (0..n_int).map(|_| OnceLock::new()).collect();
 
-        let run_job = |job: ShiftedSolveJob, cap: Option<usize>| -> ShiftedSolveOutcome {
-            let op = op_cells[job.point.index].get_or_init(|| operator_at(job.point.z));
+        let run_job = |job: ShiftedSolveJob, cap: Option<usize>| -> (ShiftedSolveOutcome, usize) {
+            let (op, prec) = op_cells[job.point.index].get_or_init(|| operator_at(job.point.z));
             let v = &rhs[job.rhs_index];
             let stop_at = cap.map(|c| c.max(1));
             let stop_cb = move |iter: usize| stop_at.is_some_and(|c| iter >= c);
             let external: Option<&(dyn Fn(usize) -> bool + Sync)> =
                 if stop_at.is_some() { Some(&stop_cb) } else { None };
             let seed = self.seeds.and_then(|s| s.seed(job.point.index, job.rhs_index));
-            let res = bicg_dual_seeded(op, v, v, seed, &self.options, external);
-            ShiftedSolveOutcome {
-                point_index: job.point.index,
-                rhs_index: job.rhs_index,
-                x: res.x,
-                dual_x: res.dual_x,
-                history: res.history,
-                dual_history: res.dual_history,
-            }
+            let res =
+                bicg_dual_precond_seeded(op, prec.as_ref(), v, v, seed, &self.options, external);
+            let traversals = res.history.matvecs * op.traversal_weight();
+            (
+                ShiftedSolveOutcome {
+                    point_index: job.point.index,
+                    rhs_index: job.rhs_index,
+                    x: res.x,
+                    dual_x: res.dual_x,
+                    history: res.history,
+                    dual_history: res.dual_history,
+                },
+                traversals,
+            )
         };
 
         // One *block* job per quadrature node: all right-hand sides advance
@@ -390,14 +520,22 @@ impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
         // same as under `PerRhs`.
         let run_node =
             |point: QuadraturePoint, cap: Option<usize>| -> (Vec<ShiftedSolveOutcome>, usize) {
-                let op = op_cells[point.index].get_or_init(|| operator_at(point.z));
+                let (op, prec) = op_cells[point.index].get_or_init(|| operator_at(point.z));
                 let stop_at = cap.map(|c| c.max(1));
                 let stop_cb = move |iter: usize| stop_at.is_some_and(|c| iter >= c);
                 let external: Option<&(dyn Fn(usize) -> bool + Sync)> =
                     if stop_at.is_some() { Some(&stop_cb) } else { None };
                 let seed_vec: Vec<Option<(&CVector, &CVector)>> =
                     (0..n_rh).map(|r| self.seeds.and_then(|s| s.seed(point.index, r))).collect();
-                let res = bicg_dual_block(op, rhs, rhs, Some(&seed_vec), &self.options, external);
+                let res = bicg_dual_block_precond(
+                    op,
+                    prec.as_ref(),
+                    rhs,
+                    rhs,
+                    Some(&seed_vec),
+                    &self.options,
+                    external,
+                );
                 let traversals = res.traversals;
                 let outcomes = res
                     .columns
@@ -440,8 +578,8 @@ impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
                         jobs,
                         |job| run_job(job, cap),
                         acc,
-                        |acc, o| {
-                            tracking.total_traversals += o.history.matvecs;
+                        |acc, (o, traversals)| {
+                            tracking.total_traversals += traversals;
                             tracking.record(&o);
                             fold(acc, o)
                         },
@@ -811,6 +949,91 @@ mod tests {
         assert_eq!(BlockPolicy::from_name("anything-else"), BlockPolicy::PerNode);
         assert_eq!(BlockPolicy::PerNode.name(), "per-node");
         assert_eq!(BlockPolicy::PerRhs.name(), "per-rhs");
+    }
+
+    #[test]
+    fn precond_policy_env_knob_parses_like_the_other_knobs() {
+        assert_eq!(
+            PrecondPolicy::from_env("CBS_PRECOND_TEST_UNSET_VAR"),
+            PrecondPolicy::MatrixFree
+        );
+        assert_eq!(PrecondPolicy::from_name("assembled"), PrecondPolicy::Assembled);
+        assert_eq!(PrecondPolicy::from_name("ASM"), PrecondPolicy::Assembled);
+        assert_eq!(PrecondPolicy::from_name("assembled-ilu0"), PrecondPolicy::AssembledIlu0);
+        assert_eq!(PrecondPolicy::from_name("assembled_ilu0"), PrecondPolicy::AssembledIlu0);
+        assert_eq!(PrecondPolicy::from_name("ilu"), PrecondPolicy::AssembledIlu0);
+        assert_eq!(PrecondPolicy::from_name("ILU0"), PrecondPolicy::AssembledIlu0);
+        assert_eq!(PrecondPolicy::from_name("anything-else"), PrecondPolicy::MatrixFree);
+        assert_eq!(PrecondPolicy::MatrixFree.name(), "matrix-free");
+        assert_eq!(PrecondPolicy::Assembled.name(), "assembled");
+        assert_eq!(PrecondPolicy::AssembledIlu0.name(), "assembled-ilu0");
+        assert!(!PrecondPolicy::MatrixFree.is_assembled());
+        assert!(PrecondPolicy::Assembled.is_assembled());
+        assert!(PrecondPolicy::AssembledIlu0.is_assembled());
+        assert_eq!(PrecondPolicy::default(), PrecondPolicy::MatrixFree);
+    }
+
+    #[test]
+    fn preconditioned_engine_cuts_iterations_and_stays_executor_independent() {
+        use cbs_sparse::{AssembledPattern, CooBuilder};
+        let n = 40;
+        let mut b00 = CooBuilder::new(n, n);
+        let mut b01 = CooBuilder::new(n, n);
+        for i in 0..n {
+            b00.push(i, i, c64(-4.0, 0.0));
+            if i + 1 < n {
+                b00.push(i, i + 1, c64(1.0, 0.2));
+                b00.push(i + 1, i, c64(1.0, -0.2));
+            }
+            b01.push(i, (i + 2) % n, c64(0.25, -0.1));
+        }
+        let (h00, h01) = (b00.build(), b01.build());
+        let pattern = AssembledPattern::build(&h00, &h01);
+        let energy = 0.2;
+        let rhs = rhs_block(n, 3, 48);
+        let contour = RingContour::new(0.5, 6);
+        let opts = SolverOptions::default().with_tolerance(1e-10);
+        let engine = ShiftedSolveEngine::new(&SerialExecutor, opts);
+
+        let collect = |mut v: Vec<ShiftedSolveOutcome>, o: ShiftedSolveOutcome| {
+            v.push(o);
+            v
+        };
+        let (plain, plain_stats) = engine.solve_fold_precond(
+            &contour,
+            &rhs,
+            |z| (pattern.assemble(energy, z), None::<NoPrecond>),
+            Vec::new(),
+            collect,
+        );
+        let precond_factory = |z| {
+            let op = pattern.assemble(energy, z);
+            let ilu = op.ilu0();
+            (op, Some(ilu))
+        };
+        let (pre, pre_stats) =
+            engine.solve_fold_precond(&contour, &rhs, precond_factory, Vec::new(), collect);
+        assert_eq!(plain.len(), pre.len());
+        for o in &pre {
+            assert!(o.history.converged() && o.dual_history.converged());
+        }
+        assert!(
+            pre_stats.total_iterations < plain_stats.total_iterations,
+            "ILU(0) did not cut engine iterations: {} vs {}",
+            pre_stats.total_iterations,
+            plain_stats.total_iterations
+        );
+
+        // Preconditioned runs stay bit-identical across executors.
+        let rayon_engine = ShiftedSolveEngine::new(&RayonExecutor, opts);
+        let (pre_rayon, pre_rayon_stats) =
+            rayon_engine.solve_fold_precond(&contour, &rhs, precond_factory, Vec::new(), collect);
+        for (s, r) in pre.iter().zip(&pre_rayon) {
+            assert_eq!(s.x, r.x);
+            assert_eq!(s.dual_x, r.dual_x);
+            assert_eq!(s.history.residuals, r.history.residuals);
+        }
+        assert_eq!(pre_stats.total_traversals, pre_rayon_stats.total_traversals);
     }
 
     #[test]

@@ -40,10 +40,10 @@ pub use cbs::{
 };
 pub use contour::{QuadraturePoint, RingContour};
 pub use engine::{
-    BlockPolicy, SeedProvider, ShiftedSolveEngine, ShiftedSolveJob, ShiftedSolveOutcome,
-    ShiftedSolveReport, ShiftedSolveStats, StoredSeeds,
+    BlockPolicy, PrecondPolicy, SeedProvider, ShiftedSolveEngine, ShiftedSolveJob,
+    ShiftedSolveOutcome, ShiftedSolveReport, ShiftedSolveStats, StoredSeeds,
 };
-pub use qep::{QepOperator, QepProblem};
+pub use qep::{QepNodeOp, QepOperator, QepProblem};
 pub use ss::{
     extract_from_moments, solve_qep, solve_qep_with, source_block, MomentAccumulator, QepEigenpair,
     SsConfig, SsResult, SsTimings,

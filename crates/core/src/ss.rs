@@ -59,6 +59,16 @@ pub struct SsConfig {
     /// [`BlockPolicy::PerNode`](crate::engine::BlockPolicy::PerNode) fuses
     /// each node's `N_rh` solves into block matvecs.
     pub block: crate::engine::BlockPolicy,
+    /// Operator representation / preconditioning of the shifted solves (see
+    /// [`PrecondPolicy`](crate::engine::PrecondPolicy)).  Unlike
+    /// [`block`](Self::block) this *does* change the floating-point
+    /// trajectory (assembled arithmetic, ILU-preconditioned recurrences),
+    /// so it **is** part of the sweep checkpoint fingerprint; the default
+    /// [`MatrixFree`](crate::engine::PrecondPolicy::MatrixFree) path is
+    /// bitwise unchanged.  The assembled policies require a pattern on the
+    /// [`QepProblem`] (see [`QepProblem::with_pattern`]) and fall back to
+    /// matrix-free without one.
+    pub precond: crate::engine::PrecondPolicy,
 }
 
 impl Default for SsConfig {
@@ -84,6 +94,7 @@ impl SsConfig {
             seed: 0x5a5a_5a5a,
             majority_stop: true,
             block: crate::engine::BlockPolicy::PerNode,
+            precond: crate::engine::PrecondPolicy::MatrixFree,
         }
     }
 
@@ -156,13 +167,29 @@ pub struct SsResult {
     /// Total number of BiCG iterations summed over all systems.
     pub total_bicg_iterations: usize,
     /// Total number of operator applications (matvec-equivalents; identical
-    /// under every [`BlockPolicy`](crate::engine::BlockPolicy)).
+    /// under every [`BlockPolicy`](crate::engine::BlockPolicy)), including
+    /// the [`extraction_matvecs`](Self::extraction_matvecs).
     pub total_matvecs: usize,
-    /// Operator-storage traversals actually performed — under
-    /// `BlockPolicy::PerNode` one fused block apply per iteration per node
-    /// replaces `N_rh` single matvecs, so this is up to `N_rh`x smaller
-    /// than [`total_matvecs`](Self::total_matvecs).
+    /// Operator-storage traversals actually performed, weighted by the
+    /// operator's `traversal_weight` (3 per matrix-free `P(z)` apply, 1 per
+    /// assembled apply) — under `BlockPolicy::PerNode` one fused block
+    /// apply per iteration per node replaces `N_rh` single matvecs, and
+    /// under `PrecondPolicy::Assembled` each apply is one traversal instead
+    /// of three.  Includes
+    /// [`extraction_traversals`](Self::extraction_traversals).
     pub total_traversals: usize,
+    /// Operator applications spent in the extraction-phase residual checks
+    /// (one `P(λ)` apply per checked candidate; the once-per-problem cached
+    /// scale estimate is excluded to keep the counters deterministic);
+    /// already included in [`total_matvecs`](Self::total_matvecs).
+    pub extraction_matvecs: usize,
+    /// Storage traversals of the extraction-phase residual checks; already
+    /// included in [`total_traversals`](Self::total_traversals).
+    pub extraction_traversals: usize,
+    /// Numeric refills of the assembled operator pattern performed for this
+    /// solve (one per quadrature node under the assembled policies, ILU(0)
+    /// factorizations included; zero under `PrecondPolicy::MatrixFree`).
+    pub operator_assemblies: usize,
     /// Timing breakdown.
     pub timings: SsTimings,
     /// Eigenpairs discarded by the residual filter (diagnostics).
@@ -277,10 +304,24 @@ pub fn solve_qep_with<E: TaskExecutor>(
     // serial executor the fold streams (one solution pair alive at a
     // time), keeping the peak footprint at the O(N_mm N_rh N) moments
     // instead of the full N_int x N_rh solution set.
-    let (acc, stats) = engine.solve_fold(
+    //
+    // The node factory resolves `config.precond` into the per-node operator
+    // representation (matrix-free view, assembled CSR, or assembled CSR +
+    // ILU(0)); it runs once per quadrature node, so assembly and
+    // factorization costs are paid `N_int` times, never per right-hand
+    // side.  Under the default `MatrixFree` policy this is bitwise the
+    // pre-policy path.
+    let assemblies = std::sync::atomic::AtomicUsize::new(0);
+    let (acc, stats) = engine.solve_fold_precond(
         &contour,
         &v_cols,
-        |z| problem.operator(z),
+        |z| {
+            let (op, prec) = problem.node_solve(config.precond, z);
+            if op.is_assembled() {
+                assemblies.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            (op, prec)
+        },
         MomentAccumulator::new(n, config),
         |mut acc, outcome| {
             acc.record(outcome);
@@ -297,6 +338,7 @@ pub fn solve_qep_with<E: TaskExecutor>(
         stats.total_iterations,
         stats.total_matvecs,
         stats.total_traversals,
+        assemblies.load(std::sync::atomic::Ordering::Relaxed),
         linear_solve_seconds,
     )
 }
@@ -317,6 +359,7 @@ pub fn extract_from_moments(
     total_iters: usize,
     total_matvecs: usize,
     total_traversals: usize,
+    operator_assemblies: usize,
     linear_solve_seconds: f64,
 ) -> SsResult {
     let n = problem.dim();
@@ -325,6 +368,10 @@ pub fn extract_from_moments(
     let MomentAccumulator { s_moments, histories, .. } = acc;
 
     let t_extract = std::time::Instant::now();
+    // Residual checks below run through `problem.residual`, whose operator
+    // applications are metered on the problem; the delta is folded into the
+    // totals so extraction work no longer bypasses the counters.
+    let (residual_matvecs_0, residual_traversals_0) = problem.residual_op_counters();
 
     // µ̂_k = V† Ŝ_k  (N_rh x N_rh).
     let mu: Vec<CMatrix> = (0..n_moments)
@@ -412,6 +459,9 @@ pub fn extract_from_moments(
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     let extraction_seconds = t_extract.elapsed().as_secs_f64();
+    let (residual_matvecs_1, residual_traversals_1) = problem.residual_op_counters();
+    let extraction_matvecs = residual_matvecs_1 - residual_matvecs_0;
+    let extraction_traversals = residual_traversals_1 - residual_traversals_0;
 
     SsResult {
         eigenpairs,
@@ -420,8 +470,11 @@ pub fn extract_from_moments(
         solve_histories: histories,
         projected_moments: mu,
         total_bicg_iterations: total_iters,
-        total_matvecs,
-        total_traversals,
+        total_matvecs: total_matvecs + extraction_matvecs,
+        total_traversals: total_traversals + extraction_traversals,
+        extraction_matvecs,
+        extraction_traversals,
+        operator_assemblies,
         timings: SsTimings { setup_seconds: 0.0, linear_solve_seconds, extraction_seconds },
         discarded,
     }

@@ -78,14 +78,31 @@ impl BandStructure {
         edges
     }
 
-    /// `true` when at least one band edge lies strictly between `e_lo` and
-    /// `e_hi` — the refinement predicate an adaptive energy sweep uses to
-    /// decide whether an interval brackets the opening or closing of a
+    /// `true` when at least one band edge lies in the half-open interval
+    /// `(lo, hi]` — the refinement predicate an adaptive energy sweep uses
+    /// to decide whether an interval brackets the opening or closing of a
     /// channel and deserves bisection.
+    ///
+    /// The upper endpoint is **inclusive**: sweep grids are closed sets of
+    /// sampled energies, and with a fully open interval an edge landing
+    /// exactly on a grid energy would satisfy neither `(E_{i-1}, E_i)` nor
+    /// `(E_i, E_{i+1})`, silently skipping that channel opening.  Half-open
+    /// attribution assigns such an edge to exactly one interval (the one
+    /// below it) — bracketed once, never twice, never zero times.
     pub fn brackets_band_edge(&self, e_lo: f64, e_hi: f64) -> bool {
-        let (lo, hi) = if e_lo <= e_hi { (e_lo, e_hi) } else { (e_hi, e_lo) };
-        self.band_edges(0.0).iter().any(|&edge| edge > lo && edge < hi)
+        edges_bracket(&self.band_edges(0.0), e_lo, e_hi)
     }
+}
+
+/// `true` when at least one of `edges` lies in the half-open interval
+/// `(lo, hi]` spanned by `e_lo`/`e_hi` (orientation-agnostic) — the single
+/// source of the bracketing convention, shared by
+/// [`BandStructure::brackets_band_edge`] and the sweep's `BandEdgeRefiner`
+/// (which queries a precomputed edge list) so the two cannot
+/// desynchronize.
+pub fn edges_bracket(edges: &[f64], e_lo: f64, e_hi: f64) -> bool {
+    let (lo, hi) = if e_lo <= e_hi { (e_lo, e_hi) } else { (e_hi, e_lo) };
+    edges.iter().any(|&edge| edge > lo && edge <= hi)
 }
 
 /// Compute the lowest `n_bands` bands on `nk` uniformly spaced k-points in
@@ -249,12 +266,32 @@ mod tests {
         assert!(!bs.brackets_band_edge(-0.15, 0.35));
         assert!(bs.brackets_band_edge(-0.3, -0.1), "crosses the band-0 top");
         assert!(bs.brackets_band_edge(0.35, 0.45), "crosses the band-1 bottom");
-        // Orientation-agnostic, endpoints excluded.
+        // Orientation-agnostic; an empty interval brackets nothing.
         assert!(bs.brackets_band_edge(0.45, 0.35));
         assert!(!bs.brackets_band_edge(0.4, 0.4));
         // Dedup tolerance merges nearly equal edges.
         let merged = bs.band_edges(0.7);
         assert!(merged.len() < edges.len());
+    }
+
+    #[test]
+    fn edge_exactly_on_a_grid_energy_is_bracketed_once() {
+        // Regression: with strict inequalities at both ends, an edge landing
+        // exactly on a sweep grid energy was bracketed by *neither*
+        // neighbouring interval and adaptive refinement skipped the channel
+        // opening.  The half-open `(lo, hi]` convention assigns it to the
+        // interval below, exactly once.
+        let bs = BandStructure {
+            kpoints: vec![0.0, 0.5, 1.0],
+            bands: vec![vec![-1.0, 0.4], vec![-0.6, 0.9], vec![-0.2, 0.7]],
+        };
+        // Grid energies 0.3, 0.4, 0.5: the band-1 bottom edge sits exactly
+        // on the middle grid point.
+        assert!(bs.band_edges(0.0).contains(&0.4));
+        assert!(bs.brackets_band_edge(0.3, 0.4), "interval below the on-grid edge must trigger");
+        assert!(!bs.brackets_band_edge(0.4, 0.5), "interval above must not double-count it");
+        // Reversed orientation behaves identically.
+        assert!(bs.brackets_band_edge(0.4, 0.3));
     }
 
     #[test]

@@ -256,6 +256,15 @@ impl BlockHamiltonian {
         }
     }
 
+    /// The assembled-operator pattern of this Hamiltonian's QEP: the union
+    /// sparsity of `H₀₀ ∪ H₀₁ ∪ H₀₁†` (projectors expanded into CSR) from
+    /// which `P(z)` is materialized per quadrature node by numeric refill —
+    /// the backend of `PrecondPolicy::Assembled` / `AssembledIlu0`.  One
+    /// pattern serves every scan energy, so build it once per Hamiltonian.
+    pub fn qep_pattern(&self) -> cbs_sparse::AssembledPattern {
+        cbs_sparse::AssembledPattern::build(&self.h00_csr(), &self.h01_csr())
+    }
+
     /// Memory footprint of the sparse representation in bytes — the quantity
     /// compared against the dense OBM storage in the paper's Figure 4(b).
     pub fn memory_bytes(&self) -> usize {

@@ -12,7 +12,7 @@
 //! the conjugated step sizes.
 
 use cbs_linalg::{CVector, Complex64};
-use cbs_sparse::LinearOperator;
+use cbs_sparse::{LinearOperator, Preconditioner};
 
 use crate::history::{ConvergenceHistory, SolverOptions, StopReason};
 
@@ -162,6 +162,159 @@ pub fn bicg_dual_seeded<A: LinearOperator + ?Sized>(
         for i in 0..n {
             p[i] = r[i] + beta * p[i];
             pt[i] = rt[i] + beta.conj() * pt[i];
+        }
+    }
+    if res <= opts.tolerance && res_dual <= opts.tolerance {
+        stop = StopReason::Converged;
+    }
+    if !opts.record_history {
+        history.push(res);
+        dual_history.push(res_dual);
+    }
+
+    let primal_conv = res <= opts.tolerance;
+    let dual_conv = res_dual <= opts.tolerance;
+    BicgResult {
+        x,
+        dual_x: xt,
+        history: ConvergenceHistory {
+            residuals: history,
+            stop_reason: if primal_conv { StopReason::Converged } else { stop },
+            matvecs,
+        },
+        dual_history: ConvergenceHistory {
+            residuals: dual_history,
+            stop_reason: if dual_conv { StopReason::Converged } else { stop },
+            matvecs,
+        },
+    }
+}
+
+/// [`bicg_dual_seeded`] with an optional preconditioner `M ≈ A`.
+///
+/// With `m = None` this **delegates to [`bicg_dual_seeded`]** — the
+/// unpreconditioned path stays bitwise unchanged.  With a preconditioner it
+/// runs the standard preconditioned dual BiCG (Saad, *Iterative Methods*,
+/// §9.x / the Templates "BiCG with preconditioning"): the search directions
+/// are built from the preconditioned residuals `z = M⁻¹ r` and
+/// `z̃ = M⁻† r̃`, while the *true* residuals `r`, `r̃` drive the stopping
+/// test, so the convergence contract (relative residual ≤ tolerance) is the
+/// same as the unpreconditioned solver's.
+///
+/// The adjoint solve `M⁻†` on the dual side is what preserves the paper's
+/// dual-circle trick under preconditioning: with `M ≈ P(z)` (e.g.
+/// `cbs_sparse::Ilu0` of the assembled operator), `M† ≈ P(z)† = P(1/z̄)`,
+/// the operator of the paired inner-circle node.
+pub fn bicg_dual_precond_seeded<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
+    a: &A,
+    m: Option<&M>,
+    b: &CVector,
+    b_dual: &CVector,
+    seed: Option<(&CVector, &CVector)>,
+    opts: &SolverOptions,
+    external_stop: Option<&(dyn Fn(usize) -> bool + Sync)>,
+) -> BicgResult {
+    let Some(m) = m else {
+        return bicg_dual_seeded(a, b, b_dual, seed, opts, external_stop);
+    };
+    let n = a.dim();
+    assert_eq!(m.dim(), n, "preconditioner dimension mismatch");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(b_dual.len(), n, "dual rhs length mismatch");
+
+    let mut seed_matvecs = 0usize;
+    let (mut x, mut xt, mut r, mut rt) = match seed {
+        None => (CVector::zeros(n), CVector::zeros(n), b.clone(), b_dual.clone()),
+        Some((x0, xt0)) => {
+            assert_eq!(x0.len(), n, "primal seed length mismatch");
+            assert_eq!(xt0.len(), n, "dual seed length mismatch");
+            let mut r = CVector::zeros(n);
+            let mut rt = CVector::zeros(n);
+            a.apply(x0.as_slice(), r.as_mut_slice());
+            a.apply_adjoint(xt0.as_slice(), rt.as_mut_slice());
+            seed_matvecs = 2;
+            for i in 0..n {
+                r[i] = b[i] - r[i];
+                rt[i] = b_dual[i] - rt[i];
+            }
+            (x0.clone(), xt0.clone(), r, rt)
+        }
+    };
+
+    let mut z = CVector::zeros(n);
+    let mut zt = CVector::zeros(n);
+    m.solve(r.as_slice(), z.as_mut_slice());
+    m.solve_adjoint(rt.as_slice(), zt.as_mut_slice());
+    let mut p = z.clone();
+    let mut pt = zt.clone();
+
+    let b_norm = b.norm().max(1e-300);
+    let bt_norm = b_dual.norm().max(1e-300);
+    let mut res = r.norm() / b_norm;
+    let mut res_dual = rt.norm() / bt_norm;
+
+    let mut history = Vec::new();
+    let mut dual_history = Vec::new();
+    if opts.record_history {
+        history.push(res);
+        dual_history.push(res_dual);
+    }
+
+    let mut q = CVector::zeros(n);
+    let mut qt = CVector::zeros(n);
+    let mut rho = rt.dot(&z);
+    let mut matvecs = seed_matvecs;
+    let mut stop = StopReason::MaxIterations;
+
+    for iter in 0..opts.max_iterations {
+        if res <= opts.tolerance && res_dual <= opts.tolerance {
+            stop = StopReason::Converged;
+            break;
+        }
+        if let Some(cb) = external_stop {
+            if cb(iter) {
+                stop = StopReason::ExternalStop;
+                break;
+            }
+        }
+        if !(rho.re.is_finite() && rho.im.is_finite()) || rho.abs() < 1e-290 {
+            stop = StopReason::Breakdown;
+            break;
+        }
+
+        a.apply(p.as_slice(), q.as_mut_slice());
+        a.apply_adjoint(pt.as_slice(), qt.as_mut_slice());
+        matvecs += 2;
+
+        let denom = pt.dot(&q);
+        if !(denom.re.is_finite() && denom.im.is_finite()) || denom.abs() < 1e-290 {
+            stop = StopReason::Breakdown;
+            break;
+        }
+        let alpha = rho / denom;
+
+        x.axpy(alpha, &p);
+        xt.axpy(alpha.conj(), &pt);
+        r.axpy(-alpha, &q);
+        rt.axpy(-alpha.conj(), &qt);
+
+        res = r.norm() / b_norm;
+        res_dual = rt.norm() / bt_norm;
+        if opts.record_history {
+            history.push(res);
+            dual_history.push(res_dual);
+        }
+
+        m.solve(r.as_slice(), z.as_mut_slice());
+        m.solve_adjoint(rt.as_slice(), zt.as_mut_slice());
+        let rho_new = rt.dot(&z);
+        let beta = rho_new / rho;
+        rho = rho_new;
+
+        // p = z + beta p ; pt = zt + conj(beta) pt
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+            pt[i] = zt[i] + beta.conj() * pt[i];
         }
     }
     if res <= opts.tolerance && res_dual <= opts.tolerance {
@@ -446,6 +599,87 @@ mod tests {
         assert_eq!(via_dual.dual_x, via_seeded.dual_x);
         assert_eq!(via_dual.history.residuals, via_seeded.history.residuals);
         assert_eq!(via_dual.history.matvecs, via_seeded.history.matvecs);
+    }
+
+    fn shifted_laplacian(n: usize, shift: Complex64) -> CsrMatrix {
+        let mut b = cbs_sparse::CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, c64(2.0, 0.0) - shift);
+            b.push(i, (i + 1) % n, c64(-1.0, 0.0));
+            b.push(i, (i + n - 1) % n, c64(-1.0, 0.0));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn ilu_preconditioned_solve_cuts_iterations() {
+        use cbs_sparse::Ilu0;
+        let n = 80;
+        let a = shifted_laplacian(n, c64(0.15, 0.35));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(218);
+        let x_true = CVector::random(n, &mut rng);
+        let b = a.matvec(&x_true);
+        let xd_true = CVector::random(n, &mut rng);
+        let bd = a.matvec_adjoint(&xd_true);
+        let opts = SolverOptions::default().with_tolerance(1e-11);
+
+        let plain = bicg_dual_seeded(&a, &b, &bd, None, &opts, None);
+        assert!(plain.both_converged());
+
+        let ilu = Ilu0::from_csr(&a);
+        let pre = bicg_dual_precond_seeded(&a, Some(&ilu), &b, &bd, None, &opts, None);
+        assert!(pre.both_converged());
+        assert!(
+            pre.history.iterations() < plain.history.iterations(),
+            "preconditioned {} vs plain {} iterations",
+            pre.history.iterations(),
+            plain.history.iterations()
+        );
+        // Both the primal and the dual solutions solve their true systems.
+        assert!((&pre.x - &x_true).norm() / x_true.norm() < 1e-7);
+        assert!((&pre.dual_x - &xd_true).norm() / xd_true.norm() < 1e-7);
+    }
+
+    #[test]
+    fn none_preconditioner_delegates_bitwise() {
+        let a = random_diag_dominant(22, 219);
+        let op = DenseOp::new(a);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(220);
+        let b = CVector::random(22, &mut rng);
+        let opts = SolverOptions::default();
+        let plain = bicg_dual_seeded(&op, &b, &b, None, &opts, None);
+        let via_precond =
+            bicg_dual_precond_seeded::<_, cbs_sparse::Ilu0>(&op, None, &b, &b, None, &opts, None);
+        assert_eq!(plain.x, via_precond.x);
+        assert_eq!(plain.dual_x, via_precond.dual_x);
+        assert_eq!(plain.history.residuals, via_precond.history.residuals);
+        assert_eq!(plain.history.matvecs, via_precond.history.matvecs);
+    }
+
+    #[test]
+    fn preconditioned_seeded_solve_from_exact_solution_converges_instantly() {
+        use cbs_sparse::Ilu0;
+        let n = 30;
+        let a = shifted_laplacian(n, c64(0.2, 0.5));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(221);
+        let x_true = CVector::random(n, &mut rng);
+        let b = a.matvec(&x_true);
+        let xd_true = CVector::random(n, &mut rng);
+        let bd = a.matvec_adjoint(&xd_true);
+        let ilu = Ilu0::from_csr(&a);
+        let opts = SolverOptions::default().with_tolerance(1e-10);
+        let res = bicg_dual_precond_seeded(
+            &a,
+            Some(&ilu),
+            &b,
+            &bd,
+            Some((&x_true, &xd_true)),
+            &opts,
+            None,
+        );
+        assert!(res.both_converged());
+        assert_eq!(res.history.iterations(), 0, "exact seed must converge without iterating");
+        assert_eq!(res.history.matvecs, 2);
     }
 
     #[test]

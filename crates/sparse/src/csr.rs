@@ -198,36 +198,33 @@ impl CsrMatrix {
         self.row_entries(i).find(|&(c, _)| c == j).map(|(_, v)| v).unwrap_or(Complex64::ZERO)
     }
 
+    /// Row pointers (length `nrows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices of the stored entries (sorted within each row).
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The stored entry values, parallel to [`col_idx`](Self::col_idx).
+    pub fn values(&self) -> &[Complex64] {
+        &self.values
+    }
+
     /// `y = A x` (serial kernel).
     pub fn matvec_into(&self, x: &[Complex64], y: &mut [Complex64]) {
         assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
         assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
-        for (i, yi) in y.iter_mut().enumerate() {
-            let lo = self.row_ptr[i];
-            let hi = self.row_ptr[i + 1];
-            let mut acc = Complex64::ZERO;
-            for k in lo..hi {
-                acc += self.values[k] * x[self.col_idx[k]];
-            }
-            *yi = acc;
-        }
+        spmv_into(&self.row_ptr, &self.col_idx, &self.values, x, y);
     }
 
     /// `y = A† x` (serial kernel).
     pub fn matvec_adjoint_into(&self, x: &[Complex64], y: &mut [Complex64]) {
         assert_eq!(x.len(), self.nrows, "adjoint matvec: x length mismatch");
         assert_eq!(y.len(), self.ncols, "adjoint matvec: y length mismatch");
-        for v in y.iter_mut() {
-            *v = Complex64::ZERO;
-        }
-        for (i, &xi) in x.iter().enumerate() {
-            if xi == Complex64::ZERO {
-                continue;
-            }
-            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                y[self.col_idx[k]] += self.values[k].conj() * xi;
-            }
-        }
+        spmv_adjoint_into(&self.row_ptr, &self.col_idx, &self.values, x, y);
     }
 
     /// Fused block kernel `Y = A X` over column-major slabs (column `c` of
@@ -240,56 +237,16 @@ impl CsrMatrix {
     pub fn matvec_block_into(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
         assert_eq!(x.len(), self.ncols * nvecs, "block matvec: x slab length mismatch");
         assert_eq!(y.len(), self.nrows * nvecs, "block matvec: y slab length mismatch");
-        let (nc, nr) = (self.ncols, self.nrows);
-        let mut j = 0;
-        while j + 4 <= nvecs {
-            let (x0, rest) = x[j * nc..].split_at(nc);
-            let (x1, rest) = rest.split_at(nc);
-            let (x2, rest) = rest.split_at(nc);
-            let x3 = &rest[..nc];
-            let (y0, rest) = y[j * nr..].split_at_mut(nr);
-            let (y1, rest) = rest.split_at_mut(nr);
-            let (y2, rest) = rest.split_at_mut(nr);
-            let y3 = &mut rest[..nr];
-            for i in 0..nr {
-                let (mut a0, mut a1, mut a2, mut a3) =
-                    (Complex64::ZERO, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO);
-                for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                    let v = self.values[k];
-                    let c = self.col_idx[k];
-                    a0 += v * x0[c];
-                    a1 += v * x1[c];
-                    a2 += v * x2[c];
-                    a3 += v * x3[c];
-                }
-                y0[i] = a0;
-                y1[i] = a1;
-                y2[i] = a2;
-                y3[i] = a3;
-            }
-            j += 4;
-        }
-        if j + 2 <= nvecs {
-            let (x0, rest) = x[j * nc..].split_at(nc);
-            let x1 = &rest[..nc];
-            let (y0, rest) = y[j * nr..].split_at_mut(nr);
-            let y1 = &mut rest[..nr];
-            for i in 0..nr {
-                let (mut a0, mut a1) = (Complex64::ZERO, Complex64::ZERO);
-                for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                    let v = self.values[k];
-                    let c = self.col_idx[k];
-                    a0 += v * x0[c];
-                    a1 += v * x1[c];
-                }
-                y0[i] = a0;
-                y1[i] = a1;
-            }
-            j += 2;
-        }
-        if j < nvecs {
-            self.matvec_into(&x[j * nc..(j + 1) * nc], &mut y[j * nr..(j + 1) * nr]);
-        }
+        spmv_block_into(
+            &self.row_ptr,
+            &self.col_idx,
+            &self.values,
+            self.ncols,
+            self.nrows,
+            x,
+            y,
+            nvecs,
+        );
     }
 
     /// Fused block kernel `Y = A† X`; the adjoint twin of
@@ -300,52 +257,16 @@ impl CsrMatrix {
     pub fn matvec_adjoint_block_into(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
         assert_eq!(x.len(), self.nrows * nvecs, "block adjoint matvec: x slab length mismatch");
         assert_eq!(y.len(), self.ncols * nvecs, "block adjoint matvec: y slab length mismatch");
-        let (nc, nr) = (self.ncols, self.nrows);
-        let mut j = 0;
-        while j + 4 <= nvecs {
-            let (x0, rest) = x[j * nr..].split_at(nr);
-            let (x1, rest) = rest.split_at(nr);
-            let (x2, rest) = rest.split_at(nr);
-            let x3 = &rest[..nr];
-            let (y0, rest) = y[j * nc..].split_at_mut(nc);
-            let (y1, rest) = rest.split_at_mut(nc);
-            let (y2, rest) = rest.split_at_mut(nc);
-            let y3 = &mut rest[..nc];
-            for v in y0.iter_mut().chain(y1.iter_mut()).chain(y2.iter_mut()).chain(y3.iter_mut()) {
-                *v = Complex64::ZERO;
-            }
-            for i in 0..nr {
-                let (x0i, x1i, x2i, x3i) = (x0[i], x1[i], x2[i], x3[i]);
-                let any = x0i != Complex64::ZERO
-                    || x1i != Complex64::ZERO
-                    || x2i != Complex64::ZERO
-                    || x3i != Complex64::ZERO;
-                if !any {
-                    continue;
-                }
-                for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                    let vc = self.values[k].conj();
-                    let c = self.col_idx[k];
-                    if x0i != Complex64::ZERO {
-                        y0[c] += vc * x0i;
-                    }
-                    if x1i != Complex64::ZERO {
-                        y1[c] += vc * x1i;
-                    }
-                    if x2i != Complex64::ZERO {
-                        y2[c] += vc * x2i;
-                    }
-                    if x3i != Complex64::ZERO {
-                        y3[c] += vc * x3i;
-                    }
-                }
-            }
-            j += 4;
-        }
-        while j < nvecs {
-            self.matvec_adjoint_into(&x[j * nr..(j + 1) * nr], &mut y[j * nc..(j + 1) * nc]);
-            j += 1;
-        }
+        spmv_adjoint_block_into(
+            &self.row_ptr,
+            &self.col_idx,
+            &self.values,
+            self.ncols,
+            self.nrows,
+            x,
+            y,
+            nvecs,
+        );
     }
 
     /// Allocating `A x`.
@@ -467,6 +388,184 @@ impl LinearOperator for CsrMatrix {
     }
     fn memory_bytes(&self) -> usize {
         self.storage_bytes()
+    }
+}
+
+// --- Shared CSR kernels on raw (row_ptr, col_idx, values) triples. ---------
+//
+// `CsrMatrix` delegates here, and so does the assembled shifted operator
+// (`crate::assembled`), whose many per-node value arrays share one symbolic
+// pattern: both storage layouts run the exact same loops, so the bitwise
+// column-equivalence guarantees of the block kernels hold for either.
+
+/// `y = A x` over a raw CSR triple (serial kernel).
+pub(crate) fn spmv_into(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[Complex64],
+    x: &[Complex64],
+    y: &mut [Complex64],
+) {
+    for (i, yi) in y.iter_mut().enumerate() {
+        let lo = row_ptr[i];
+        let hi = row_ptr[i + 1];
+        let mut acc = Complex64::ZERO;
+        for k in lo..hi {
+            acc += values[k] * x[col_idx[k]];
+        }
+        *yi = acc;
+    }
+}
+
+/// `y = A† x` over a raw CSR triple (serial scatter kernel).
+pub(crate) fn spmv_adjoint_into(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[Complex64],
+    x: &[Complex64],
+    y: &mut [Complex64],
+) {
+    for v in y.iter_mut() {
+        *v = Complex64::ZERO;
+    }
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == Complex64::ZERO {
+            continue;
+        }
+        for k in row_ptr[i]..row_ptr[i + 1] {
+            y[col_idx[k]] += values[k].conj() * xi;
+        }
+    }
+}
+
+/// Fused block kernel `Y = A X` over a raw CSR triple; see
+/// [`CsrMatrix::matvec_block_into`] for the layout and bitwise contract.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spmv_block_into(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[Complex64],
+    nc: usize,
+    nr: usize,
+    x: &[Complex64],
+    y: &mut [Complex64],
+    nvecs: usize,
+) {
+    let mut j = 0;
+    while j + 4 <= nvecs {
+        let (x0, rest) = x[j * nc..].split_at(nc);
+        let (x1, rest) = rest.split_at(nc);
+        let (x2, rest) = rest.split_at(nc);
+        let x3 = &rest[..nc];
+        let (y0, rest) = y[j * nr..].split_at_mut(nr);
+        let (y1, rest) = rest.split_at_mut(nr);
+        let (y2, rest) = rest.split_at_mut(nr);
+        let y3 = &mut rest[..nr];
+        for i in 0..nr {
+            let (mut a0, mut a1, mut a2, mut a3) =
+                (Complex64::ZERO, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO);
+            for k in row_ptr[i]..row_ptr[i + 1] {
+                let v = values[k];
+                let c = col_idx[k];
+                a0 += v * x0[c];
+                a1 += v * x1[c];
+                a2 += v * x2[c];
+                a3 += v * x3[c];
+            }
+            y0[i] = a0;
+            y1[i] = a1;
+            y2[i] = a2;
+            y3[i] = a3;
+        }
+        j += 4;
+    }
+    if j + 2 <= nvecs {
+        let (x0, rest) = x[j * nc..].split_at(nc);
+        let x1 = &rest[..nc];
+        let (y0, rest) = y[j * nr..].split_at_mut(nr);
+        let y1 = &mut rest[..nr];
+        for i in 0..nr {
+            let (mut a0, mut a1) = (Complex64::ZERO, Complex64::ZERO);
+            for k in row_ptr[i]..row_ptr[i + 1] {
+                let v = values[k];
+                let c = col_idx[k];
+                a0 += v * x0[c];
+                a1 += v * x1[c];
+            }
+            y0[i] = a0;
+            y1[i] = a1;
+        }
+        j += 2;
+    }
+    if j < nvecs {
+        spmv_into(row_ptr, col_idx, values, &x[j * nc..(j + 1) * nc], &mut y[j * nr..(j + 1) * nr]);
+    }
+}
+
+/// Fused block kernel `Y = A† X` over a raw CSR triple; the adjoint twin of
+/// [`spmv_block_into`], bit-identical to column-by-column
+/// [`spmv_adjoint_into`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spmv_adjoint_block_into(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[Complex64],
+    nc: usize,
+    nr: usize,
+    x: &[Complex64],
+    y: &mut [Complex64],
+    nvecs: usize,
+) {
+    let mut j = 0;
+    while j + 4 <= nvecs {
+        let (x0, rest) = x[j * nr..].split_at(nr);
+        let (x1, rest) = rest.split_at(nr);
+        let (x2, rest) = rest.split_at(nr);
+        let x3 = &rest[..nr];
+        let (y0, rest) = y[j * nc..].split_at_mut(nc);
+        let (y1, rest) = rest.split_at_mut(nc);
+        let (y2, rest) = rest.split_at_mut(nc);
+        let y3 = &mut rest[..nc];
+        for v in y0.iter_mut().chain(y1.iter_mut()).chain(y2.iter_mut()).chain(y3.iter_mut()) {
+            *v = Complex64::ZERO;
+        }
+        for i in 0..nr {
+            let (x0i, x1i, x2i, x3i) = (x0[i], x1[i], x2[i], x3[i]);
+            let any = x0i != Complex64::ZERO
+                || x1i != Complex64::ZERO
+                || x2i != Complex64::ZERO
+                || x3i != Complex64::ZERO;
+            if !any {
+                continue;
+            }
+            for k in row_ptr[i]..row_ptr[i + 1] {
+                let vc = values[k].conj();
+                let c = col_idx[k];
+                if x0i != Complex64::ZERO {
+                    y0[c] += vc * x0i;
+                }
+                if x1i != Complex64::ZERO {
+                    y1[c] += vc * x1i;
+                }
+                if x2i != Complex64::ZERO {
+                    y2[c] += vc * x2i;
+                }
+                if x3i != Complex64::ZERO {
+                    y3[c] += vc * x3i;
+                }
+            }
+        }
+        j += 4;
+    }
+    while j < nvecs {
+        spmv_adjoint_into(
+            row_ptr,
+            col_idx,
+            values,
+            &x[j * nr..(j + 1) * nr],
+            &mut y[j * nc..(j + 1) * nc],
+        );
+        j += 1;
     }
 }
 

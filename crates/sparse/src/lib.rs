@@ -8,17 +8,26 @@
 //! * [`LinearOperator`] — the matrix-free operator trait all solvers consume,
 //! * [`CsrMatrix`] / [`CooBuilder`] — complex compressed-sparse-row storage,
 //! * [`LowRankOp`] / [`SparseVec`] — factored non-local projector operators,
+//! * [`AssembledPattern`] / [`AssembledOp`] — the shifted QEP operator
+//!   `P(z)` materialized as one CSR by numeric refill of a shared symbolic
+//!   union pattern (one storage traversal per matvec instead of three),
+//! * [`Ilu0`] / [`Preconditioner`] — complex ILU(0) with forward/backward
+//!   and adjoint triangular solves for the preconditioned dual BiCG,
 //! * composition helpers ([`SumOp`], [`ScaledOp`], [`ShiftedOp`], [`DenseOp`],
 //!   [`IdentityOp`]) used to build the QEP operator `P(z)`.
 
 #![warn(missing_docs)]
 
+pub mod assembled;
 pub mod csr;
 pub mod lowrank;
 pub mod ops;
 pub mod scratch;
 
+pub use assembled::{AssembledOp, AssembledPattern, Ilu0};
 pub use csr::{CooBuilder, CsrMatrix};
 pub use lowrank::{LowRankOp, RankOneTerm, SparseVec};
-pub use ops::{adjoint_defect, DenseOp, IdentityOp, LinearOperator, ScaledOp, ShiftedOp, SumOp};
+pub use ops::{
+    adjoint_defect, DenseOp, IdentityOp, LinearOperator, Preconditioner, ScaledOp, ShiftedOp, SumOp,
+};
 pub use scratch::with_scratch;

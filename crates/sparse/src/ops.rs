@@ -84,6 +84,37 @@ pub trait LinearOperator: Sync {
     fn memory_bytes(&self) -> usize {
         0
     }
+
+    /// How many operator-*storage* traversals one [`apply`](Self::apply) (or
+    /// fused [`apply_block`](Self::apply_block)) performs — the unit of the
+    /// solvers' traversal accounting.
+    ///
+    /// Most operators walk one backing store per application and keep the
+    /// default of `1`.  Compositions that stream several stores override it:
+    /// the matrix-free QEP operator `P(z)` reads `H₀₀`, `H₀₁` and `H₀₁†`
+    /// (weight 3), while its assembled single-CSR form is back to 1 — which
+    /// is exactly the ratio the assembled fast path exists to win.
+    fn traversal_weight(&self) -> usize {
+        1
+    }
+}
+
+/// Approximate inverse `M ≈ A⁻¹` applied as a solve, together with its
+/// adjoint — the seam the preconditioned dual-BiCG variants consume.
+///
+/// The adjoint solve is what keeps the paper's dual trick intact: with
+/// `M ≈ P(z)` (e.g. an ILU(0) of the assembled operator), `M† ≈ P(z)† =
+/// P(1/z̄)`, so the same factorization preconditions both the outer-circle
+/// system and its inner-circle dual.
+pub trait Preconditioner: Sync {
+    /// Dimension of the (square) preconditioned operator.
+    fn dim(&self) -> usize;
+
+    /// `z = M⁻¹ r`.  `z` is fully overwritten.
+    fn solve(&self, r: &[Complex64], z: &mut [Complex64]);
+
+    /// `z = M⁻† r`.  `z` is fully overwritten.
+    fn solve_adjoint(&self, r: &[Complex64], z: &mut [Complex64]);
 }
 
 impl<T: LinearOperator + ?Sized> LinearOperator for &T {
@@ -108,6 +139,9 @@ impl<T: LinearOperator + ?Sized> LinearOperator for &T {
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
     }
+    fn traversal_weight(&self) -> usize {
+        (**self).traversal_weight()
+    }
 }
 
 impl<T: LinearOperator + ?Sized> LinearOperator for Box<T> {
@@ -131,6 +165,9 @@ impl<T: LinearOperator + ?Sized> LinearOperator for Box<T> {
     }
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
+    }
+    fn traversal_weight(&self) -> usize {
+        (**self).traversal_weight()
     }
 }
 

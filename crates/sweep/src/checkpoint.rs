@@ -43,29 +43,61 @@ pub struct SweepCheckpoint {
     pub pending_donations: Vec<(f64, SeedTable)>,
 }
 
-/// A malformed, truncated or mismatched checkpoint.
+/// Why a checkpoint could not be used.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CheckpointError(pub String);
+pub enum CheckpointError {
+    /// Truncated, corrupt or otherwise unparseable checkpoint text.
+    Malformed(String),
+    /// A checkpoint written by an older (or newer) incompatible on-disk
+    /// format — the counters it carries cannot be restored faithfully.
+    /// Delete the checkpoint and re-sweep.
+    IncompatibleVersion {
+        /// The magic line found in the file.
+        found: String,
+    },
+    /// The checkpoint parses but does not match the sweep being resumed
+    /// (configuration fingerprint or energy grid differ).
+    Mismatch(String),
+    /// Filesystem error while reading or writing the checkpoint.
+    Io(String),
+}
 
 impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "sweep checkpoint error: {}", self.0)
+        match self {
+            Self::Malformed(m) => write!(f, "sweep checkpoint error: {m}"),
+            Self::IncompatibleVersion { found } => write!(
+                f,
+                "sweep checkpoint error: incompatible checkpoint version (found `{found}`, \
+                 expected `{MAGIC}`) — delete the checkpoint and re-sweep"
+            ),
+            Self::Mismatch(m) => write!(f, "sweep checkpoint error: {m}"),
+            Self::Io(m) => write!(f, "sweep checkpoint error: {m}"),
+        }
     }
 }
 
 impl std::error::Error for CheckpointError {}
 
-// v2 added `operator_traversals` to the per-record solver counters (the
-// block-solve data path); older checkpoints are rejected rather than read
-// with silently zeroed counters.
-const MAGIC: &str = "cbs-sweep-checkpoint v2";
+// Version history of the on-disk format (the magic line):
+//   v1  pre-`operator_traversals` per-record counters,
+//   v2  added `operator_traversals` (the block-solve data path),
+//   v3  added `operator_assemblies` (the assembled-operator fast path).
+// Older checkpoints are rejected with a dedicated
+// [`CheckpointError::IncompatibleVersion`] rather than read with silently
+// zeroed or misaligned counters.
+const MAGIC: &str = "cbs-sweep-checkpoint v3";
+
+/// Prefix shared by every version's magic line; anything with this prefix
+/// but the wrong version is an incompatible (not malformed) checkpoint.
+const MAGIC_PREFIX: &str = "cbs-sweep-checkpoint v";
 
 fn hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
 
 fn err(msg: impl Into<String>) -> CheckpointError {
-    CheckpointError(msg.into())
+    CheckpointError::Malformed(msg.into())
 }
 
 struct Tokens<'s> {
@@ -143,11 +175,12 @@ impl SweepCheckpoint {
             let s = &r.stats;
             let _ = writeln!(
                 out,
-                "record {} {origin} {seeded} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x}",
+                "record {} {origin} {seeded} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x} {:x}",
                 hex(r.energy),
                 s.bicg_iterations,
                 s.matvecs,
                 s.operator_traversals,
+                s.operator_assemblies,
                 s.warm_solves,
                 s.cold_solves,
                 s.warm_iterations,
@@ -211,8 +244,15 @@ impl SweepCheckpoint {
         let mut lines = LineReader { inner: text.lines().enumerate() };
 
         let (_, magic) = lines.inner.next().ok_or_else(|| err("empty checkpoint"))?;
-        if magic.trim() != MAGIC {
-            return Err(err(format!("bad magic line `{}`", magic.trim())));
+        let magic = magic.trim();
+        if magic != MAGIC {
+            // An old (or future) format announces itself through the shared
+            // magic prefix: report it as a version problem, not a parse
+            // error, so the caller can tell the user to delete and re-sweep.
+            if magic.starts_with(MAGIC_PREFIX) {
+                return Err(CheckpointError::IncompatibleVersion { found: magic.to_string() });
+            }
+            return Err(err(format!("bad magic line `{magic}`")));
         }
 
         let mut t = lines.expect("fingerprint")?;
@@ -245,6 +285,7 @@ impl SweepCheckpoint {
                 bicg_iterations: t.usize()?,
                 matvecs: t.usize()?,
                 operator_traversals: t.usize()?,
+                operator_assemblies: t.usize()?,
                 warm_solves: t.usize()?,
                 cold_solves: t.usize()?,
                 warm_iterations: t.usize()?,
@@ -338,6 +379,7 @@ mod tests {
                 bicg_iterations: 10,
                 matvecs: 22,
                 operator_traversals: 6,
+                operator_assemblies: 3,
                 warm_solves: 4,
                 cold_solves: 0,
                 warm_iterations: 10,
@@ -442,5 +484,33 @@ mod tests {
         // Corrupt a hex token.
         let corrupt = text.replacen("record", "rekord", 1);
         assert!(SweepCheckpoint::parse(&corrupt).is_err());
+        // An arbitrary bad first line is malformed, not a version problem.
+        match SweepCheckpoint::parse("garbage v2\nrest\n") {
+            Err(CheckpointError::Malformed(_)) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn old_checkpoint_versions_are_reported_as_incompatible() {
+        // A v1 checkpoint (pre-`operator_traversals`): the body does not
+        // matter — the magic line alone must produce the dedicated
+        // incompatible-version error, not a generic parse failure.
+        let v1 = "cbs-sweep-checkpoint v1\nfingerprint 0\ngrid 0\nrecords 0\nseeds 0\nend\n";
+        match SweepCheckpoint::parse(v1) {
+            Err(CheckpointError::IncompatibleVersion { found }) => {
+                assert_eq!(found, "cbs-sweep-checkpoint v1");
+            }
+            other => panic!("expected IncompatibleVersion, got {other:?}"),
+        }
+        // The v2 layout (pre-`operator_assemblies`) is likewise refused up
+        // front instead of being parsed with misaligned counters.
+        let v2 = sample().serialize_to_string().replacen("v3", "v2", 1);
+        let err = SweepCheckpoint::parse(&v2).unwrap_err();
+        assert!(matches!(err, CheckpointError::IncompatibleVersion { .. }));
+        // The message tells the operator what to do.
+        let msg = err.to_string();
+        assert!(msg.contains("incompatible checkpoint version"), "{msg}");
+        assert!(msg.contains("delete the checkpoint and re-sweep"), "{msg}");
     }
 }

@@ -16,6 +16,14 @@
 //! all `N_rh` right-hand sides of one node in lockstep through
 //! `cbs_solver::bicg_dual_block`'s fused block matvecs.
 //!
+//! The operator representation follows `SsConfig::precond`
+//! ([`PrecondPolicy`](cbs_core::PrecondPolicy)): each job resolves its
+//! node operator through `QepProblem::node_solve`, so the assembled
+//! policies refill the problem's shared `cbs_sparse::AssembledPattern` —
+//! the symbolic union analysis is done **once per Hamiltonian** and reused
+//! across the whole flattened `(energy x node)` pool, every sweep energy
+//! included.
+//!
 //! Determinism contract: jobs are listed group-major in engine job order
 //! (`j * N_rh + rhs`; a block job unpacks its outcomes in rhs order),
 //! executors return results in input order, and each group's
@@ -30,7 +38,8 @@
 use cbs_core::{BlockPolicy, MomentAccumulator, QepProblem, ShiftedSolveOutcome, SsConfig};
 use cbs_linalg::CVector;
 use cbs_parallel::TaskExecutor;
-use cbs_solver::{bicg_dual_block, bicg_dual_seeded};
+use cbs_solver::{bicg_dual_block_precond, bicg_dual_precond_seeded};
+use cbs_sparse::LinearOperator;
 
 use crate::sweep::SeedTable;
 
@@ -58,8 +67,16 @@ pub(crate) struct GroupOutcome {
     /// solves.
     pub matvecs: usize,
     /// Operator-storage traversals actually performed for the group (fused
-    /// block applies count one).
+    /// block applies count the operator's `traversal_weight`: 3 matrix-free,
+    /// 1 assembled).
     pub traversals: usize,
+    /// Numeric refills of the assembled pattern (ILU factorizations
+    /// included) performed for the group; zero under
+    /// `PrecondPolicy::MatrixFree`.  Under `BlockPolicy::PerNode` this is
+    /// one per quadrature node; the legacy `PerRhs` flattening assembles
+    /// per job (`N_int x N_rh`) because the pool shares no per-node cell —
+    /// the counter reports what actually happened.
+    pub assemblies: usize,
     /// Solves that ran under the majority-stop cap.
     pub capped_solves: usize,
     /// Number of solves (each = one primal+dual pair).
@@ -126,9 +143,10 @@ pub(crate) fn solve_round<E: TaskExecutor>(
     let n_rh = config.n_rh;
     let options = config.solver_options();
 
-    let run_job = |job: FlatJob| -> (usize, usize, Vec<ShiftedSolveOutcome>) {
+    let run_job = |job: FlatJob| -> (usize, usize, usize, Vec<ShiftedSolveOutcome>) {
         let group = &groups[job.group];
-        let op = group.problem.operator(outer[job.point_index].z);
+        let (op, prec) = group.problem.node_solve(config.precond, outer[job.point_index].z);
+        let assemblies = op.is_assembled() as usize;
         let v = &v_cols[job.rhs_index];
         let stop_at = job.cap.map(|c| c.max(1));
         let stop_cb = move |iter: usize| stop_at.is_some_and(|c| iter >= c);
@@ -136,11 +154,12 @@ pub(crate) fn solve_round<E: TaskExecutor>(
             if stop_at.is_some() { Some(&stop_cb) } else { None };
         let seed =
             group.seeds.map(|t| &t[job.point_index * n_rh + job.rhs_index]).map(|(x, xt)| (x, xt));
-        let res = bicg_dual_seeded(&op, v, v, seed, &options, external);
-        let traversals = res.history.matvecs;
+        let res = bicg_dual_precond_seeded(&op, prec.as_ref(), v, v, seed, &options, external);
+        let traversals = res.history.matvecs * op.traversal_weight();
         (
             job.group,
             traversals,
+            assemblies,
             vec![ShiftedSolveOutcome {
                 point_index: job.point_index,
                 rhs_index: job.rhs_index,
@@ -152,9 +171,10 @@ pub(crate) fn solve_round<E: TaskExecutor>(
         )
     };
 
-    let run_node_job = |job: FlatNodeJob| -> (usize, usize, Vec<ShiftedSolveOutcome>) {
+    let run_node_job = |job: FlatNodeJob| -> (usize, usize, usize, Vec<ShiftedSolveOutcome>) {
         let group = &groups[job.group];
-        let op = group.problem.operator(outer[job.point_index].z);
+        let (op, prec) = group.problem.node_solve(config.precond, outer[job.point_index].z);
+        let assemblies = op.is_assembled() as usize;
         let stop_at = job.cap.map(|c| c.max(1));
         let stop_cb = move |iter: usize| stop_at.is_some_and(|c| iter >= c);
         let external: Option<&(dyn Fn(usize) -> bool + Sync)> =
@@ -162,7 +182,15 @@ pub(crate) fn solve_round<E: TaskExecutor>(
         let seed_vec: Vec<Option<(&CVector, &CVector)>> = (0..n_rh)
             .map(|r| group.seeds.map(|t| &t[job.point_index * n_rh + r]).map(|(x, xt)| (x, xt)))
             .collect();
-        let res = bicg_dual_block(&op, v_cols, v_cols, Some(&seed_vec), &options, external);
+        let res = bicg_dual_block_precond(
+            &op,
+            prec.as_ref(),
+            v_cols,
+            v_cols,
+            Some(&seed_vec),
+            &options,
+            external,
+        );
         let traversals = res.traversals;
         let outcomes = res
             .columns
@@ -177,7 +205,7 @@ pub(crate) fn solve_round<E: TaskExecutor>(
                 dual_history: col.dual_history,
             })
             .collect();
-        (job.group, traversals, outcomes)
+        (job.group, traversals, assemblies, outcomes)
     };
 
     let mut outcomes: Vec<GroupOutcome> = groups
@@ -187,6 +215,7 @@ pub(crate) fn solve_round<E: TaskExecutor>(
             iterations: 0,
             matvecs: 0,
             traversals: 0,
+            assemblies: 0,
             capped_solves: 0,
             solves: 0,
             solutions: if g.keep_solutions { Vec::with_capacity(n_int * n_rh) } else { Vec::new() },
@@ -198,23 +227,28 @@ pub(crate) fn solve_round<E: TaskExecutor>(
     // Fold step shared by both stages and both policies: runs on the
     // calling thread in input (= group-major job) order on every executor.
     // Takes its state explicitly so the borrows end with each stage.
-    let record =
-        |tracking: &mut [GroupTracking],
-         outcomes: &mut [GroupOutcome],
-         (g, traversals, job_outcomes): (usize, usize, Vec<ShiftedSolveOutcome>)| {
-            outcomes[g].traversals += traversals;
-            for outcome in job_outcomes {
-                tracking[g].record(&outcome);
-                let out = &mut outcomes[g];
-                out.iterations += outcome.history.iterations();
-                out.matvecs += outcome.history.matvecs;
-                out.solves += 1;
-                let pair = out.acc.record(outcome);
-                if groups[g].keep_solutions {
-                    out.solutions.push(pair);
-                }
+    let record = |tracking: &mut [GroupTracking],
+                  outcomes: &mut [GroupOutcome],
+                  (g, traversals, assemblies, job_outcomes): (
+        usize,
+        usize,
+        usize,
+        Vec<ShiftedSolveOutcome>,
+    )| {
+        outcomes[g].traversals += traversals;
+        outcomes[g].assemblies += assemblies;
+        for outcome in job_outcomes {
+            tracking[g].record(&outcome);
+            let out = &mut outcomes[g];
+            out.iterations += outcome.history.iterations();
+            out.matvecs += outcome.history.matvecs;
+            out.solves += 1;
+            let pair = out.acc.record(outcome);
+            if groups[g].keep_solutions {
+                out.solutions.push(pair);
             }
-        };
+        }
+    };
 
     // Dispatch one majority-stop stage over `points` at the configured
     // granularity.

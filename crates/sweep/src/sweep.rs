@@ -29,7 +29,7 @@ use cbs_core::{
 use cbs_dft::BandStructure;
 use cbs_linalg::CVector;
 use cbs_parallel::TaskExecutor;
-use cbs_sparse::LinearOperator;
+use cbs_sparse::{AssembledPattern, LinearOperator};
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{CheckpointError, SweepCheckpoint};
@@ -67,9 +67,13 @@ pub struct EnergyStats {
     /// identical under every `BlockPolicy`).
     pub matvecs: usize,
     /// Operator-storage traversals actually performed (fused block applies
-    /// count one; up to `N_rh`x below [`matvecs`](Self::matvecs) under
-    /// `BlockPolicy::PerNode`).
+    /// count the operator's `traversal_weight`; up to `N_rh`x below
+    /// [`matvecs`](Self::matvecs) under `BlockPolicy::PerNode`, and 3x
+    /// fewer per apply under the assembled operator).
     pub operator_traversals: usize,
+    /// Numeric refills of the assembled `P(z)` pattern (ILU(0)
+    /// factorizations included); zero under `PrecondPolicy::MatrixFree`.
+    pub operator_assemblies: usize,
     /// Solves that started from a donor seed.
     pub warm_solves: usize,
     /// Solves that started cold.
@@ -142,9 +146,11 @@ impl BandEdgeRefiner {
 
 impl RefinementPredicate for BandEdgeRefiner {
     fn should_refine(&self, lo: &EnergyRecord, hi: &EnergyRecord) -> bool {
-        let (a, b) =
-            if lo.energy <= hi.energy { (lo.energy, hi.energy) } else { (hi.energy, lo.energy) };
-        self.edges.iter().any(|&edge| edge > a && edge < b)
+        // The shared half-open `(a, b]` convention of
+        // `BandStructure::brackets_band_edge`: an edge landing exactly on a
+        // completed grid energy triggers the interval below it instead of
+        // silently slipping between two strict inequalities.
+        cbs_dft::edges_bracket(&self.edges, lo.energy, hi.energy)
     }
 }
 
@@ -258,6 +264,10 @@ pub struct EnergySweep<'a> {
     h01: &'a dyn LinearOperator,
     period: f64,
     config: SweepConfig,
+    /// Assembled-operator pattern shared by every scan energy (the pattern
+    /// is energy-independent); required for the assembled `PrecondPolicy`
+    /// variants, which fall back to matrix-free without it.
+    pattern: Option<AssembledPattern>,
 }
 
 impl<'a> EnergySweep<'a> {
@@ -274,7 +284,18 @@ impl<'a> EnergySweep<'a> {
         assert_eq!(h00.nrows(), h01.nrows(), "H00 and H01 must have the same size");
         assert!(period > 0.0, "period must be positive");
         assert!(config.ss.n_rh > 0, "need at least one right-hand side");
-        Self { h00, h01, period, config }
+        Self { h00, h01, period, config, pattern: None }
+    }
+
+    /// Attach the assembled-operator pattern
+    /// (`cbs_sparse::AssembledPattern::build` over the CSR forms of the
+    /// blocks).  One symbolic analysis serves the whole sweep: the
+    /// structure is shared across every `(energy x node)` job of the
+    /// flattened pool, refined energies included.
+    pub fn with_pattern(mut self, pattern: AssembledPattern) -> Self {
+        assert_eq!(pattern.dim(), self.h00.nrows(), "pattern dimension mismatch");
+        self.pattern = Some(pattern);
+        self
     }
 
     /// The sweep's configuration.
@@ -299,7 +320,13 @@ impl<'a> EnergySweep<'a> {
     ) -> Result<RunOutcome, CheckpointError> {
         let mut opts = opts;
         let n = self.h00.dim();
-        let fingerprint = self.config.fingerprint(self.period);
+        let mut fingerprint = self.config.fingerprint(self.period);
+        // The *effective* operator policy is part of the resume contract:
+        // an assembled `PrecondPolicy` without an attached pattern silently
+        // falls back to matrix-free arithmetic, so a checkpoint written in
+        // that state must not be resumable by a sweep that does carry a
+        // pattern (or vice versa) — the two trajectories differ bitwise.
+        fingerprint.push((self.config.ss.precond.is_assembled() && self.pattern.is_some()) as u64);
 
         // Ascending, bit-deduplicated grid: the canonical processing order.
         let mut grid: Vec<f64> = energies.to_vec();
@@ -318,14 +345,16 @@ impl<'a> EnergySweep<'a> {
         };
         if let Some(cp) = opts.resume.take() {
             if cp.fingerprint != fingerprint {
-                return Err(CheckpointError(
+                return Err(CheckpointError::Mismatch(
                     "configuration fingerprint mismatch: cannot resume".into(),
                 ));
             }
             let grid_bits: Vec<u64> = grid.iter().map(|e| e.to_bits()).collect();
             let cp_bits: Vec<u64> = cp.initial_energies.iter().map(|e| e.to_bits()).collect();
             if grid_bits != cp_bits {
-                return Err(CheckpointError("energy grid mismatch: cannot resume".into()));
+                return Err(CheckpointError::Mismatch(
+                    "energy grid mismatch: cannot resume".into(),
+                ));
             }
             for (i, r) in cp.records.iter().enumerate() {
                 st.done.insert(r.energy.to_bits(), i);
@@ -445,7 +474,13 @@ impl<'a> EnergySweep<'a> {
         if !to_solve.is_empty() {
             let problems: Vec<QepProblem<'_>> = to_solve
                 .iter()
-                .map(|&(e, _)| QepProblem::new(self.h00, self.h01, e, self.period))
+                .map(|&(e, _)| {
+                    let p = QepProblem::new(self.h00, self.h01, e, self.period);
+                    match &self.pattern {
+                        Some(pattern) => p.with_pattern(pattern),
+                        None => p,
+                    }
+                })
                 .collect();
             let donors: Vec<Option<(f64, &SeedTable)>> = to_solve
                 .iter()
@@ -480,6 +515,7 @@ impl<'a> EnergySweep<'a> {
                     outcome.iterations,
                     outcome.matvecs,
                     outcome.traversals,
+                    outcome.assemblies,
                     0.0,
                 );
                 st.extraction_seconds += result.timings.extraction_seconds;
@@ -488,10 +524,14 @@ impl<'a> EnergySweep<'a> {
                 let points: Vec<CbsPoint> =
                     result.eigenpairs.iter().map(|p| classify_point(&problems[i], 0, p)).collect();
                 let seeded = donor_energies[i];
+                // Matvec / traversal totals come from the extraction result
+                // so they include the metered residual-check applications,
+                // matching `SsResult`'s accounting.
                 let stats = EnergyStats {
                     bicg_iterations: outcome.iterations,
-                    matvecs: outcome.matvecs,
-                    operator_traversals: outcome.traversals,
+                    matvecs: result.total_matvecs,
+                    operator_traversals: result.total_traversals,
+                    operator_assemblies: result.operator_assemblies,
                     warm_solves: if seeded.is_some() { outcome.solves } else { 0 },
                     cold_solves: if seeded.is_some() { 0 } else { outcome.solves },
                     warm_iterations: if seeded.is_some() { outcome.iterations } else { 0 },
@@ -516,7 +556,7 @@ impl<'a> EnergySweep<'a> {
                 if let Some(path) = opts.checkpoint_path {
                     checkpoint(st)
                         .save(path)
-                        .map_err(|e| CheckpointError(format!("checkpoint save failed: {e}")))?;
+                        .map_err(|e| CheckpointError::Io(format!("checkpoint save failed: {e}")))?;
                 }
             }
         }
@@ -598,6 +638,7 @@ impl<'a> EnergySweep<'a> {
             stats.total_bicg_iterations += rec.stats.bicg_iterations;
             stats.total_matvecs += rec.stats.matvecs;
             stats.operator_traversals += rec.stats.operator_traversals;
+            stats.operator_assemblies += rec.stats.operator_assemblies;
             stats.cold_bicg_iterations += rec.stats.cold_iterations;
             stats.warm_bicg_iterations += rec.stats.warm_iterations;
             stats.cold_solves += rec.stats.cold_solves;

@@ -1,0 +1,281 @@
+//! Acceptance tests of the assembled-shifted-operator fast path and the
+//! ILU(0)-preconditioned dual BiCG (`PrecondPolicy`):
+//!
+//! * counter-locked: on the fig6 Al(100) system the assembled operator
+//!   performs exactly 1/3 of the matrix-free storage traversals per BiCG
+//!   iteration (one CSR walk instead of H₀₀ + H₀₁ + H₀₁†);
+//! * ILU(0) preconditioning reduces the total BiCG iteration count at equal
+//!   tolerance while finding the same physics;
+//! * serial and rayon executors stay bit-identical within every policy;
+//! * the default `MatrixFree` path is bitwise unchanged, pattern attached
+//!   or not;
+//! * an assembled warm sweep checkpoints and resumes bit-identically, and
+//!   the precond policy is part of the resume fingerprint.
+
+use rand::SeedableRng;
+
+use cbs::core::{solve_qep_with, PrecondPolicy, QepProblem, SsConfig};
+use cbs::dft::{bulk_al_100, grid_for_structure, BlockHamiltonian, HamiltonianParams};
+use cbs::linalg::{c64, CMatrix};
+use cbs::parallel::{RayonExecutor, SerialExecutor};
+use cbs::sparse::{AssembledPattern, CsrMatrix};
+use cbs::sweep::{EnergySweep, RunOptions, RunOutcome, SweepCheckpoint, SweepConfig};
+
+/// The fig6 Al(100) system at the bench resolution.
+fn fig6_hamiltonian() -> BlockHamiltonian {
+    let s = bulk_al_100(1);
+    let grid = grid_for_structure(&s, 1.5);
+    BlockHamiltonian::build(
+        grid,
+        &s,
+        HamiltonianParams { fd: cbs::grid::FdOrder::new(1), include_nonlocal: true },
+    )
+}
+
+fn fig6_config(precond: PrecondPolicy) -> SsConfig {
+    SsConfig { n_int: 8, n_mm: 4, n_rh: 4, bicg_max_iterations: 400, precond, ..SsConfig::small() }
+}
+
+/// Counter-locked traversal ratio: with the iteration count pinned (a
+/// tolerance no solve can reach), the assembled path must perform *exactly*
+/// one third of the matrix-free path's solve-phase storage traversals — per
+/// iteration, per node, in total.
+#[test]
+fn fig6_assembled_traversals_per_iteration_are_one_third_of_matrix_free() {
+    let h = fig6_hamiltonian();
+    let pattern = h.qep_pattern();
+    let h00 = h.h00();
+    let h01 = h.h01();
+    let pinned = |precond| SsConfig {
+        bicg_tolerance: 1e-300,
+        bicg_max_iterations: 12,
+        majority_stop: false,
+        ..fig6_config(precond)
+    };
+
+    let mf_problem = QepProblem::new(&h00, &h01, 0.15, h.period());
+    let mf = solve_qep_with(&mf_problem, &pinned(PrecondPolicy::MatrixFree), &SerialExecutor);
+    let asm_problem = QepProblem::new(&h00, &h01, 0.15, h.period()).with_pattern(&pattern);
+    let asm = solve_qep_with(&asm_problem, &pinned(PrecondPolicy::Assembled), &SerialExecutor);
+
+    // Identical iteration structure...
+    assert!(mf.total_bicg_iterations > 0);
+    assert_eq!(mf.total_bicg_iterations, asm.total_bicg_iterations);
+    // ... and exactly 3x fewer solve-phase traversals (extraction residual
+    // checks run matrix-free under every policy, so they are subtracted).
+    let mf_solve = mf.total_traversals - mf.extraction_traversals;
+    let asm_solve = asm.total_traversals - asm.extraction_traversals;
+    eprintln!(
+        "fig6 solve traversals: matrix-free {mf_solve} vs assembled {asm_solve} \
+         over {} iterations",
+        mf.total_bicg_iterations
+    );
+    assert_eq!(asm_solve * 3, mf_solve, "assembled path must cut traversals exactly 3x");
+    // Per-iteration statement of the acceptance criterion.
+    let mf_rate = mf_solve as f64 / mf.total_bicg_iterations as f64;
+    let asm_rate = asm_solve as f64 / asm.total_bicg_iterations as f64;
+    assert!(asm_rate <= mf_rate / 3.0 + 1e-12, "assembled {asm_rate} vs matrix-free {mf_rate}");
+    // Assembly accounting: one refill per quadrature node, none matrix-free.
+    assert_eq!(asm.operator_assemblies, 8);
+    assert_eq!(mf.operator_assemblies, 0);
+}
+
+/// Physics parity and the iteration-count lever: the assembled and
+/// ILU(0)-preconditioned policies find the matrix-free eigenpairs, and the
+/// preconditioner reduces the total BiCG iteration count at equal tolerance.
+#[test]
+fn fig6_ilu_cuts_iterations_and_policies_agree_on_the_physics() {
+    let h = fig6_hamiltonian();
+    let pattern = h.qep_pattern();
+    let h00 = h.h00();
+    let h01 = h.h01();
+    let solve = |precond| {
+        let problem = QepProblem::new(&h00, &h01, 0.15, h.period()).with_pattern(&pattern);
+        solve_qep_with(&problem, &fig6_config(precond), &SerialExecutor)
+    };
+    let mf = solve(PrecondPolicy::MatrixFree);
+    let asm = solve(PrecondPolicy::Assembled);
+    let ilu = solve(PrecondPolicy::AssembledIlu0);
+
+    assert!(!mf.eigenpairs.is_empty(), "fig6 config found no eigenpairs");
+    for other in [&asm, &ilu] {
+        assert_eq!(mf.eigenpairs.len(), other.eigenpairs.len());
+        for (a, b) in mf.eigenpairs.iter().zip(&other.eigenpairs) {
+            assert!(
+                (a.lambda - b.lambda).abs() <= 1e-8 * (1.0 + a.lambda.abs()),
+                "eigenvalue drifted across policies: {:?} vs {:?}",
+                a.lambda,
+                b.lambda
+            );
+        }
+    }
+    // The iteration-count lever, at equal tolerance.
+    eprintln!(
+        "fig6 BiCG iterations: matrix-free {} / assembled {} / assembled-ilu0 {}",
+        mf.total_bicg_iterations, asm.total_bicg_iterations, ilu.total_bicg_iterations
+    );
+    assert!(
+        ilu.total_bicg_iterations < asm.total_bicg_iterations,
+        "ILU(0) did not reduce iterations: {} vs unpreconditioned {}",
+        ilu.total_bicg_iterations,
+        asm.total_bicg_iterations
+    );
+    assert!(ilu.total_bicg_iterations < mf.total_bicg_iterations);
+}
+
+/// Serial and rayon executors are bit-identical within every policy.
+#[test]
+fn fig6_every_policy_is_executor_independent_bitwise() {
+    let h = fig6_hamiltonian();
+    let pattern = h.qep_pattern();
+    let h00 = h.h00();
+    let h01 = h.h01();
+    for precond in
+        [PrecondPolicy::MatrixFree, PrecondPolicy::Assembled, PrecondPolicy::AssembledIlu0]
+    {
+        let config = fig6_config(precond);
+        let problem = QepProblem::new(&h00, &h01, 0.15, h.period()).with_pattern(&pattern);
+        let serial = solve_qep_with(&problem, &config, &SerialExecutor);
+        let rayon = solve_qep_with(&problem, &config, &RayonExecutor);
+        for (ms, mr) in serial.projected_moments.iter().zip(&rayon.projected_moments) {
+            for r in 0..config.n_rh {
+                for c in 0..config.n_rh {
+                    assert_eq!(ms[(r, c)].re.to_bits(), mr[(r, c)].re.to_bits(), "{precond:?}");
+                    assert_eq!(ms[(r, c)].im.to_bits(), mr[(r, c)].im.to_bits(), "{precond:?}");
+                }
+            }
+        }
+        assert_eq!(serial.eigenpairs.len(), rayon.eigenpairs.len());
+        for (a, b) in serial.eigenpairs.iter().zip(&rayon.eigenpairs) {
+            assert_eq!(a.lambda.re.to_bits(), b.lambda.re.to_bits(), "{precond:?}");
+            assert_eq!(a.lambda.im.to_bits(), b.lambda.im.to_bits(), "{precond:?}");
+        }
+        assert_eq!(serial.total_traversals, rayon.total_traversals, "{precond:?}");
+        assert_eq!(serial.operator_assemblies, rayon.operator_assemblies, "{precond:?}");
+    }
+}
+
+/// The default `MatrixFree` policy is bitwise unchanged: attaching a
+/// pattern (or not) must not perturb a single bit of its results.
+#[test]
+fn matrix_free_policy_is_bitwise_unchanged_by_pattern_attachment() {
+    let h = fig6_hamiltonian();
+    let pattern = h.qep_pattern();
+    let h00 = h.h00();
+    let h01 = h.h01();
+    let config = fig6_config(PrecondPolicy::MatrixFree);
+
+    let bare_problem = QepProblem::new(&h00, &h01, 0.15, h.period());
+    let bare = solve_qep_with(&bare_problem, &config, &SerialExecutor);
+    let with_problem = QepProblem::new(&h00, &h01, 0.15, h.period()).with_pattern(&pattern);
+    let with = solve_qep_with(&with_problem, &config, &SerialExecutor);
+
+    assert_eq!(bare.eigenpairs.len(), with.eigenpairs.len());
+    for (a, b) in bare.eigenpairs.iter().zip(&with.eigenpairs) {
+        assert_eq!(a.lambda.re.to_bits(), b.lambda.re.to_bits());
+        assert_eq!(a.lambda.im.to_bits(), b.lambda.im.to_bits());
+        assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+    }
+    for (ms, mw) in bare.projected_moments.iter().zip(&with.projected_moments) {
+        for r in 0..config.n_rh {
+            for c in 0..config.n_rh {
+                assert_eq!(ms[(r, c)].re.to_bits(), mw[(r, c)].re.to_bits());
+                assert_eq!(ms[(r, c)].im.to_bits(), mw[(r, c)].im.to_bits());
+            }
+        }
+    }
+    assert_eq!(bare.total_matvecs, with.total_matvecs);
+    assert_eq!(bare.total_traversals, with.total_traversals);
+    assert_eq!(bare.operator_assemblies, 0);
+    assert_eq!(with.operator_assemblies, 0);
+}
+
+fn random_csr_blocks(n: usize, seed: u64) -> (CsrMatrix, CsrMatrix) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let a = CMatrix::random(n, n, &mut rng);
+    let h00 = (&a + &a.adjoint()).scale(c64(0.5, 0.0));
+    let h01 = CMatrix::random(n, n, &mut rng).scale(c64(0.35, 0.0));
+    (CsrMatrix::from_dense(&h00, 0.0), CsrMatrix::from_dense(&h01, 0.0))
+}
+
+/// An ILU-preconditioned warm sweep checkpoints and resumes bit-identically,
+/// and switching the precond policy is refused on resume (it is part of the
+/// fingerprint — unlike the block policy, it changes the results).
+#[test]
+fn assembled_warm_sweep_resumes_bit_identically_and_fingerprints_the_policy() {
+    let (h00, h01) = random_csr_blocks(10, 91);
+    let pattern = AssembledPattern::build(&h00, &h01);
+    let energies: Vec<f64> = (0..10).map(|i| -0.25 + 0.05 * i as f64).collect();
+    let ss = SsConfig {
+        n_int: 16,
+        n_mm: 4,
+        n_rh: 6,
+        bicg_tolerance: 1e-11,
+        residual_cutoff: 1e-6,
+        precond: PrecondPolicy::AssembledIlu0,
+        ..SsConfig::small()
+    };
+    let config = SweepConfig { initial_round: 4, ..SweepConfig::new(ss) };
+    let sweep = EnergySweep::new(&h00, &h01, 1.5, config).with_pattern(pattern.clone());
+
+    let uninterrupted = sweep.run(&energies, &SerialExecutor);
+    assert!(!uninterrupted.cbs.points.is_empty());
+    assert!(uninterrupted.stats.operator_assemblies > 0);
+
+    let dir = std::env::temp_dir().join(format!("cbs_precond_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sweep.cp");
+    let outcome = sweep
+        .run_with(
+            &energies,
+            &SerialExecutor,
+            RunOptions {
+                checkpoint_path: Some(&path),
+                max_new_energies: Some(5),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+    let RunOutcome::Interrupted(_) = outcome else { panic!("budget of 5 should interrupt") };
+    let resumed = sweep
+        .run_with(
+            &energies,
+            &SerialExecutor,
+            RunOptions {
+                resume: Some(SweepCheckpoint::load(&path).unwrap()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap()
+        .expect_complete("resume must finish");
+    assert_eq!(uninterrupted.cbs.points.len(), resumed.cbs.points.len());
+    for (a, b) in uninterrupted.cbs.points.iter().zip(&resumed.cbs.points) {
+        assert_eq!(a.lambda.re.to_bits(), b.lambda.re.to_bits());
+        assert_eq!(a.lambda.im.to_bits(), b.lambda.im.to_bits());
+        assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+    }
+    assert_eq!(uninterrupted.stats.total_bicg_iterations, resumed.stats.total_bicg_iterations);
+    assert_eq!(uninterrupted.stats.operator_traversals, resumed.stats.operator_traversals);
+    assert_eq!(uninterrupted.stats.operator_assemblies, resumed.stats.operator_assemblies);
+    for (a, b) in uninterrupted.records.iter().zip(&resumed.records) {
+        assert_eq!(a.stats, b.stats, "per-energy counters differ after resume at E = {}", a.energy);
+    }
+
+    // The precond policy is fingerprinted: resuming under a different one
+    // is refused instead of silently changing the results.
+    let other_config = SweepConfig {
+        ss: SsConfig { precond: PrecondPolicy::MatrixFree, ..ss },
+        ..*sweep.config()
+    };
+    assert_ne!(sweep.config().fingerprint(1.5), other_config.fingerprint(1.5));
+    let other = EnergySweep::new(&h00, &h01, 1.5, other_config);
+    let cp = SweepCheckpoint::load(&path).unwrap();
+    assert!(other
+        .run_with(
+            &energies,
+            &SerialExecutor,
+            RunOptions { resume: Some(cp), ..RunOptions::default() }
+        )
+        .is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -205,6 +205,76 @@ proptest! {
         }
     }
 
+    /// Extraction robustness: whatever the (n_int, n_mm, n_rh, λ_min,
+    /// energy) combination, `extract_from_moments` (via `solve_qep`) never
+    /// emits a non-finite eigenvalue or residual, every returned pair lies
+    /// inside the contour annulus, and the `(|λ|, arg λ)` sort key is a
+    /// total order on the returned set — the invariants downstream
+    /// consumers (classification, refinement, checkpoints) rely on.
+    #[test]
+    fn extraction_emits_only_finite_ordered_in_annulus_pairs(
+        seed in 0u64..500,
+        energy in -1.0f64..1.0,
+        n_int in 4usize..12,
+        n_mm in 1usize..4,
+        n_rh in 1usize..4,
+        lambda_min in 0.3f64..0.7,
+    ) {
+        use rand::SeedableRng;
+        use cbs::core::{solve_qep, SsConfig};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let n = 6;
+        let a = CMatrix::random(n, n, &mut rng);
+        let h00 = &a + &a.adjoint();
+        let h01 = CMatrix::random(n, n, &mut rng).scale(c64(0.3, 0.0));
+        let op00 = DenseOp::new(h00);
+        let op01 = DenseOp::new(h01);
+        let qep = QepProblem::new(&op00, &op01, energy, 1.0);
+        let config = SsConfig {
+            n_int,
+            n_mm,
+            n_rh,
+            lambda_min,
+            bicg_tolerance: 1e-10,
+            bicg_max_iterations: 2_000,
+            residual_cutoff: 1e-4,
+            majority_stop: false,
+            ..SsConfig::small()
+        };
+        let result = solve_qep(&qep, &config);
+        let contour = config.contour();
+        for p in &result.eigenpairs {
+            prop_assert!(
+                p.lambda.re.is_finite() && p.lambda.im.is_finite(),
+                "non-finite eigenvalue {:?}", p.lambda
+            );
+            prop_assert!(
+                p.residual.is_finite() && p.residual >= 0.0,
+                "bad residual {}", p.residual
+            );
+            prop_assert!(
+                contour.contains(p.lambda, 0.0),
+                "pair outside the annulus: {:?}", p.lambda
+            );
+        }
+        // The sort key is totally ordered over the whole returned set (no
+        // NaN keys hiding behind partial_cmp)...
+        let keys: Vec<(f64, f64)> =
+            result.eigenpairs.iter().map(|p| (p.lambda.abs(), p.lambda.arg())).collect();
+        for (i, ka) in keys.iter().enumerate() {
+            for kb in &keys[i + 1..] {
+                prop_assert!(ka.partial_cmp(kb).is_some(), "incomparable sort keys");
+            }
+        }
+        // ... and the returned order respects it.
+        for w in keys.windows(2) {
+            prop_assert!(
+                w[0].partial_cmp(&w[1]) != Some(std::cmp::Ordering::Greater),
+                "sort order violated: {:?} before {:?}", w[0], w[1]
+            );
+        }
+    }
+
     /// λ → k → λ round-trips through the Brillouin-zone folding.
     #[test]
     fn lambda_k_roundtrip(
