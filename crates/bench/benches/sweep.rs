@@ -21,7 +21,7 @@
 use std::io::Write as _;
 use std::time::Instant;
 
-use cbs_core::{BlockPolicy, PrecondPolicy, SsConfig};
+use cbs_core::{BlockPolicy, PrecondPolicy, SlicePolicy, SsConfig};
 use cbs_dft::{bulk_al_100, grid_for_structure, BlockHamiltonian, HamiltonianParams};
 use cbs_parallel::SerialExecutor;
 use cbs_sweep::{EnergySweep, SweepConfig, SweepResult};
@@ -33,7 +33,7 @@ fn small_hamiltonian() -> BlockHamiltonian {
     BlockHamiltonian::build(grid, &s, HamiltonianParams::default())
 }
 
-fn ss(block: BlockPolicy, precond: PrecondPolicy) -> SsConfig {
+fn ss(block: BlockPolicy, precond: PrecondPolicy, slice: SlicePolicy) -> SsConfig {
     SsConfig {
         n_int: 8,
         n_mm: 4,
@@ -41,8 +41,18 @@ fn ss(block: BlockPolicy, precond: PrecondPolicy) -> SsConfig {
         bicg_max_iterations: 400,
         block,
         precond,
+        slice,
         ..SsConfig::small()
     }
+}
+
+/// The sliced-contour timing rows use a deliberately lean quadrature
+/// (bench-scale accuracy): the row tracks the *cost shape* of slicing —
+/// more independent solves against smaller per-slice extractions — across
+/// PRs, not the 1e-10 cross-validation bound (that lives in
+/// `tests/cross_validate.rs` with production node counts).
+fn lean_sectors(s: usize) -> SlicePolicy {
+    SlicePolicy { radial_nodes: 4, ..SlicePolicy::sectors(s) }
 }
 
 fn run_sweep(h: &BlockHamiltonian, energies: &[f64], config: SweepConfig) -> SweepResult {
@@ -61,6 +71,7 @@ struct BenchRow {
     sweep: &'static str,
     block: BlockPolicy,
     precond: PrecondPolicy,
+    slice: SlicePolicy,
     wall_seconds: f64,
     result: SweepResult,
 }
@@ -79,7 +90,7 @@ fn emit_bench_json(rows: &[BenchRow]) {
         let s = &row.result.stats;
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"sweep\": \"{}\", \"block\": \"{}\", \
-             \"precond\": \"{}\", \"wall_seconds\": {:.6}, \
+             \"precond\": \"{}\", \"slices\": \"{}\", \"wall_seconds\": {:.6}, \
              \"bicg_iterations\": {}, \"cold_iterations\": {}, \
              \"warm_iterations\": {}, \"matvecs\": {}, \"traversals\": {}, \
              \"assemblies\": {}, \"accepted\": {}}}{}\n",
@@ -87,6 +98,7 @@ fn emit_bench_json(rows: &[BenchRow]) {
             row.sweep,
             row.block.name(),
             row.precond.name(),
+            row.slice.name(),
             row.wall_seconds,
             s.total_bicg_iterations,
             s.cold_bicg_iterations,
@@ -108,27 +120,30 @@ fn emit_bench_json(rows: &[BenchRow]) {
 fn bench_sweep(c: &mut Criterion) {
     let h = small_hamiltonian();
     let energies: Vec<f64> = (0..8).map(|i| 0.05 + 0.02 * i as f64).collect();
-    let cold = |b, p| SweepConfig::cold(ss(b, p));
-    let warm = |b, p| SweepConfig { initial_round: 2, ..SweepConfig::new(ss(b, p)) };
+    let cold = |b, p, s| SweepConfig::cold(ss(b, p, s));
+    let warm = |b, p, s| SweepConfig { initial_round: 2, ..SweepConfig::new(ss(b, p, s)) };
+    let single = SlicePolicy::single();
 
     // The benchmark matrix: (cold, warm) x per-node {matrix-free,
-    // assembled, ilu0} plus the legacy per-rhs matrix-free shape.
-    let matrix: Vec<(&'static str, BlockPolicy, PrecondPolicy)> = vec![
-        ("", BlockPolicy::PerNode, PrecondPolicy::MatrixFree),
-        ("_per_rhs", BlockPolicy::PerRhs, PrecondPolicy::MatrixFree),
-        ("_assembled", BlockPolicy::PerNode, PrecondPolicy::Assembled),
-        ("_ilu0", BlockPolicy::PerNode, PrecondPolicy::AssembledIlu0),
+    // assembled, ilu0} plus the legacy per-rhs matrix-free shape, plus the
+    // sliced-vs-single contour comparison (2-sector partition).
+    let matrix: Vec<(&'static str, BlockPolicy, PrecondPolicy, SlicePolicy)> = vec![
+        ("", BlockPolicy::PerNode, PrecondPolicy::MatrixFree, single),
+        ("_per_rhs", BlockPolicy::PerRhs, PrecondPolicy::MatrixFree, single),
+        ("_assembled", BlockPolicy::PerNode, PrecondPolicy::Assembled, single),
+        ("_ilu0", BlockPolicy::PerNode, PrecondPolicy::AssembledIlu0, single),
+        ("_sliced2", BlockPolicy::PerNode, PrecondPolicy::MatrixFree, lean_sectors(2)),
     ];
 
     let mut group = c.benchmark_group("sweep_cbs");
     group.sample_size(10);
-    for &(tag, block, precond) in &matrix {
+    for &(tag, block, precond, slice) in &matrix {
         group.bench_function(&format!("cold_8_energies{tag}"), |b| {
-            let config = cold(block, precond);
+            let config = cold(block, precond, slice);
             b.iter(|| run_sweep(&h, &energies, config));
         });
         group.bench_function(&format!("warm_8_energies{tag}"), |b| {
-            let config = warm(block, precond);
+            let config = warm(block, precond, slice);
             b.iter(|| run_sweep(&h, &energies, config));
         });
     }
@@ -137,8 +152,9 @@ fn bench_sweep(c: &mut Criterion) {
     // Machine-readable perf trajectory: one timed run per combination (a
     // separate pass so the counters come from exactly the timed sweep).
     let mut rows = Vec::new();
-    for &(tag, block, precond) in &matrix {
-        for (sweep_kind, config) in [("cold", cold(block, precond)), ("warm", warm(block, precond))]
+    for &(tag, block, precond, slice) in &matrix {
+        for (sweep_kind, config) in
+            [("cold", cold(block, precond, slice)), ("warm", warm(block, precond, slice))]
         {
             let _warmup = run_sweep(&h, &energies, config);
             let t = Instant::now();
@@ -148,6 +164,7 @@ fn bench_sweep(c: &mut Criterion) {
                 sweep: sweep_kind,
                 block,
                 precond,
+                slice,
                 wall_seconds: t.elapsed().as_secs_f64(),
                 result,
             });

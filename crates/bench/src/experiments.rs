@@ -3,7 +3,10 @@
 //! stdout in the same layout as the corresponding figure/table of the paper
 //! and returns the key numbers so integration tests can assert on them.
 
-use cbs_core::{solve_qep_with, BlockPolicy, PrecondPolicy, QepProblem, SsConfig, SsResult};
+use cbs_core::{
+    solve_qep_sliced_with, solve_qep_with, BlockPolicy, PrecondPolicy, QepProblem, SlicePolicy,
+    SsConfig, SsResult,
+};
 use cbs_dft::{band_structure, BlockHamiltonian};
 use cbs_linalg::Complex64;
 use cbs_obm::{obm_solve, ObmConfig};
@@ -24,16 +27,21 @@ use crate::systems::{self, BenchSystem};
 /// operator representation by `CBS_PRECOND` (`matrix-free` default,
 /// `assembled` for the single-CSR fast path, `ilu0` to add the ILU(0)
 /// preconditioner; the assembled policies need a pattern on the problem —
-/// see [`env_pattern`]).
+/// see [`env_pattern`]) and the contour partitioning by `CBS_SLICES`
+/// (`single` default; `S` or `AxR` runs the sliced pipeline with merged
+/// extraction).
 pub fn solve_qep_env(problem: &QepProblem<'_>, config: &SsConfig) -> SsResult {
     let config = SsConfig {
         block: block_policy_env(config.block),
         precond: precond_policy_env(config.precond),
+        slice: slice_policy_env(config.slice),
         ..*config
     };
-    match ExecutorChoice::from_env("CBS_EXECUTOR") {
-        ExecutorChoice::Serial => solve_qep_with(problem, &config, &SerialExecutor),
-        ExecutorChoice::Rayon => solve_qep_with(problem, &config, &RayonExecutor),
+    match (ExecutorChoice::from_env("CBS_EXECUTOR"), config.slice.is_single()) {
+        (ExecutorChoice::Serial, true) => solve_qep_with(problem, &config, &SerialExecutor),
+        (ExecutorChoice::Rayon, true) => solve_qep_with(problem, &config, &RayonExecutor),
+        (ExecutorChoice::Serial, false) => solve_qep_sliced_with(problem, &config, &SerialExecutor),
+        (ExecutorChoice::Rayon, false) => solve_qep_sliced_with(problem, &config, &RayonExecutor),
     }
 }
 
@@ -48,6 +56,7 @@ pub fn compute_cbs_env(h: &BlockHamiltonian, energies: &[f64], config: &SsConfig
     let config = SsConfig {
         block: block_policy_env(config.block),
         precond: precond_policy_env(config.precond),
+        slice: slice_policy_env(config.slice),
         ..*config
     };
     let sweep_config = match std::env::var("CBS_SWEEP") {
@@ -91,6 +100,12 @@ fn block_policy_env(configured: BlockPolicy) -> BlockPolicy {
 /// preconditioning only when it is actually set.
 fn precond_policy_env(configured: PrecondPolicy) -> PrecondPolicy {
     std::env::var("CBS_PRECOND").map_or(configured, |v| PrecondPolicy::from_name(&v))
+}
+
+/// `CBS_SLICES` overrides the configured contour partitioning only when it
+/// is actually set.
+fn slice_policy_env(configured: SlicePolicy) -> SlicePolicy {
+    std::env::var("CBS_SLICES").map_or(configured, |v| SlicePolicy::from_name(&v))
 }
 
 /// The assembled pattern a single-energy harness should attach to its

@@ -13,7 +13,7 @@ use cbs_parallel::{SerialExecutor, TaskExecutor};
 use cbs_sparse::LinearOperator;
 
 use crate::qep::QepProblem;
-use crate::ss::{solve_qep_with, SsConfig, SsResult};
+use crate::ss::{solve_qep_sliced_with, solve_qep_with, SsConfig, SsResult};
 
 /// Tolerance on `| |λ| - 1 |` below which a state is classified as
 /// propagating (a real-k Bloch state).
@@ -181,7 +181,13 @@ pub fn compute_cbs_with<E: TaskExecutor>(
 
     for (energy_index, &energy) in energies.iter().enumerate() {
         let problem = QepProblem::new(h00, h01, energy, period);
-        let result = solve_qep_with(&problem, config, executor);
+        // The single-contour policy takes the historical (bitwise-unchanged)
+        // engine path; partitioned contours run the flattened slice pool.
+        let result = if config.slice.is_single() {
+            solve_qep_with(&problem, config, executor)
+        } else {
+            solve_qep_sliced_with(&problem, config, executor)
+        };
         stats.total_bicg_iterations += result.total_bicg_iterations;
         stats.total_matvecs += result.total_matvecs;
         stats.operator_traversals += result.total_traversals;

@@ -25,6 +25,52 @@ use serde::{Deserialize, Serialize};
 
 use cbs_linalg::Complex64;
 
+/// Why a contour (or a partition of one — see
+/// [`ContourPartition`](crate::partition::ContourPartition)) could not be
+/// constructed.  Returned by the `try_*` constructors; the panicking
+/// constructors wrap these with `expect`, so invalid parameters fail loudly
+/// at the boundary instead of producing NaN radii (`1/λ_min` for
+/// `λ_min = 0`) or empty node sets (`n_int = 0`) downstream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ContourError {
+    /// `λ_min` outside the open interval `(0, 1)` (or not finite): the
+    /// annulus `λ_min < |λ| < 1/λ_min` would be empty or its radii NaN.
+    InvalidLambdaMin {
+        /// The rejected value.
+        lambda_min: f64,
+    },
+    /// Fewer than two quadrature points per circle — `n_int = 0` would make
+    /// every trapezoid weight `z/N` a division by zero.
+    TooFewNodes {
+        /// The rejected node count.
+        n_int: usize,
+    },
+    /// An invalid [`SlicePolicy`](crate::partition::SlicePolicy) field
+    /// combination.
+    InvalidSlicePolicy {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ContourError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidLambdaMin { lambda_min } => {
+                write!(f, "contour error: λ_min = {lambda_min} must lie in (0, 1)")
+            }
+            Self::TooFewNodes { n_int } => {
+                write!(f, "contour error: n_int = {n_int} but at least 2 quadrature points per circle are required")
+            }
+            Self::InvalidSlicePolicy { reason } => {
+                write!(f, "contour error: invalid slice policy: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContourError {}
+
 /// One quadrature node of the ring contour.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct QuadraturePoint {
@@ -50,11 +96,27 @@ pub struct RingContour {
 }
 
 impl RingContour {
-    /// Create a contour, validating `0 < λ_min < 1`.
+    /// Create a contour, validating `0 < λ_min < 1`.  Panics on invalid
+    /// parameters; [`try_new`](Self::try_new) is the non-panicking form.
     pub fn new(lambda_min: f64, n_int: usize) -> Self {
-        assert!(lambda_min > 0.0 && lambda_min < 1.0, "λ_min must lie in (0, 1)");
-        assert!(n_int >= 2, "need at least two quadrature points per circle");
-        Self { lambda_min, n_int }
+        match Self::try_new(lambda_min, n_int) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Create a contour, rejecting invalid parameters with a typed
+    /// [`ContourError`] instead of letting them poison the quadrature
+    /// downstream (`λ_min ≥ 1` or `λ_min ≤ 0` would yield an empty annulus
+    /// or NaN/∞ radii, `n_int = 0` a division by zero in every weight).
+    pub fn try_new(lambda_min: f64, n_int: usize) -> Result<Self, ContourError> {
+        if !(lambda_min > 0.0 && lambda_min < 1.0 && lambda_min.is_finite()) {
+            return Err(ContourError::InvalidLambdaMin { lambda_min });
+        }
+        if n_int < 2 {
+            return Err(ContourError::TooFewNodes { n_int });
+        }
+        Ok(Self { lambda_min, n_int })
     }
 
     /// Outer radius `1/λ_min`.
@@ -203,6 +265,42 @@ mod tests {
     #[should_panic]
     fn invalid_lambda_min_rejected() {
         let _ = RingContour::new(1.5, 8);
+    }
+
+    /// Regression: the constructor must reject the parameter classes that
+    /// used to sail through into NaN radii or zero-division weights — with
+    /// a *typed* error naming the offending value.
+    #[test]
+    fn try_new_rejects_degenerate_parameters_with_typed_errors() {
+        // λ_min ≥ 1 (annulus empty or inverted) and λ_min ≤ 0 (outer radius
+        // ∞/NaN), plus the non-finite values.
+        for bad in [1.0, 1.5, 0.0, -0.5, f64::NAN, f64::INFINITY] {
+            match RingContour::try_new(bad, 8) {
+                Err(ContourError::InvalidLambdaMin { lambda_min }) => {
+                    assert!(lambda_min.is_nan() == bad.is_nan());
+                    if !bad.is_nan() {
+                        assert_eq!(lambda_min, bad);
+                    }
+                }
+                other => panic!("λ_min = {bad} accepted or misclassified: {other:?}"),
+            }
+        }
+        // n_int = 0 would divide by zero in every weight, n_int = 1 cannot
+        // close a trapezoid.
+        for bad in [0usize, 1] {
+            match RingContour::try_new(0.5, bad) {
+                Err(ContourError::TooFewNodes { n_int }) => assert_eq!(n_int, bad),
+                other => panic!("n_int = {bad} accepted or misclassified: {other:?}"),
+            }
+        }
+        // Errors render a useful message.
+        let msg = RingContour::try_new(0.0, 8).unwrap_err().to_string();
+        assert!(msg.contains("λ_min"), "{msg}");
+        let msg = RingContour::try_new(0.5, 0).unwrap_err().to_string();
+        assert!(msg.contains("n_int = 0"), "{msg}");
+        // Valid parameters still construct, with finite radii.
+        let c = RingContour::try_new(0.5, 2).unwrap();
+        assert!(c.outer_radius().is_finite() && c.inner_radius() > 0.0);
     }
 
     #[test]

@@ -31,6 +31,8 @@
 pub mod cbs;
 pub mod contour;
 pub mod engine;
+pub mod partition;
+pub mod pool;
 pub mod qep;
 pub mod ss;
 
@@ -38,13 +40,16 @@ pub use cbs::{
     classify_point, compute_cbs, compute_cbs_with, CbsPoint, CbsRun, CbsStatistics,
     ComplexBandStructure, PROPAGATING_TOLERANCE,
 };
-pub use contour::{QuadraturePoint, RingContour};
+pub use contour::{ContourError, QuadraturePoint, RingContour};
 pub use engine::{
     BlockPolicy, PrecondPolicy, SeedProvider, ShiftedSolveEngine, ShiftedSolveJob,
     ShiftedSolveOutcome, ShiftedSolveReport, ShiftedSolveStats, StoredSeeds,
 };
+pub use partition::{ContourPartition, ContourSlice, SliceNode, SlicePolicy, SliceRegion};
+pub use pool::{solve_pool, PoolGroup, PoolOutcome, PoolPolicy};
 pub use qep::{QepNodeOp, QepOperator, QepProblem};
 pub use ss::{
-    extract_from_moments, solve_qep, solve_qep_with, source_block, MomentAccumulator, QepEigenpair,
-    SsConfig, SsResult, SsTimings,
+    extract_from_moments, extract_sliced, merge_claimed, solve_qep, solve_qep_sliced,
+    solve_qep_sliced_with, solve_qep_with, source_block, MomentAccumulator, QepEigenpair,
+    SliceStats, SlicedPlan, SsConfig, SsResult, SsTimings,
 };

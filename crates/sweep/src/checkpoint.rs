@@ -82,11 +82,15 @@ impl std::error::Error for CheckpointError {}
 // Version history of the on-disk format (the magic line):
 //   v1  pre-`operator_traversals` per-record counters,
 //   v2  added `operator_traversals` (the block-solve data path),
-//   v3  added `operator_assemblies` (the assembled-operator fast path).
+//   v3  added `operator_assemblies` (the assembled-operator fast path),
+//   v4  contour partitioning: the `SlicePolicy` knobs joined the
+//       fingerprint and seed tables became slice-major concatenations
+//       whose length depends on the partition — a v3 bank restored into a
+//       sliced sweep would mis-split, so the version gates it.
 // Older checkpoints are rejected with a dedicated
 // [`CheckpointError::IncompatibleVersion`] rather than read with silently
 // zeroed or misaligned counters.
-const MAGIC: &str = "cbs-sweep-checkpoint v3";
+const MAGIC: &str = "cbs-sweep-checkpoint v4";
 
 /// Prefix shared by every version's magic line; anything with this prefix
 /// but the wrong version is an incompatible (not malformed) checkpoint.
@@ -505,8 +509,13 @@ mod tests {
         }
         // The v2 layout (pre-`operator_assemblies`) is likewise refused up
         // front instead of being parsed with misaligned counters.
-        let v2 = sample().serialize_to_string().replacen("v3", "v2", 1);
+        let v2 = sample().serialize_to_string().replacen("v4", "v2", 1);
         let err = SweepCheckpoint::parse(&v2).unwrap_err();
+        assert!(matches!(err, CheckpointError::IncompatibleVersion { .. }));
+        // And v3 (pre-slicing): its fingerprint lacks the slice-policy
+        // fields and its seed tables predate the slice-major layout.
+        let v3 = sample().serialize_to_string().replacen("v4", "v3", 1);
+        let err = SweepCheckpoint::parse(&v3).unwrap_err();
         assert!(matches!(err, CheckpointError::IncompatibleVersion { .. }));
         // The message tells the operator what to do.
         let msg = err.to_string();

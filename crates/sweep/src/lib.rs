@@ -15,8 +15,11 @@
 //!   `cbs_core::BlockPolicy::PerNode` (each advancing all `N_rh`
 //!   right-hand sides through fused block matvecs), `(energy ×
 //!   quadrature-node × rhs)` single-vector jobs under `PerRhs` — so a
-//!   sweep saturates a wide executor even when one energy's grid is small
-//!   (the `pool` module).
+//!   sweep saturates a wide executor even when one energy's grid is small.
+//!   Under a partitioned contour (`cbs_core::SlicePolicy`) the grid
+//!   flattens further to `(energy × slice × node)`, each energy merging
+//!   its per-slice extractions; the `pool` module adapts the shared
+//!   `cbs_core::solve_pool`.
 //! * **Warm starting** — each energy's dual-BiCG solves are seeded from
 //!   the nearest already-completed energy's solutions (`P(z; E')` differs
 //!   from `P(z; E)` only by `(E' − E) I`), via

@@ -1,45 +1,31 @@
-//! The flattened cross-energy task pool.
+//! The flattened cross-energy (and cross-slice) task pool.
 //!
-//! One round of a sweep holds several per-energy solve groups; each group is
-//! an `N_int x N_rh` grid of shifted dual-BiCG systems.  Instead of running
-//! the groups one after another (each dispatching its own small batch, as
-//! the per-energy `compute_cbs` loop does), this module concatenates the
-//! jobs of **all** groups of the round into a single batch per majority-stop
-//! stage and dispatches that through the [`TaskExecutor`] seam — so a wide
-//! executor stays saturated even when a single energy's grid is smaller
-//! than the machine.
+//! One round of a sweep holds several per-energy solve groups; under a
+//! partitioned contour ([`SlicePolicy`](cbs_core::SlicePolicy)) each energy
+//! further splits into per-slice sub-groups with their own node sets and
+//! source blocks.  This module flattens the whole
+//! `(energy x slice x node [x rhs])` grid of one round into a single batch
+//! per majority-stop stage through the **shared multi-group pool of
+//! `cbs-core`** (`cbs_core::solve_pool`, which this crate's round pool
+//! originally pioneered and which now also powers
+//! `cbs_core::solve_qep_sliced_with`) — so a wide executor stays saturated
+//! even when a single energy's grid is smaller than the machine.
 //!
-//! The job granularity follows the engine's
-//! [`BlockPolicy`](cbs_core::BlockPolicy): under `PerRhs` the pool flattens
-//! `(energy x node x rhs)` single-vector solves, under the default
-//! `PerNode` it flattens `(energy x node)` **block** jobs — each advancing
-//! all `N_rh` right-hand sides of one node in lockstep through
-//! `cbs_solver::bicg_dual_block`'s fused block matvecs.
+//! Determinism contract: unchanged from the engine — jobs are listed
+//! group-major (energy-major, then slice, then engine job order), executors
+//! return results in input order, and each `(energy, slice)` accumulator
+//! folds only its own outcomes in that order, so the accumulated moments
+//! are bit-identical to running each group alone, on every executor and
+//! under either block policy.  The majority-stop cap is evaluated per
+//! `(energy, slice)` group from that group's own first-stage results.
 //!
-//! The operator representation follows `SsConfig::precond`
-//! ([`PrecondPolicy`](cbs_core::PrecondPolicy)): each job resolves its
-//! node operator through `QepProblem::node_solve`, so the assembled
-//! policies refill the problem's shared `cbs_sparse::AssembledPattern` —
-//! the symbolic union analysis is done **once per Hamiltonian** and reused
-//! across the whole flattened `(energy x node)` pool, every sweep energy
-//! included.
-//!
-//! Determinism contract: jobs are listed group-major in engine job order
-//! (`j * N_rh + rhs`; a block job unpacks its outcomes in rhs order),
-//! executors return results in input order, and each group's
-//! [`MomentAccumulator`] folds only its own outcomes in that order — so the
-//! accumulated moments (and everything extracted from them) are
-//! bit-identical to running each group alone through
-//! [`cbs_core::ShiftedSolveEngine`], on every executor and under either
-//! block policy.  The per-group majority-stop rule is the engine's
-//! two-stage form evaluated per group: the cap is a pure function of the
-//! group's own first-stage results.
+//! Warm-start seed tables are stored **concatenated slice-major** per
+//! energy (slice 0's `n_nodes x n_rh` job-order table, then slice 1's, …),
+//! which is exactly the layout [`GroupOutcome::solutions`] comes back in —
+//! one energy's donor table seeds another energy's solves slice by slice.
 
-use cbs_core::{BlockPolicy, MomentAccumulator, QepProblem, ShiftedSolveOutcome, SsConfig};
-use cbs_linalg::CVector;
+use cbs_core::{solve_pool, PoolGroup, PoolOutcome, PoolPolicy, QepProblem, SlicedPlan, SsConfig};
 use cbs_parallel::TaskExecutor;
-use cbs_solver::{bicg_dual_block_precond, bicg_dual_precond_seeded};
-use cbs_sparse::LinearOperator;
 
 use crate::sweep::SeedTable;
 
@@ -47,8 +33,8 @@ use crate::sweep::SeedTable;
 pub(crate) struct SolveGroup<'a, 'p> {
     /// The QEP at this group's scan energy.
     pub problem: &'p QepProblem<'a>,
-    /// Full job-order warm-start table (`n_int * n_rh` pairs), or `None`
-    /// for a cold group.
+    /// Full slice-major job-order warm-start table
+    /// (`Σ_s n_nodes(s) * n_rh(s)` pairs), or `None` for a cold group.
     pub seeds: Option<&'p SeedTable>,
     /// Retain the group's solutions as a donor table.  `false` (cold
     /// sweeps, or a bank that will not be consulted) drops each solution
@@ -57,74 +43,26 @@ pub(crate) struct SolveGroup<'a, 'p> {
     pub keep_solutions: bool,
 }
 
-/// Everything the round solve produces for one group.
+/// Everything the round solve produces for one energy.
 pub(crate) struct GroupOutcome {
-    /// The group's accumulated moments and histories.
-    pub acc: MomentAccumulator,
-    /// Primal BiCG iterations summed over the group's solves.
+    /// Per-slice pool outcomes (accumulated moments, counters), in slice
+    /// order; a single entry under the single-contour policy.
+    pub slices: Vec<PoolOutcome>,
+    /// Primal BiCG iterations summed over the energy's solves.
     pub iterations: usize,
-    /// Operator applications (matvec-equivalents) summed over the group's
-    /// solves.
+    /// Operator applications (matvec-equivalents) summed over the energy.
     pub matvecs: usize,
-    /// Operator-storage traversals actually performed for the group (fused
-    /// block applies count the operator's `traversal_weight`: 3 matrix-free,
-    /// 1 assembled).
+    /// Operator-storage traversals actually performed for the energy.
     pub traversals: usize,
-    /// Numeric refills of the assembled pattern (ILU factorizations
-    /// included) performed for the group; zero under
-    /// `PrecondPolicy::MatrixFree`.  Under `BlockPolicy::PerNode` this is
-    /// one per quadrature node; the legacy `PerRhs` flattening assembles
-    /// per job (`N_int x N_rh`) because the pool shares no per-node cell —
-    /// the counter reports what actually happened.
+    /// Numeric refills of the assembled pattern performed for the energy.
     pub assemblies: usize,
     /// Solves that ran under the majority-stop cap.
     pub capped_solves: usize,
     /// Number of solves (each = one primal+dual pair).
     pub solves: usize,
-    /// `(x, x̃)` solutions in job order — the group's donor table for
-    /// later energies.
+    /// `(x, x̃)` solutions, slice-major in job order — the energy's donor
+    /// table (empty unless `keep_solutions`).
     pub solutions: SeedTable,
-}
-
-/// Majority-stop bookkeeping for one group (the engine's rule, per group).
-struct GroupTracking {
-    point_converged: Vec<bool>,
-    converged_iter_max: usize,
-}
-
-impl GroupTracking {
-    fn new(n_int: usize) -> Self {
-        Self { point_converged: vec![true; n_int], converged_iter_max: 0 }
-    }
-
-    fn record(&mut self, o: &ShiftedSolveOutcome) {
-        self.point_converged[o.point_index] &= o.history.converged() && o.dual_history.converged();
-        if o.history.converged() {
-            self.converged_iter_max = self.converged_iter_max.max(o.history.iterations());
-        }
-    }
-
-    fn converged_among(&self, n_points: usize) -> usize {
-        self.point_converged[..n_points].iter().filter(|&&c| c).count()
-    }
-}
-
-/// One single-vector job of the flattened `PerRhs` pool.
-#[derive(Clone, Copy)]
-struct FlatJob {
-    group: usize,
-    point_index: usize,
-    rhs_index: usize,
-    cap: Option<usize>,
-}
-
-/// One block job of the flattened `PerNode` pool: a whole quadrature node
-/// of one group (all right-hand sides).
-#[derive(Clone, Copy)]
-struct FlatNodeJob {
-    group: usize,
-    point_index: usize,
-    cap: Option<usize>,
 }
 
 /// Solve all groups of one round through a single flattened task pool.
@@ -132,186 +70,61 @@ struct FlatNodeJob {
 /// Returns one [`GroupOutcome`] per group, in group order.
 pub(crate) fn solve_round<E: TaskExecutor>(
     groups: &[SolveGroup<'_, '_>],
+    plan: &SlicedPlan,
     config: &SsConfig,
-    v_cols: &[CVector],
     executor: &E,
 ) -> Vec<GroupOutcome> {
-    let n = v_cols.first().map_or(0, |v| v.len());
-    let contour = config.contour();
-    let outer = contour.outer_points();
-    let n_int = config.n_int;
-    let n_rh = config.n_rh;
-    let options = config.solver_options();
+    let n_slices = plan.len();
+    // Slice-major offsets into a concatenated per-energy seed table.
+    let mut offsets = Vec::with_capacity(n_slices + 1);
+    offsets.push(0usize);
+    for s in 0..n_slices {
+        offsets.push(offsets[s] + plan.seed_table_len(s));
+    }
 
-    let run_job = |job: FlatJob| -> (usize, usize, usize, Vec<ShiftedSolveOutcome>) {
-        let group = &groups[job.group];
-        let (op, prec) = group.problem.node_solve(config.precond, outer[job.point_index].z);
-        let assemblies = op.is_assembled() as usize;
-        let v = &v_cols[job.rhs_index];
-        let stop_at = job.cap.map(|c| c.max(1));
-        let stop_cb = move |iter: usize| stop_at.is_some_and(|c| iter >= c);
-        let external: Option<&(dyn Fn(usize) -> bool + Sync)> =
-            if stop_at.is_some() { Some(&stop_cb) } else { None };
-        let seed =
-            group.seeds.map(|t| &t[job.point_index * n_rh + job.rhs_index]).map(|(x, xt)| (x, xt));
-        let res = bicg_dual_precond_seeded(&op, prec.as_ref(), v, v, seed, &options, external);
-        let traversals = res.history.matvecs * op.traversal_weight();
-        (
-            job.group,
-            traversals,
-            assemblies,
-            vec![ShiftedSolveOutcome {
-                point_index: job.point_index,
-                rhs_index: job.rhs_index,
-                x: res.x,
-                dual_x: res.dual_x,
-                history: res.history,
-                dual_history: res.dual_history,
-            }],
-        )
-    };
+    let n = groups.first().map_or(0, |g| g.problem.dim());
+    let mut pool_groups = Vec::with_capacity(groups.len() * n_slices);
+    let mut accs = Vec::with_capacity(groups.len() * n_slices);
+    for g in groups {
+        for (s, acc) in plan.accumulators(n).into_iter().enumerate() {
+            pool_groups.push(PoolGroup {
+                problem: g.problem,
+                v_cols: &plan.v_cols[s],
+                seeds: g.seeds.map(|t| &t[offsets[s]..offsets[s + 1]]),
+                keep_solutions: g.keep_solutions,
+            });
+            accs.push(acc);
+        }
+    }
 
-    let run_node_job = |job: FlatNodeJob| -> (usize, usize, usize, Vec<ShiftedSolveOutcome>) {
-        let group = &groups[job.group];
-        let (op, prec) = group.problem.node_solve(config.precond, outer[job.point_index].z);
-        let assemblies = op.is_assembled() as usize;
-        let stop_at = job.cap.map(|c| c.max(1));
-        let stop_cb = move |iter: usize| stop_at.is_some_and(|c| iter >= c);
-        let external: Option<&(dyn Fn(usize) -> bool + Sync)> =
-            if stop_at.is_some() { Some(&stop_cb) } else { None };
-        let seed_vec: Vec<Option<(&CVector, &CVector)>> = (0..n_rh)
-            .map(|r| group.seeds.map(|t| &t[job.point_index * n_rh + r]).map(|(x, xt)| (x, xt)))
-            .collect();
-        let res = bicg_dual_block_precond(
-            &op,
-            prec.as_ref(),
-            v_cols,
-            v_cols,
-            Some(&seed_vec),
-            &options,
-            external,
-        );
-        let traversals = res.traversals;
-        let outcomes = res
-            .columns
-            .into_iter()
-            .enumerate()
-            .map(|(rhs_index, col)| ShiftedSolveOutcome {
-                point_index: job.point_index,
-                rhs_index,
-                x: col.x,
-                dual_x: col.dual_x,
-                history: col.history,
-                dual_history: col.dual_history,
-            })
-            .collect();
-        (job.group, traversals, assemblies, outcomes)
-    };
+    let outcomes = solve_pool(&pool_groups, accs, &PoolPolicy::from_config(config), executor);
 
-    let mut outcomes: Vec<GroupOutcome> = groups
-        .iter()
-        .map(|g| GroupOutcome {
-            acc: MomentAccumulator::new(n, config),
+    // Regroup (energy-major) pool outcomes into per-energy bundles.
+    let mut out = Vec::with_capacity(groups.len());
+    let mut iter = outcomes.into_iter();
+    for _ in groups {
+        let mut bundle = GroupOutcome {
+            slices: Vec::with_capacity(n_slices),
             iterations: 0,
             matvecs: 0,
             traversals: 0,
             assemblies: 0,
             capped_solves: 0,
             solves: 0,
-            solutions: if g.keep_solutions { Vec::with_capacity(n_int * n_rh) } else { Vec::new() },
-        })
-        .collect();
-    let mut tracking: Vec<GroupTracking> =
-        groups.iter().map(|_| GroupTracking::new(n_int)).collect();
-
-    // Fold step shared by both stages and both policies: runs on the
-    // calling thread in input (= group-major job) order on every executor.
-    // Takes its state explicitly so the borrows end with each stage.
-    let record = |tracking: &mut [GroupTracking],
-                  outcomes: &mut [GroupOutcome],
-                  (g, traversals, assemblies, job_outcomes): (
-        usize,
-        usize,
-        usize,
-        Vec<ShiftedSolveOutcome>,
-    )| {
-        outcomes[g].traversals += traversals;
-        outcomes[g].assemblies += assemblies;
-        for outcome in job_outcomes {
-            tracking[g].record(&outcome);
-            let out = &mut outcomes[g];
-            out.iterations += outcome.history.iterations();
-            out.matvecs += outcome.history.matvecs;
-            out.solves += 1;
-            let pair = out.acc.record(outcome);
-            if groups[g].keep_solutions {
-                out.solutions.push(pair);
-            }
+            solutions: Vec::new(),
+        };
+        for _ in 0..n_slices {
+            let mut o = iter.next().expect("pool returns one outcome per group");
+            bundle.iterations += o.iterations;
+            bundle.matvecs += o.matvecs;
+            bundle.traversals += o.traversals;
+            bundle.assemblies += o.assemblies;
+            bundle.capped_solves += o.capped_solves;
+            bundle.solves += o.solves;
+            bundle.solutions.append(&mut o.solutions);
+            bundle.slices.push(o);
         }
-    };
-
-    // Dispatch one majority-stop stage over `points` at the configured
-    // granularity.
-    let run_stage = |points: std::ops::Range<usize>,
-                     caps: &[Option<usize>],
-                     tracking: &mut Vec<GroupTracking>,
-                     outcomes: &mut Vec<GroupOutcome>| {
-        match config.block {
-            BlockPolicy::PerRhs => {
-                let mut jobs = Vec::new();
-                for (g, _) in groups.iter().enumerate() {
-                    for point_index in points.clone() {
-                        for rhs_index in 0..n_rh {
-                            jobs.push(FlatJob { group: g, point_index, rhs_index, cap: caps[g] });
-                        }
-                    }
-                }
-                executor.execute_fold(jobs, run_job, (), |(), o| record(tracking, outcomes, o));
-            }
-            BlockPolicy::PerNode => {
-                let mut jobs = Vec::new();
-                for (g, _) in groups.iter().enumerate() {
-                    for point_index in points.clone() {
-                        jobs.push(FlatNodeJob { group: g, point_index, cap: caps[g] });
-                    }
-                }
-                executor
-                    .execute_fold(jobs, run_node_job, (), |(), o| record(tracking, outcomes, o));
-            }
-        }
-    };
-
-    if !config.majority_stop {
-        let caps = vec![None; groups.len()];
-        run_stage(0..n_int, &caps, &mut tracking, &mut outcomes);
-    } else {
-        // Stage 1: strictly more than half of each group's quadrature
-        // points run to convergence, uncapped.
-        let stage1_points = (n_int / 2 + 1).min(n_int);
-        let caps = vec![None; groups.len()];
-        run_stage(0..stage1_points, &caps, &mut tracking, &mut outcomes);
-
-        // Per-group cap: the engine's rule, from the group's own stage-1
-        // results only.
-        let caps: Vec<Option<usize>> = tracking
-            .iter()
-            .map(|t| {
-                let converged = t.converged_among(stage1_points);
-                if converged * 2 > n_int && t.converged_iter_max > 0 {
-                    Some(t.converged_iter_max)
-                } else {
-                    None
-                }
-            })
-            .collect();
-        let stage2_per_group = (n_int - stage1_points) * n_rh;
-        for (g, cap) in caps.iter().enumerate() {
-            if cap.is_some() {
-                outcomes[g].capped_solves = stage2_per_group;
-            }
-        }
-        run_stage(stage1_points..n_int, &caps, &mut tracking, &mut outcomes);
+        out.push(bundle);
     }
-
-    outcomes
+    out
 }

@@ -23,8 +23,8 @@ use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 
 use cbs_core::{
-    classify_point, extract_from_moments, source_block, CbsPoint, CbsStatistics,
-    ComplexBandStructure, QepProblem,
+    classify_point, extract_from_moments, extract_sliced, CbsPoint, CbsStatistics,
+    ComplexBandStructure, QepProblem, SlicedPlan,
 };
 use cbs_dft::BandStructure;
 use cbs_linalg::CVector;
@@ -366,7 +366,13 @@ impl<'a> EnergySweep<'a> {
             st.pending = cp.pending_donations;
         }
 
-        let v_cols = source_block(n, &self.config.ss);
+        // The sliced plan (partition geometry, per-slice configurations and
+        // source blocks) depends only on the dimension and the
+        // configuration, so one instance serves every scan energy of the
+        // sweep — the single-contour policy yields a trivial one-slice
+        // plan whose source block is bitwise the historical `source_block`.
+        let plan = SlicedPlan::build(n, &self.config.ss)
+            .expect("invalid slice policy in sweep configuration");
         let checkpoint = |st: &State| SweepCheckpoint {
             fingerprint: fingerprint.clone(),
             initial_energies: grid.clone(),
@@ -379,7 +385,7 @@ impl<'a> EnergySweep<'a> {
         for round in self.config.schedule().rounds(grid.len()) {
             let batch: Vec<(f64, EnergyOrigin)> =
                 round.into_iter().map(|i| (grid[i], EnergyOrigin::Initial(i))).collect();
-            match self.solve_batch(batch, &v_cols, executor, &mut st, &opts, &checkpoint)? {
+            match self.solve_batch(batch, &plan, executor, &mut st, &opts, &checkpoint)? {
                 BatchStatus::Done => {}
                 BatchStatus::BudgetExhausted => {
                     return Ok(RunOutcome::Interrupted(checkpoint(&st)))
@@ -417,7 +423,7 @@ impl<'a> EnergySweep<'a> {
                 }
                 match self.solve_batch(
                     candidates.clone(),
-                    &v_cols,
+                    &plan,
                     executor,
                     &mut st,
                     &opts,
@@ -451,7 +457,7 @@ impl<'a> EnergySweep<'a> {
     fn solve_batch<E: TaskExecutor>(
         &self,
         batch: Vec<(f64, EnergyOrigin)>,
-        v_cols: &[CVector],
+        plan: &SlicedPlan,
         executor: &E,
         st: &mut State,
         opts: &RunOptions<'_>,
@@ -501,23 +507,40 @@ impl<'a> EnergySweep<'a> {
                 .collect();
 
             let t0 = std::time::Instant::now();
-            let outcomes = solve_round(&groups, &self.config.ss, v_cols, executor);
+            let outcomes = solve_round(&groups, plan, &self.config.ss, executor);
             st.linear_solve_seconds += t0.elapsed().as_secs_f64();
             drop(groups);
             drop(donors);
 
-            for (i, ((energy, origin), outcome)) in to_solve.into_iter().zip(outcomes).enumerate() {
-                let result = extract_from_moments(
-                    &problems[i],
-                    &self.config.ss,
-                    v_cols,
-                    outcome.acc,
-                    outcome.iterations,
-                    outcome.matvecs,
-                    outcome.traversals,
-                    outcome.assemblies,
-                    0.0,
-                );
+            for (i, ((energy, origin), mut outcome)) in
+                to_solve.into_iter().zip(outcomes).enumerate()
+            {
+                // Single-contour energies run the historical extraction
+                // (bitwise unchanged); partitioned contours extract per
+                // slice and merge under the deterministic claim dedup.
+                let result = if plan.is_single() {
+                    let slice_outcome =
+                        outcome.slices.pop().expect("single-slice plan yields one outcome");
+                    extract_from_moments(
+                        &problems[i],
+                        &self.config.ss,
+                        &plan.v_cols[0],
+                        slice_outcome.acc,
+                        outcome.iterations,
+                        outcome.matvecs,
+                        outcome.traversals,
+                        outcome.assemblies,
+                        0.0,
+                    )
+                } else {
+                    extract_sliced(
+                        &problems[i],
+                        &self.config.ss,
+                        plan,
+                        std::mem::take(&mut outcome.slices),
+                        0.0,
+                    )
+                };
                 st.extraction_seconds += result.timings.extraction_seconds;
                 // `energy_index` is a placeholder until assembly fixes the
                 // grid.
