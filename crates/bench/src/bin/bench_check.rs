@@ -1,0 +1,116 @@
+//! CI bench smoke gate: diff a freshly produced `BENCH_sweep.json` against
+//! the committed copy and fail on wall-clock **ratio** regressions.
+//!
+//! Absolute wall times are machine-dependent, so the check normalises every
+//! policy row by the matrix-free reference row of its own file
+//! (`cold_8_energies`): `ratio = wall(row) / wall(reference)`.  Machine
+//! speed cancels and what remains is the relative cost of each policy —
+//! exactly the quantity the assembled/ILU perf work moves.  A row fails
+//! when its candidate ratio exceeds the baseline ratio by more than 25%.
+//!
+//! ```sh
+//! bench_check <baseline.json> <candidate.json>
+//! ```
+//!
+//! The parser is a deliberate hand-rolled scanner (the workspace vendors no
+//! JSON reader) that understands exactly the flat row format
+//! `emit_bench_json` writes: one object per line with `"name"` and
+//! `"wall_seconds"` fields.
+
+use std::process::ExitCode;
+
+/// Maximum tolerated relative growth of a policy row's wall-clock ratio.
+const TOLERANCE: f64 = 0.25;
+
+/// The row every other row is normalised against: cold matrix-free per-node.
+const REFERENCE: &str = "cold_8_energies";
+
+/// Extract `(name, wall_seconds)` pairs from the `BENCH_sweep.json` format.
+fn parse_rows(text: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find("\"name\": \"") {
+        rest = &rest[start + "\"name\": \"".len()..];
+        let Some(name_end) = rest.find('"') else { break };
+        let name = rest[..name_end].to_string();
+        let Some(ws) = rest.find("\"wall_seconds\": ") else { break };
+        rest = &rest[ws + "\"wall_seconds\": ".len()..];
+        let num_end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        match rest[..num_end].trim().parse::<f64>() {
+            Ok(wall) if wall.is_finite() && wall > 0.0 => rows.push((name, wall)),
+            _ => eprintln!("bench_check: skipping row {name:?} with unparsable wall_seconds"),
+        }
+    }
+    rows
+}
+
+fn reference_wall(rows: &[(String, f64)], label: &str) -> Option<f64> {
+    let wall = rows.iter().find(|(n, _)| n == REFERENCE).map(|&(_, w)| w);
+    if wall.is_none() {
+        eprintln!("bench_check: {label} file has no reference row {REFERENCE:?}");
+    }
+    wall
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, candidate_path] = &args[..] else {
+        eprintln!("usage: bench_check <baseline.json> <candidate.json>");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(candidate)) = (read(baseline_path), read(candidate_path)) else {
+        return ExitCode::from(2);
+    };
+
+    let base_rows = parse_rows(&baseline);
+    let cand_rows = parse_rows(&candidate);
+    let (Some(base_ref), Some(cand_ref)) =
+        (reference_wall(&base_rows, "baseline"), reference_wall(&cand_rows, "candidate"))
+    else {
+        return ExitCode::from(2);
+    };
+
+    let mut failed = false;
+    let mut compared = 0usize;
+    for (name, cand_wall) in &cand_rows {
+        let Some(&(_, base_wall)) = base_rows.iter().find(|(n, _)| n == name) else {
+            println!("  new   {name}: no baseline row, skipping");
+            continue;
+        };
+        compared += 1;
+        let base_ratio = base_wall / base_ref;
+        let cand_ratio = cand_wall / cand_ref;
+        let growth = cand_ratio / base_ratio - 1.0;
+        let verdict = if growth > TOLERANCE {
+            failed = true;
+            "FAIL "
+        } else {
+            "ok   "
+        };
+        println!(
+            "  {verdict}{name}: ratio {base_ratio:.3} -> {cand_ratio:.3} ({:+.1}%)",
+            100.0 * growth
+        );
+    }
+    if compared == 0 {
+        eprintln!("bench_check: no comparable rows between the two files");
+        return ExitCode::from(2);
+    }
+    if failed {
+        eprintln!(
+            "bench_check: wall-clock ratio regression beyond {:.0}% on at least one policy row",
+            100.0 * TOLERANCE
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_check: all {compared} policy rows within {:.0}%", 100.0 * TOLERANCE);
+        ExitCode::SUCCESS
+    }
+}

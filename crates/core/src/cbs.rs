@@ -115,6 +115,21 @@ pub struct CbsStatistics {
     pub linear_solve_seconds: f64,
     /// Seconds in eigenpair extraction.
     pub extraction_seconds: f64,
+    /// Nanoseconds spent inside the sparse operator kernels (CSR and
+    /// low-rank matvec/adjoint applications), from the `cbs-sparse` stage
+    /// timers.  A subset of the linear-solve wall clock; the remainder is
+    /// vector algebra and solver bookkeeping.
+    #[serde(default)]
+    pub kernel_ns: u64,
+    /// Nanoseconds spent in preconditioner work (ILU(0) factorizations and
+    /// triangular solves), from the `cbs-sparse` stage timers.
+    #[serde(default)]
+    pub precond_ns: u64,
+    /// Nanoseconds in eigenpair extraction — the nanosecond mirror of
+    /// [`extraction_seconds`](Self::extraction_seconds), kept alongside the
+    /// other per-stage nanosecond counters for uniform reporting.
+    #[serde(default)]
+    pub extraction_ns: u64,
     /// Total eigenpairs accepted.
     pub accepted: usize,
     /// Total candidates discarded by the residual filter.
@@ -178,6 +193,7 @@ pub fn compute_cbs_with<E: TaskExecutor>(
     let mut cbs = ComplexBandStructure { points: Vec::new(), energies: energies.to_vec() };
     let mut stats = CbsStatistics::default();
     let mut per_energy = Vec::with_capacity(energies.len());
+    let stage_start = cbs_sparse::stage_snapshot();
 
     for (energy_index, &energy) in energies.iter().enumerate() {
         let problem = QepProblem::new(h00, h01, energy, period);
@@ -204,6 +220,10 @@ pub fn compute_cbs_with<E: TaskExecutor>(
         }
         per_energy.push(result);
     }
+    let stage = cbs_sparse::stage_delta(stage_start);
+    stats.kernel_ns = stage.kernel_ns;
+    stats.precond_ns = stage.precond_ns;
+    stats.extraction_ns = (stats.extraction_seconds * 1e9) as u64;
     CbsRun { cbs, stats, per_energy }
 }
 

@@ -122,8 +122,16 @@ impl BlockPolicy {
 /// (instead of per application) and ILU(0) changes the Krylov trajectory
 /// entirely.  What every policy preserves is the solution contract (relative
 /// residual ≤ tolerance) and serial ≡ rayon bit-identity *within* the
-/// policy; the default [`MatrixFree`](Self::MatrixFree) path is bitwise
-/// unchanged from before this knob existed.
+/// policy; the [`MatrixFree`](Self::MatrixFree) path is bitwise unchanged
+/// from before this knob existed.
+///
+/// `PrecondPolicy::default()` (and the `CBS_PRECOND` fallback) stays
+/// [`MatrixFree`](Self::MatrixFree) — the historical baseline that old
+/// checkpoints and unset env knobs resolve to.  `SsConfig::default()`
+/// however selects [`Assembled`](Self::Assembled): every assembled row of
+/// the tracked sweep bench beats matrix-free wall-clock (see
+/// `BENCH_sweep.json`), and problems without an attached pattern fall back
+/// to matrix-free bitwise-unchanged.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PrecondPolicy {
     /// Apply `P(z)` matrix-free (three storage traversals per application:

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use cbs_linalg::{CVector, Complex64};
-use cbs_sparse::{AssembledOp, AssembledPattern, Ilu0, LinearOperator};
+use cbs_sparse::{AssembledOp, AssembledPattern, FactoredProjector, Ilu0, LinearOperator};
 
 use crate::engine::PrecondPolicy;
 
@@ -34,6 +34,11 @@ pub struct QepProblem<'a> {
     /// energy-independent, so one instance serves every scan energy of a
     /// sweep.
     pattern: Option<&'a AssembledPattern>,
+    /// Optional factored non-local projector riding alongside the pattern:
+    /// when present, the assembled node operators keep the low-rank part of
+    /// `P(z)` in factored form (`P(z) ≈ CSR + Σ c|u⟩⟨v|`) instead of
+    /// requiring it expanded into the CSR pattern.
+    projector: Option<&'a FactoredProjector>,
     /// Cached residual-scale estimates `(||H00||_est, ||H01||_est)`,
     /// computed on first use (two operator applications per *problem*, not
     /// per residual check).
@@ -65,6 +70,7 @@ impl<'a> QepProblem<'a> {
             energy,
             period,
             pattern: None,
+            projector: None,
             scales: OnceLock::new(),
             residual_matvecs: AtomicUsize::new(0),
             residual_traversals: AtomicUsize::new(0),
@@ -85,6 +91,35 @@ impl<'a> QepProblem<'a> {
     /// The attached assembled pattern, if any.
     pub fn pattern(&self) -> Option<&'a AssembledPattern> {
         self.pattern
+    }
+
+    /// Attach a factored non-local projector to pair with the assembled
+    /// pattern.  **Contract:** the pattern must then be built from the
+    /// *sparse-only* Hamiltonian blocks (the projector contribution must
+    /// not also be expanded into the CSR streams, or it would be applied
+    /// twice).  With a non-empty projector attached, the assembled
+    /// policies resolve to [`QepNodeOp::Factored`]: the CSR part is
+    /// refilled per node as usual and the low-rank part is accumulated on
+    /// top through the factored kernels; ILU(0) factors the CSR part only.
+    pub fn with_projector(mut self, projector: &'a FactoredProjector) -> Self {
+        assert_eq!(projector.dim(), self.dim(), "projector dimension mismatch");
+        self.projector = Some(projector);
+        self
+    }
+
+    /// The attached factored projector, if any.
+    pub fn projector(&self) -> Option<&'a FactoredProjector> {
+        self.projector
+    }
+
+    /// Wrap a freshly assembled CSR into the node operator, attaching the
+    /// factored projector when one is present (an empty projector degrades
+    /// to the plain assembled representation).
+    fn wrap_assembled(&self, op: AssembledOp<'a>) -> QepNodeOp<'a, '_> {
+        match self.projector {
+            Some(proj) if !proj.is_empty() => QepNodeOp::Factored(op, proj),
+            _ => QepNodeOp::Assembled(op),
+        }
     }
 
     /// Dimension of the blocks.
@@ -120,12 +155,12 @@ impl<'a> QepProblem<'a> {
                 (QepNodeOp::MatrixFree(self.operator(z)), None)
             }
             (PrecondPolicy::Assembled, Some(pattern)) => {
-                (QepNodeOp::Assembled(pattern.assemble(self.energy, z)), None)
+                (self.wrap_assembled(pattern.assemble(self.energy, z)), None)
             }
             (PrecondPolicy::AssembledIlu0, Some(pattern)) => {
                 let op = pattern.assemble(self.energy, z);
                 let ilu = op.ilu0();
-                (QepNodeOp::Assembled(op), Some(ilu))
+                (self.wrap_assembled(op), Some(ilu))
             }
         }
     }
@@ -304,12 +339,15 @@ pub enum QepNodeOp<'a, 'p> {
     MatrixFree(QepOperator<'a, 'p>),
     /// `P(z)` materialized by numeric refill of the shared pattern.
     Assembled(AssembledOp<'a>),
+    /// `P(z)` split as assembled-CSR (sparse blocks) plus factored
+    /// low-rank projector tail, applied without dense expansion.
+    Factored(AssembledOp<'a>, &'a FactoredProjector),
 }
 
 impl QepNodeOp<'_, '_> {
-    /// `true` for the assembled representation.
+    /// `true` for the assembled representations (plain or factored).
     pub fn is_assembled(&self) -> bool {
-        matches!(self, Self::Assembled(_))
+        matches!(self, Self::Assembled(_) | Self::Factored(..))
     }
 }
 
@@ -317,49 +355,68 @@ impl LinearOperator for QepNodeOp<'_, '_> {
     fn nrows(&self) -> usize {
         match self {
             Self::MatrixFree(op) => op.nrows(),
-            Self::Assembled(op) => op.nrows(),
+            Self::Assembled(op) | Self::Factored(op, _) => op.nrows(),
         }
     }
     fn ncols(&self) -> usize {
         match self {
             Self::MatrixFree(op) => op.ncols(),
-            Self::Assembled(op) => op.ncols(),
+            Self::Assembled(op) | Self::Factored(op, _) => op.ncols(),
         }
     }
     fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
         match self {
             Self::MatrixFree(op) => op.apply(x, y),
             Self::Assembled(op) => op.apply(x, y),
+            Self::Factored(op, proj) => {
+                op.apply(x, y);
+                proj.accumulate(op.shift(), x, y, 1);
+            }
         }
     }
     fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
         match self {
             Self::MatrixFree(op) => op.apply_adjoint(x, y),
             Self::Assembled(op) => op.apply_adjoint(x, y),
+            Self::Factored(op, proj) => {
+                op.apply_adjoint(x, y);
+                proj.accumulate_adjoint(op.shift(), x, y, 1);
+            }
         }
     }
     fn apply_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
         match self {
             Self::MatrixFree(op) => op.apply_block(x, y, nvecs),
             Self::Assembled(op) => op.apply_block(x, y, nvecs),
+            Self::Factored(op, proj) => {
+                op.apply_block(x, y, nvecs);
+                proj.accumulate(op.shift(), x, y, nvecs);
+            }
         }
     }
     fn apply_adjoint_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
         match self {
             Self::MatrixFree(op) => op.apply_adjoint_block(x, y, nvecs),
             Self::Assembled(op) => op.apply_adjoint_block(x, y, nvecs),
+            Self::Factored(op, proj) => {
+                op.apply_adjoint_block(x, y, nvecs);
+                proj.accumulate_adjoint(op.shift(), x, y, nvecs);
+            }
         }
     }
     fn memory_bytes(&self) -> usize {
         match self {
             Self::MatrixFree(op) => op.memory_bytes(),
             Self::Assembled(op) => op.memory_bytes(),
+            Self::Factored(op, proj) => op.memory_bytes() + proj.storage_bytes(),
         }
     }
     fn traversal_weight(&self) -> usize {
         match self {
             Self::MatrixFree(op) => op.traversal_weight(),
-            Self::Assembled(op) => op.traversal_weight(),
+            // The factored tail rides on the single CSR traversal (the
+            // low-rank factors are O(rank) work, not a storage sweep).
+            Self::Assembled(op) | Self::Factored(op, _) => op.traversal_weight(),
         }
     }
 }
@@ -610,6 +667,75 @@ mod tests {
             let defect: f64 =
                 ya.iter().zip(&ya_free).map(|(a, b)| (*a - *b).norm_sqr()).sum::<f64>().sqrt();
             assert!(defect < 1e-11 * (1.0 + y_free.norm()));
+        }
+    }
+
+    #[test]
+    fn factored_projector_node_matches_dense_expansion() {
+        use crate::engine::PrecondPolicy;
+        use cbs_sparse::{CsrMatrix, FactoredProjector, LowRankOp, SparseVec};
+        let n = 10;
+        let (h00d, h01d) = random_blocks(n, 413);
+        let csr00 = CsrMatrix::from_dense(&h00d, 0.0);
+        let csr01 = CsrMatrix::from_dense(&h01d, 0.0);
+        // Low-rank projector tails on top of the sparse blocks.
+        let mut vnl00 = LowRankOp::new(n, n);
+        let p = SparseVec::new(vec![(1, c64(0.4, 0.1)), (7, c64(-0.3, 0.6))]);
+        vnl00.push(p.clone(), p, c64(1.2, 0.0));
+        let mut vnl01 = LowRankOp::new(n, n);
+        vnl01.push(
+            SparseVec::new(vec![(2, c64(0.5, -0.2))]),
+            SparseVec::new(vec![(4, c64(0.8, 0.3)), (9, c64(-0.1, 0.2))]),
+            c64(0.7, -0.4),
+        );
+        // Reference: the projector expanded into the CSR blocks.
+        let full00 = csr00.add_scaled(Complex64::ONE, &vnl00.to_csr());
+        let full01 = csr01.add_scaled(Complex64::ONE, &vnl01.to_csr());
+        let pattern_full = cbs_sparse::AssembledPattern::build(&full00, &full01);
+        // Factored: pattern over the sparse-only blocks, projector separate.
+        let pattern_sparse = cbs_sparse::AssembledPattern::build(&csr00, &csr01);
+        let projector = FactoredProjector::new(vnl00, vnl01);
+        assert!(pattern_sparse.nnz() <= pattern_full.nnz());
+
+        let z = c64(1.2, 0.6);
+        let expanded = QepProblem::new(&full00, &full01, 0.2, 1.0).with_pattern(&pattern_full);
+        let factored = QepProblem::new(&full00, &full01, 0.2, 1.0)
+            .with_pattern(&pattern_sparse)
+            .with_projector(&projector);
+        assert!(factored.projector().is_some());
+
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(414);
+        for policy in [PrecondPolicy::Assembled, PrecondPolicy::AssembledIlu0] {
+            let (op_full, _) = expanded.node_solve(policy, z);
+            let (op_fact, prec) = factored.node_solve(policy, z);
+            assert!(op_fact.is_assembled());
+            assert!(matches!(op_fact, QepNodeOp::Factored(..)));
+            assert_eq!(prec.is_some(), policy == PrecondPolicy::AssembledIlu0);
+            assert!(op_fact.memory_bytes() > 0);
+            for nvecs in [1usize, 3] {
+                let x: Vec<Complex64> = CVector::random(n * nvecs, &mut rng).into_vec();
+                let mut y_full = vec![Complex64::ZERO; n * nvecs];
+                let mut y_fact = vec![Complex64::ZERO; n * nvecs];
+                op_full.apply_block(&x, &mut y_full, nvecs);
+                op_fact.apply_block(&x, &mut y_fact, nvecs);
+                let err: f64 = y_full
+                    .iter()
+                    .zip(&y_fact)
+                    .map(|(a, b)| (*a - *b).norm_sqr())
+                    .sum::<f64>()
+                    .sqrt();
+                let norm: f64 = y_full.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+                assert!(err < 1e-12 * (1.0 + norm), "factored P(z) drifted: {err}");
+                op_full.apply_adjoint_block(&x, &mut y_full, nvecs);
+                op_fact.apply_adjoint_block(&x, &mut y_fact, nvecs);
+                let err: f64 = y_full
+                    .iter()
+                    .zip(&y_fact)
+                    .map(|(a, b)| (*a - *b).norm_sqr())
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(err < 1e-12 * (1.0 + norm), "factored P(z)† drifted: {err}");
+            }
         }
     }
 

@@ -65,11 +65,16 @@ pub struct SsConfig {
     /// [`PrecondPolicy`](crate::engine::PrecondPolicy)).  Unlike
     /// [`block`](Self::block) this *does* change the floating-point
     /// trajectory (assembled arithmetic, ILU-preconditioned recurrences),
-    /// so it **is** part of the sweep checkpoint fingerprint; the default
+    /// so it **is** part of the sweep checkpoint fingerprint; the
     /// [`MatrixFree`](crate::engine::PrecondPolicy::MatrixFree) path is
-    /// bitwise unchanged.  The assembled policies require a pattern on the
-    /// [`QepProblem`] (see [`QepProblem::with_pattern`]) and fall back to
-    /// matrix-free without one.
+    /// bitwise unchanged.  The default is
+    /// [`Assembled`](crate::engine::PrecondPolicy::Assembled): on the
+    /// tracked Al(100) sweep bench every assembled row beats matrix-free
+    /// wall-clock (see `BENCH_sweep.json` at the repo root).  The assembled
+    /// policies require a pattern on the [`QepProblem`] (see
+    /// [`QepProblem::with_pattern`]) and fall back to matrix-free without
+    /// one — problems that never attach a pattern are bitwise unaffected by
+    /// the default.
     pub precond: crate::engine::PrecondPolicy,
     /// Contour partitioning (see [`SlicePolicy`], env knob `CBS_SLICES`):
     /// the default single contour runs the monolithic pipeline, bitwise
@@ -105,7 +110,7 @@ impl SsConfig {
             seed: 0x5a5a_5a5a,
             majority_stop: true,
             block: crate::engine::BlockPolicy::PerNode,
-            precond: crate::engine::PrecondPolicy::MatrixFree,
+            precond: crate::engine::PrecondPolicy::Assembled,
             slice: SlicePolicy::single(),
         }
     }
@@ -425,8 +430,8 @@ pub fn solve_qep_with<E: TaskExecutor>(
     // representation (matrix-free view, assembled CSR, or assembled CSR +
     // ILU(0)); it runs once per quadrature node, so assembly and
     // factorization costs are paid `N_int` times, never per right-hand
-    // side.  Under the default `MatrixFree` policy this is bitwise the
-    // pre-policy path.
+    // side.  Under the `MatrixFree` policy (or with no pattern attached)
+    // this is bitwise the pre-policy path.
     let assemblies = std::sync::atomic::AtomicUsize::new(0);
     let (acc, stats) = engine.solve_fold_precond(
         &contour,

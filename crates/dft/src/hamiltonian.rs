@@ -265,6 +265,22 @@ impl BlockHamiltonian {
         cbs_sparse::AssembledPattern::build(&self.h00_csr(), &self.h01_csr())
     }
 
+    /// The factored assembled backend of this Hamiltonian's QEP: the union
+    /// pattern of the **sparse-only** blocks (kinetic + local potential —
+    /// no projector expansion) paired with the non-local projectors kept in
+    /// factored low-rank form.  Compared to [`qep_pattern`](Self::qep_pattern)
+    /// the pattern is smaller (no `nnz(ket)·nnz(bra)` fill per projector
+    /// term), so the per-node refill and the ILU(0) sweeps are cheaper,
+    /// while the projector tail is applied at its natural O(rank · nnz)
+    /// cost.  Attach both to the problem (`with_pattern` + `with_projector`)
+    /// — the pattern alone would silently drop the projectors.
+    pub fn qep_factored(&self) -> (cbs_sparse::AssembledPattern, cbs_sparse::FactoredProjector) {
+        (
+            cbs_sparse::AssembledPattern::build(&self.h00_sparse, &self.h01_sparse),
+            cbs_sparse::FactoredProjector::new(self.vnl00.clone(), self.vnl01.clone()),
+        )
+    }
+
     /// Memory footprint of the sparse representation in bytes — the quantity
     /// compared against the dense OBM storage in the paper's Figure 4(b).
     pub fn memory_bytes(&self) -> usize {

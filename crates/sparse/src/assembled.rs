@@ -14,21 +14,36 @@
 //!   sweep.
 //! * [`AssembledPattern::assemble`] materializes `P(z)` for one `(E, z)` by
 //!   a **numeric refill only**: one fused O(nnz) pass over the three
-//!   streams, no symbolic work, no index duplication.  The resulting
+//!   streams (into a scratch-pooled value buffer — steady state performs no
+//!   allocation), no symbolic work, no index duplication.  The resulting
 //!   [`AssembledOp`] applies `P(z)` (and its exact adjoint) in a single CSR
-//!   traversal via the same fused kernels `CsrMatrix` uses.
+//!   traversal via the same fused kernels `CsrMatrix` uses — or via the
+//!   planar FMA kernels when the pattern's
+//!   [`KernelLayout`] is `Split`.
 //! * [`Ilu0`] factors the assembled CSR in place (no fill-in) and exposes
 //!   forward/backward triangular solves *and their adjoints*, so one
 //!   factorization `M ≈ P(z)` also preconditions the dual system through
 //!   `M† ≈ P(z)† = P(1/z̄)` — the paper's dual-circle trick survives
-//!   preconditioning.
+//!   preconditioning.  Through the assembled path the solves run as
+//!   **level-scheduled sweeps** over a [`TriSchedule`] computed once per
+//!   pattern (the levels are symbolic, shared by every quadrature node and
+//!   sweep energy), with the adjoint sweeps converted from column scatters
+//!   to transposed-index gathers — bit-identical to the sequential loops.
+
+use std::borrow::Cow;
+use std::sync::OnceLock;
 
 use cbs_linalg::{CVector, Complex64};
 
 use crate::csr::{
     spmv_adjoint_block_into, spmv_adjoint_into, spmv_block_into, spmv_into, CsrMatrix,
 };
+use crate::kernels::{
+    spmv_split_adjoint_block_into, spmv_split_adjoint_into, spmv_split_block_into, spmv_split_into,
+    KernelLayout, SplitValues,
+};
 use crate::ops::{LinearOperator, Preconditioner};
+use crate::timers::{time_kernel, time_precond};
 
 /// The shared symbolic structure of `P(z)`: the union sparsity pattern of
 /// `H₀₀`, `H₀₁`, `H₀₁†` (plus an explicit diagonal for the `E` shift), with
@@ -47,6 +62,12 @@ pub struct AssembledPattern {
     h10_vals: Vec<Complex64>,
     /// Position of the diagonal entry of each row in `col_idx`/values.
     diag_idx: Vec<usize>,
+    /// Value layout the assembled operators of this pattern run their
+    /// kernels in (captured from `CBS_KERNEL_LAYOUT` at build time).
+    layout: KernelLayout,
+    /// Triangular-solve schedule, computed lazily on first ILU(0) use and
+    /// shared by every node/energy factored on this pattern.
+    schedule: OnceLock<TriSchedule>,
 }
 
 impl AssembledPattern {
@@ -54,6 +75,10 @@ impl AssembledPattern {
     /// same size).  The diagonal is always part of the pattern, so the
     /// energy shift `E` and the ILU(0) pivots have a home even where the
     /// blocks store no diagonal entry.
+    ///
+    /// The kernel layout of the pattern's assembled operators is read from
+    /// the `CBS_KERNEL_LAYOUT` environment variable here (override with
+    /// [`with_layout`](Self::with_layout)).
     pub fn build(h00: &CsrMatrix, h01: &CsrMatrix) -> Self {
         assert_eq!(h00.nrows(), h00.ncols(), "H00 must be square");
         assert_eq!(h01.nrows(), h01.ncols(), "H01 must be square");
@@ -97,7 +122,30 @@ impl AssembledPattern {
             row_ptr.push(col_idx.len());
         }
 
-        Self { n, row_ptr, col_idx, h00_vals, h01_vals, h10_vals, diag_idx }
+        Self {
+            n,
+            row_ptr,
+            col_idx,
+            h00_vals,
+            h01_vals,
+            h10_vals,
+            diag_idx,
+            layout: KernelLayout::from_env(),
+            schedule: OnceLock::new(),
+        }
+    }
+
+    /// Override the kernel layout captured at build time (tests / explicit
+    /// configuration; resets nothing else — the symbolic structure and any
+    /// computed [`TriSchedule`] are layout-independent).
+    pub fn with_layout(mut self, layout: KernelLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// The kernel layout the pattern's assembled operators run.
+    pub fn layout(&self) -> KernelLayout {
+        self.layout
     }
 
     /// Dimension of the (square) operator.
@@ -118,13 +166,25 @@ impl AssembledPattern {
             + 3 * self.h00_vals.len() * std::mem::size_of::<Complex64>()
     }
 
+    /// The level-scheduled triangular-solve structure of this pattern,
+    /// computed on first use and shared by every ILU(0) factorization on
+    /// the pattern (all quadrature nodes, all sweep energies).
+    pub fn tri_schedule(&self) -> &TriSchedule {
+        self.schedule
+            .get_or_init(|| TriSchedule::build(&self.row_ptr, &self.col_idx, &self.diag_idx))
+    }
+
     /// Materialize `P(z) = -z⁻¹H₀₁† + (E−H₀₀) − zH₀₁` at one `(E, z)` pair
     /// by numeric refill: a single fused pass over the three value streams
     /// plus the diagonal shift.  The symbolic structure is borrowed, not
-    /// copied — every node of every sweep energy shares it.
+    /// copied — every node of every sweep energy shares it — and the value
+    /// buffer is drawn from (and on drop returned to) the thread-local
+    /// scratch pool, so per-node assembly performs no steady-state
+    /// allocation.
     pub fn assemble(&self, energy: f64, z: Complex64) -> AssembledOp<'_> {
         let zinv = z.inv();
-        let mut values: Vec<Complex64> = Vec::with_capacity(self.nnz());
+        let mut values = crate::scratch::take_scratch(0);
+        values.reserve(self.nnz());
         values.extend(
             self.h00_vals
                 .iter()
@@ -136,7 +196,15 @@ impl AssembledPattern {
         for &d in &self.diag_idx {
             values[d] += e;
         }
-        AssembledOp { pattern: self, z, values }
+        let split = match self.layout {
+            KernelLayout::Interleaved => None,
+            KernelLayout::Split => {
+                let mut s = SplitValues::take();
+                s.refill(&values);
+                Some(s)
+            }
+        };
+        AssembledOp { pattern: self, z, values, split }
     }
 }
 
@@ -144,13 +212,17 @@ impl AssembledPattern {
 /// array.  Applies in a single CSR traversal ([`traversal_weight`] 1, vs 3
 /// for the matrix-free QEP operator) through the same fused kernels as
 /// [`CsrMatrix`], adjoint included (exact conjugate-transpose scatter, no
-/// Hermiticity assumption).
+/// Hermiticity assumption).  Under [`KernelLayout::Split`] the applies run
+/// the planar FMA kernels instead (≤ 1e-14 columnwise agreement, not
+/// bitwise — see [`crate::kernels`]).
 ///
 /// [`traversal_weight`]: LinearOperator::traversal_weight
 pub struct AssembledOp<'p> {
     pattern: &'p AssembledPattern,
     z: Complex64,
     values: Vec<Complex64>,
+    /// Planar twin of `values`, present iff the pattern's layout is `Split`.
+    split: Option<SplitValues>,
 }
 
 impl<'p> AssembledOp<'p> {
@@ -171,14 +243,25 @@ impl<'p> AssembledOp<'p> {
 
     /// ILU(0)-factor this operator.  The factorization borrows the shared
     /// pattern (reusing its precomputed diagonal positions — no per-node
-    /// rescan) and owns only its `nnz` factor values.
+    /// rescan) and its once-per-pattern [`TriSchedule`], and owns only its
+    /// `nnz` factor values (scratch-pooled across nodes).
     pub fn ilu0(&self) -> Ilu0<'p> {
-        Ilu0::factor_with_diag(
+        Ilu0::factor_inner(
             &self.pattern.row_ptr,
             &self.pattern.col_idx,
-            self.pattern.diag_idx.clone(),
+            Cow::Borrowed(&self.pattern.diag_idx[..]),
             &self.values,
+            Some(self.pattern.tri_schedule()),
         )
+    }
+}
+
+impl Drop for AssembledOp<'_> {
+    fn drop(&mut self) {
+        crate::scratch::recycle_scratch(std::mem::take(&mut self.values));
+        if let Some(s) = self.split.take() {
+            s.recycle();
+        }
     }
 }
 
@@ -192,48 +275,284 @@ impl LinearOperator for AssembledOp<'_> {
     fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
         assert_eq!(x.len(), self.pattern.n, "assembled apply: x length mismatch");
         assert_eq!(y.len(), self.pattern.n, "assembled apply: y length mismatch");
-        spmv_into(&self.pattern.row_ptr, &self.pattern.col_idx, &self.values, x, y);
+        time_kernel(|| match &self.split {
+            Some(s) => spmv_split_into(&self.pattern.row_ptr, &self.pattern.col_idx, s, x, y),
+            None => spmv_into(&self.pattern.row_ptr, &self.pattern.col_idx, &self.values, x, y),
+        });
     }
     fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
         assert_eq!(x.len(), self.pattern.n, "assembled adjoint: x length mismatch");
         assert_eq!(y.len(), self.pattern.n, "assembled adjoint: y length mismatch");
-        spmv_adjoint_into(&self.pattern.row_ptr, &self.pattern.col_idx, &self.values, x, y);
+        time_kernel(|| match &self.split {
+            Some(s) => {
+                spmv_split_adjoint_into(&self.pattern.row_ptr, &self.pattern.col_idx, s, x, y)
+            }
+            None => {
+                spmv_adjoint_into(&self.pattern.row_ptr, &self.pattern.col_idx, &self.values, x, y)
+            }
+        });
     }
     fn apply_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
         let n = self.pattern.n;
         assert_eq!(x.len(), n * nvecs, "assembled block apply: x slab length mismatch");
         assert_eq!(y.len(), n * nvecs, "assembled block apply: y slab length mismatch");
-        spmv_block_into(
-            &self.pattern.row_ptr,
-            &self.pattern.col_idx,
-            &self.values,
-            n,
-            n,
-            x,
-            y,
-            nvecs,
-        );
+        time_kernel(|| match &self.split {
+            Some(s) => spmv_split_block_into(
+                &self.pattern.row_ptr,
+                &self.pattern.col_idx,
+                s,
+                n,
+                n,
+                x,
+                y,
+                nvecs,
+            ),
+            None => spmv_block_into(
+                &self.pattern.row_ptr,
+                &self.pattern.col_idx,
+                &self.values,
+                n,
+                n,
+                x,
+                y,
+                nvecs,
+            ),
+        });
     }
     fn apply_adjoint_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
         let n = self.pattern.n;
         assert_eq!(x.len(), n * nvecs, "assembled block adjoint: x slab length mismatch");
         assert_eq!(y.len(), n * nvecs, "assembled block adjoint: y slab length mismatch");
-        spmv_adjoint_block_into(
-            &self.pattern.row_ptr,
-            &self.pattern.col_idx,
-            &self.values,
-            n,
-            n,
-            x,
-            y,
-            nvecs,
-        );
+        time_kernel(|| match &self.split {
+            Some(s) => spmv_split_adjoint_block_into(
+                &self.pattern.row_ptr,
+                &self.pattern.col_idx,
+                s,
+                n,
+                n,
+                x,
+                y,
+                nvecs,
+            ),
+            None => spmv_adjoint_block_into(
+                &self.pattern.row_ptr,
+                &self.pattern.col_idx,
+                &self.values,
+                n,
+                n,
+                x,
+                y,
+                nvecs,
+            ),
+        });
     }
     fn memory_bytes(&self) -> usize {
         self.values.len() * std::mem::size_of::<Complex64>() + self.pattern.memory_bytes()
     }
     fn traversal_weight(&self) -> usize {
         1
+    }
+}
+
+/// The symbolic triangular-solve structure of one assembled pattern,
+/// computed once ([`AssembledPattern::tri_schedule`]) and shared by every
+/// ILU(0) factorization on the pattern.
+///
+/// Two ingredients, both pattern-only (no values):
+///
+/// * **Level schedules** — for each of the four sweeps (forward `L`,
+///   backward `U`, adjoint-forward `U†`, adjoint-backward `L†`) the rows
+///   (resp. columns) grouped into dependency levels: every row of level
+///   `ℓ` depends only on rows of levels `< ℓ`.  Executing level by level,
+///   ascending rows within a level, performs each row's own gather in the
+///   exact order of the sequential loop, so the sweeps are **bit-identical**
+///   to the unscheduled substitutions.
+/// * **Transposed triangle indices** — the adjoint solves are column
+///   scatters in row-major storage; the strict-upper and strict-lower
+///   transpose lists (`(row, position-in-lu)` pairs per column) convert
+///   them into gathers with unit-stride accumulator writes.  Iterating the
+///   `U†` lists in ascending row order and the `L†` lists in descending row
+///   order replays the scatter update order of each output element exactly,
+///   zero-skip guards included.
+#[derive(Clone, Debug)]
+pub struct TriSchedule {
+    /// Forward (`L y = r`) levels: `fwd_rows[fwd_level_ptr[l]..fwd_level_ptr[l+1]]`.
+    fwd_level_ptr: Vec<usize>,
+    fwd_rows: Vec<usize>,
+    /// Backward (`U x = y`) levels.
+    bwd_level_ptr: Vec<usize>,
+    bwd_rows: Vec<usize>,
+    /// Adjoint-forward (`U† w = r`) levels over columns.
+    utf_level_ptr: Vec<usize>,
+    utf_cols: Vec<usize>,
+    /// Adjoint-backward (`L† x = w`) levels over columns.
+    ltb_level_ptr: Vec<usize>,
+    ltb_cols: Vec<usize>,
+    /// Strict-upper transpose: for column `j`, the rows `i < j` with
+    /// `(i, j) ∈ U` (ascending `i`) and the position of `U[i,j]` in `lu`.
+    ut_ptr: Vec<usize>,
+    ut_row: Vec<usize>,
+    ut_pos: Vec<usize>,
+    /// Strict-lower transpose: for column `j`, the rows `i > j` with
+    /// `(i, j) ∈ L` (ascending `i`) and the position of `L[i,j]` in `lu`.
+    lt_ptr: Vec<usize>,
+    lt_row: Vec<usize>,
+    lt_pos: Vec<usize>,
+}
+
+/// Group `0..n` into levels by `lvl` (counting sort; ascending within level).
+fn bucket_levels(lvl: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let n = lvl.len();
+    let n_levels = lvl.iter().copied().max().map_or(0, |m| m + 1);
+    let mut ptr = vec![0usize; n_levels + 1];
+    for &l in lvl {
+        ptr[l + 1] += 1;
+    }
+    for l in 0..n_levels {
+        ptr[l + 1] += ptr[l];
+    }
+    let mut rows = vec![0usize; n];
+    let mut next = ptr.clone();
+    for (i, &l) in lvl.iter().enumerate() {
+        rows[next[l]] = i;
+        next[l] += 1;
+    }
+    (ptr, rows)
+}
+
+impl TriSchedule {
+    /// Analyze a CSR triangle pattern (columns sorted within each row,
+    /// every diagonal stored at `diag_idx`).
+    pub fn build(row_ptr: &[usize], col_idx: &[usize], diag_idx: &[usize]) -> Self {
+        let n = row_ptr.len() - 1;
+
+        // Forward (L): row i depends on its sub-diagonal columns.
+        let mut lvl = vec![0usize; n];
+        for i in 0..n {
+            let mut m = 0usize;
+            for k in row_ptr[i]..diag_idx[i] {
+                m = m.max(lvl[col_idx[k]] + 1);
+            }
+            lvl[i] = m;
+        }
+        let (fwd_level_ptr, fwd_rows) = bucket_levels(&lvl);
+
+        // Backward (U): row i depends on its super-diagonal columns.
+        for i in (0..n).rev() {
+            let mut m = 0usize;
+            for k in (diag_idx[i] + 1)..row_ptr[i + 1] {
+                m = m.max(lvl[col_idx[k]] + 1);
+            }
+            lvl[i] = m;
+        }
+        let (bwd_level_ptr, bwd_rows) = bucket_levels(&lvl);
+
+        // Strict-triangle transposes (counting sort; pushing rows in
+        // ascending i keeps each column's list sorted by row).
+        let mut ut_ptr = vec![0usize; n + 1];
+        let mut lt_ptr = vec![0usize; n + 1];
+        for i in 0..n {
+            for k in row_ptr[i]..diag_idx[i] {
+                lt_ptr[col_idx[k] + 1] += 1;
+            }
+            for k in (diag_idx[i] + 1)..row_ptr[i + 1] {
+                ut_ptr[col_idx[k] + 1] += 1;
+            }
+        }
+        for j in 0..n {
+            ut_ptr[j + 1] += ut_ptr[j];
+            lt_ptr[j + 1] += lt_ptr[j];
+        }
+        let mut ut_row = vec![0usize; ut_ptr[n]];
+        let mut ut_pos = vec![0usize; ut_ptr[n]];
+        let mut lt_row = vec![0usize; lt_ptr[n]];
+        let mut lt_pos = vec![0usize; lt_ptr[n]];
+        let mut ut_next = ut_ptr.clone();
+        let mut lt_next = lt_ptr.clone();
+        for i in 0..n {
+            for (k, &j) in col_idx.iter().enumerate().take(diag_idx[i]).skip(row_ptr[i]) {
+                lt_row[lt_next[j]] = i;
+                lt_pos[lt_next[j]] = k;
+                lt_next[j] += 1;
+            }
+            for (k, &j) in col_idx.iter().enumerate().take(row_ptr[i + 1]).skip(diag_idx[i] + 1) {
+                ut_row[ut_next[j]] = i;
+                ut_pos[ut_next[j]] = k;
+                ut_next[j] += 1;
+            }
+        }
+
+        // Adjoint-forward (U† w = r): column j depends on rows i < j with
+        // (i, j) ∈ U — exactly its strict-upper transpose list.
+        for j in 0..n {
+            let mut m = 0usize;
+            for t in ut_ptr[j]..ut_ptr[j + 1] {
+                m = m.max(lvl[ut_row[t]] + 1);
+            }
+            lvl[j] = m;
+        }
+        let (utf_level_ptr, utf_cols) = bucket_levels(&lvl);
+
+        // Adjoint-backward (L† x = w): column j depends on rows i > j with
+        // (i, j) ∈ L — its strict-lower transpose list.
+        for j in (0..n).rev() {
+            let mut m = 0usize;
+            for t in lt_ptr[j]..lt_ptr[j + 1] {
+                m = m.max(lvl[lt_row[t]] + 1);
+            }
+            lvl[j] = m;
+        }
+        let (ltb_level_ptr, ltb_cols) = bucket_levels(&lvl);
+
+        Self {
+            fwd_level_ptr,
+            fwd_rows,
+            bwd_level_ptr,
+            bwd_rows,
+            utf_level_ptr,
+            utf_cols,
+            ltb_level_ptr,
+            ltb_cols,
+            ut_ptr,
+            ut_row,
+            ut_pos,
+            lt_ptr,
+            lt_row,
+            lt_pos,
+        }
+    }
+
+    /// Number of dependency levels of the forward (`L`) sweep.
+    pub fn forward_levels(&self) -> usize {
+        self.fwd_level_ptr.len().saturating_sub(1)
+    }
+
+    /// Number of dependency levels of the backward (`U`) sweep.
+    pub fn backward_levels(&self) -> usize {
+        self.bwd_level_ptr.len().saturating_sub(1)
+    }
+
+    /// Storage footprint of the schedule in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<usize>()
+            * (self.fwd_level_ptr.len()
+                + self.fwd_rows.len()
+                + self.bwd_level_ptr.len()
+                + self.bwd_rows.len()
+                + self.utf_level_ptr.len()
+                + self.utf_cols.len()
+                + self.ltb_level_ptr.len()
+                + self.ltb_cols.len()
+                + self.ut_ptr.len()
+                + self.ut_row.len()
+                + self.ut_pos.len()
+                + self.lt_ptr.len()
+                + self.lt_row.len()
+                + self.lt_pos.len())
+    }
+
+    fn levels<'a>(ptr: &'a [usize], items: &'a [usize]) -> impl Iterator<Item = &'a [usize]> {
+        ptr.windows(2).map(move |w| &items[w[0]..w[1]])
     }
 }
 
@@ -267,14 +586,22 @@ fn guarded(pivot: Complex64, floor: f64) -> Complex64 {
 /// `z = U⁻¹ L⁻¹ r`; [`solve_adjoint`](Preconditioner::solve_adjoint) runs
 /// the exact adjoint `z = L⁻† U⁻† r` — which is what preconditions the dual
 /// BiCG system `P(z)† x̃ = ṽ` with the *same* factorization.
+///
+/// Factorizations obtained through [`AssembledOp::ilu0`] carry the
+/// pattern's [`TriSchedule`] and run all four substitutions as
+/// level-scheduled sweeps (adjoints as transposed gathers) — bit-identical
+/// to the sequential loops, which remain in place for factorizations built
+/// without a schedule ([`factor`](Self::factor) / [`from_csr`](Self::from_csr)).
 pub struct Ilu0<'p> {
     n: usize,
     row_ptr: &'p [usize],
     col_idx: &'p [usize],
-    diag_idx: Vec<usize>,
+    diag_idx: Cow<'p, [usize]>,
     lu: Vec<Complex64>,
     /// Scale-relative pivot floor fixed at factor time (see [`pivot_floor`]).
     floor: f64,
+    /// Once-per-pattern level schedule; `None` runs the sequential sweeps.
+    schedule: Option<&'p TriSchedule>,
 }
 
 impl<'p> Ilu0<'p> {
@@ -310,45 +637,72 @@ impl<'p> Ilu0<'p> {
         diag_idx: Vec<usize>,
         values: &[Complex64],
     ) -> Self {
+        Self::factor_inner(row_ptr, col_idx, Cow::Owned(diag_idx), values, None)
+    }
+
+    /// The factorization kernel: numeric IKJ elimination over the pattern,
+    /// with the factor array and the column-position scatter map drawn from
+    /// the thread-local scratch pools (returned on drop), so per-node
+    /// factorizations perform no steady-state allocation.
+    fn factor_inner(
+        row_ptr: &'p [usize],
+        col_idx: &'p [usize],
+        diag_idx: Cow<'p, [usize]>,
+        values: &[Complex64],
+        schedule: Option<&'p TriSchedule>,
+    ) -> Self {
         let n = row_ptr.len() - 1;
         assert_eq!(col_idx.len(), values.len(), "ILU(0): pattern/value length mismatch");
         assert_eq!(diag_idx.len(), n, "ILU(0): diagonal index length mismatch");
-        let floor = pivot_floor(values);
+        time_precond(|| {
+            let floor = pivot_floor(values);
 
-        let mut lu = values.to_vec();
-        // Scatter map column -> position within the current row.
-        let mut pos = vec![usize::MAX; n];
-        for i in 0..n {
-            let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
-            for k in lo..hi {
-                pos[col_idx[k]] = k;
-            }
-            for kk in lo..hi {
-                let kcol = col_idx[kk];
-                if kcol >= i {
-                    break; // columns are sorted: the L part comes first
+            let mut lu = crate::scratch::take_scratch(0);
+            lu.extend_from_slice(values);
+            // Scatter map column -> position within the current row.
+            let mut pos = crate::scratch::take_usize_scratch(n, usize::MAX);
+            for i in 0..n {
+                let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+                for k in lo..hi {
+                    pos[col_idx[k]] = k;
                 }
-                let factor = lu[kk] / guarded(lu[diag_idx[kcol]], floor);
-                lu[kk] = factor;
-                for jj in (diag_idx[kcol] + 1)..row_ptr[kcol + 1] {
-                    let p = pos[col_idx[jj]];
-                    if p != usize::MAX {
-                        let update = factor * lu[jj];
-                        lu[p] -= update;
+                for kk in lo..hi {
+                    let kcol = col_idx[kk];
+                    if kcol >= i {
+                        break; // columns are sorted: the L part comes first
+                    }
+                    let factor = lu[kk] / guarded(lu[diag_idx[kcol]], floor);
+                    lu[kk] = factor;
+                    for jj in (diag_idx[kcol] + 1)..row_ptr[kcol + 1] {
+                        let p = pos[col_idx[jj]];
+                        if p != usize::MAX {
+                            let update = factor * lu[jj];
+                            lu[p] -= update;
+                        }
                     }
                 }
+                for k in lo..hi {
+                    pos[col_idx[k]] = usize::MAX;
+                }
             }
-            for k in lo..hi {
-                pos[col_idx[k]] = usize::MAX;
-            }
-        }
-        Self { n, row_ptr, col_idx, diag_idx, lu, floor }
+            crate::scratch::recycle_usize_scratch(pos);
+            Self { n, row_ptr, col_idx, diag_idx, lu, floor, schedule }
+        })
     }
 
     /// Factor an explicit CSR matrix (tests / standalone preconditioning).
     pub fn from_csr(m: &'p CsrMatrix) -> Self {
         assert_eq!(m.nrows(), m.ncols(), "ILU(0) requires a square matrix");
         Self::factor(m.row_ptr(), m.col_idx(), m.values())
+    }
+
+    /// Attach a level schedule to an existing factorization (the schedule
+    /// must describe the same pattern).  The scheduled sweeps are
+    /// bit-identical to the sequential ones; this is how the equivalence is
+    /// tested.
+    pub fn with_schedule(mut self, schedule: &'p TriSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
     }
 
     /// Storage footprint of the factor values (the pattern is shared).
@@ -363,6 +717,36 @@ impl<'p> Ilu0<'p> {
         self.solve(r.as_slice(), z.as_mut_slice());
         z
     }
+
+    /// One forward-substitution row: `z[i] = r[i] - Σ_L lu·z` (unit diag).
+    #[inline(always)]
+    fn forward_row(&self, i: usize, r: &[Complex64], z: &mut [Complex64]) {
+        let mut acc = r[i];
+        for k in self.row_ptr[i]..self.diag_idx[i] {
+            acc -= self.lu[k] * z[self.col_idx[k]];
+        }
+        z[i] = acc;
+    }
+
+    /// One backward-substitution row: `z[i] = (z[i] - Σ_U lu·z) / pivot`.
+    #[inline(always)]
+    fn backward_row(&self, i: usize, z: &mut [Complex64]) {
+        let mut acc = z[i];
+        for k in (self.diag_idx[i] + 1)..self.row_ptr[i + 1] {
+            acc -= self.lu[k] * z[self.col_idx[k]];
+        }
+        z[i] = acc / guarded(self.lu[self.diag_idx[i]], self.floor);
+    }
+}
+
+impl Drop for Ilu0<'_> {
+    fn drop(&mut self) {
+        crate::scratch::recycle_scratch(std::mem::take(&mut self.lu));
+        const EMPTY: &[usize] = &[];
+        if let Cow::Owned(v) = std::mem::replace(&mut self.diag_idx, Cow::Borrowed(EMPTY)) {
+            crate::scratch::recycle_usize_scratch(v);
+        }
+    }
 }
 
 impl Preconditioner for Ilu0<'_> {
@@ -373,49 +757,98 @@ impl Preconditioner for Ilu0<'_> {
     fn solve(&self, r: &[Complex64], z: &mut [Complex64]) {
         assert_eq!(r.len(), self.n, "ILU solve: r length mismatch");
         assert_eq!(z.len(), self.n, "ILU solve: z length mismatch");
-        // Forward: L y = r (unit diagonal).
-        for i in 0..self.n {
-            let mut acc = r[i];
-            for k in self.row_ptr[i]..self.diag_idx[i] {
-                acc -= self.lu[k] * z[self.col_idx[k]];
+        time_precond(|| match self.schedule {
+            Some(s) => {
+                // Level-scheduled sweeps: every row's own gather runs in
+                // sequential order, so the result is bit-identical to the
+                // `None` branch below.
+                for level in TriSchedule::levels(&s.fwd_level_ptr, &s.fwd_rows) {
+                    for &i in level {
+                        self.forward_row(i, r, z);
+                    }
+                }
+                for level in TriSchedule::levels(&s.bwd_level_ptr, &s.bwd_rows) {
+                    for &i in level {
+                        self.backward_row(i, z);
+                    }
+                }
             }
-            z[i] = acc;
-        }
-        // Backward: U x = y.
-        for i in (0..self.n).rev() {
-            let mut acc = z[i];
-            for k in (self.diag_idx[i] + 1)..self.row_ptr[i + 1] {
-                acc -= self.lu[k] * z[self.col_idx[k]];
+            None => {
+                // Forward: L y = r (unit diagonal).
+                for i in 0..self.n {
+                    self.forward_row(i, r, z);
+                }
+                // Backward: U x = y.
+                for i in (0..self.n).rev() {
+                    self.backward_row(i, z);
+                }
             }
-            z[i] = acc / guarded(self.lu[self.diag_idx[i]], self.floor);
-        }
+        });
     }
 
     fn solve_adjoint(&self, r: &[Complex64], z: &mut [Complex64]) {
         assert_eq!(r.len(), self.n, "ILU adjoint solve: r length mismatch");
         assert_eq!(z.len(), self.n, "ILU adjoint solve: z length mismatch");
-        z.copy_from_slice(r);
-        // Forward: U† w = r.  U† is lower triangular; process columns of U
-        // ascending, scattering each finalized w_j down its row of U.
-        for j in 0..self.n {
-            let wj = z[j] / guarded(self.lu[self.diag_idx[j]], self.floor).conj();
-            z[j] = wj;
-            if wj != Complex64::ZERO {
-                for k in (self.diag_idx[j] + 1)..self.row_ptr[j + 1] {
-                    z[self.col_idx[k]] -= self.lu[k].conj() * wj;
+        time_precond(|| match self.schedule {
+            Some(s) => {
+                // Gather form over the transposed triangle lists.  Per
+                // output element the update order and zero-skip guards
+                // replay the sequential scatter exactly (ascending rows for
+                // U†, descending for L†), so the result is bit-identical
+                // to the `None` branch below.
+                // U† w = r: column j gathers from rows i < j, ascending.
+                for level in TriSchedule::levels(&s.utf_level_ptr, &s.utf_cols) {
+                    for &j in level {
+                        let mut acc = r[j];
+                        for t in s.ut_ptr[j]..s.ut_ptr[j + 1] {
+                            let wi = z[s.ut_row[t]];
+                            if wi != Complex64::ZERO {
+                                acc -= self.lu[s.ut_pos[t]].conj() * wi;
+                            }
+                        }
+                        z[j] = acc / guarded(self.lu[self.diag_idx[j]], self.floor).conj();
+                    }
+                }
+                // L† x = w: column j gathers from rows i > j, descending.
+                for level in TriSchedule::levels(&s.ltb_level_ptr, &s.ltb_cols) {
+                    for &j in level {
+                        let mut acc = z[j];
+                        for t in (s.lt_ptr[j]..s.lt_ptr[j + 1]).rev() {
+                            let xi = z[s.lt_row[t]];
+                            if xi != Complex64::ZERO {
+                                acc -= self.lu[s.lt_pos[t]].conj() * xi;
+                            }
+                        }
+                        z[j] = acc;
+                    }
                 }
             }
-        }
-        // Backward: L† x = w.  L† is unit upper triangular; process columns
-        // of L descending.
-        for j in (0..self.n).rev() {
-            let xj = z[j];
-            if xj != Complex64::ZERO {
-                for k in self.row_ptr[j]..self.diag_idx[j] {
-                    z[self.col_idx[k]] -= self.lu[k].conj() * xj;
+            None => {
+                z.copy_from_slice(r);
+                // Forward: U† w = r.  U† is lower triangular; process
+                // columns of U ascending, scattering each finalized w_j
+                // down its row of U.
+                for j in 0..self.n {
+                    let wj = z[j] / guarded(self.lu[self.diag_idx[j]], self.floor).conj();
+                    z[j] = wj;
+                    if wj != Complex64::ZERO {
+                        for k in (self.diag_idx[j] + 1)..self.row_ptr[j + 1] {
+                            z[self.col_idx[k]] -= self.lu[k].conj() * wj;
+                        }
+                    }
+                }
+                // Backward: L† x = w.  L† is unit upper triangular; process
+                // columns of L descending.
+                for j in (0..self.n).rev() {
+                    let xj = z[j];
+                    if xj != Complex64::ZERO {
+                        for k in self.row_ptr[j]..self.diag_idx[j] {
+                            z[self.col_idx[k]] -= self.lu[k].conj() * xj;
+                        }
+                    }
                 }
             }
-        }
+        });
     }
 }
 
@@ -525,6 +958,49 @@ mod tests {
     }
 
     #[test]
+    fn split_layout_agrees_columnwise_with_interleaved() {
+        let (h00, h01) = random_blocks(17, 0.25, 912);
+        let pattern = AssembledPattern::build(&h00, &h01).with_layout(KernelLayout::Interleaved);
+        let split = pattern.clone().with_layout(KernelLayout::Split);
+        assert_eq!(split.layout(), KernelLayout::Split);
+        let op_i = pattern.assemble(0.12, c64(1.3, -0.8));
+        let op_s = split.assemble(0.12, c64(1.3, -0.8));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(913);
+        let n = 17;
+        for nvecs in [1usize, 3, 5, 8] {
+            let x: Vec<Complex64> = CVector::random(n * nvecs, &mut rng).into_vec();
+            let mut yi = vec![Complex64::ZERO; n * nvecs];
+            let mut ys = vec![Complex64::ZERO; n * nvecs];
+            op_i.apply_block(&x, &mut yi, nvecs);
+            op_s.apply_block(&x, &mut ys, nvecs);
+            for c in 0..nvecs {
+                let norm: f64 =
+                    yi[c * n..(c + 1) * n].iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+                let err: f64 = yi[c * n..(c + 1) * n]
+                    .iter()
+                    .zip(&ys[c * n..(c + 1) * n])
+                    .map(|(a, b)| (*a - *b).norm_sqr())
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(err <= 1e-14 * (1.0 + norm), "split column {c} err {err}");
+            }
+            op_i.apply_adjoint_block(&x, &mut yi, nvecs);
+            op_s.apply_adjoint_block(&x, &mut ys, nvecs);
+            for c in 0..nvecs {
+                let norm: f64 =
+                    yi[c * n..(c + 1) * n].iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+                let err: f64 = yi[c * n..(c + 1) * n]
+                    .iter()
+                    .zip(&ys[c * n..(c + 1) * n])
+                    .map(|(a, b)| (*a - *b).norm_sqr())
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(err <= 1e-14 * (1.0 + norm), "split adjoint column {c} err {err}");
+            }
+        }
+    }
+
+    #[test]
     fn assembled_adjoint_is_exact_and_weight_is_one() {
         let (h00, h01) = random_blocks(12, 0.2, 906);
         let pattern = AssembledPattern::build(&h00, &h01);
@@ -561,6 +1037,48 @@ mod tests {
         let mut xt = CVector::zeros(n);
         ilu.solve_adjoint(rt.as_slice(), xt.as_mut_slice());
         assert!((&xt - &x_true).norm() < 1e-10 * x_true.norm(), "adjoint ILU solve wrong");
+    }
+
+    #[test]
+    fn scheduled_solves_are_bitwise_identical_to_sequential() {
+        let (h00, h01) = random_blocks(19, 0.2, 914);
+        let pattern = AssembledPattern::build(&h00, &h01);
+        let op = pattern.assemble(0.07, c64(1.4, 0.6));
+        // `ilu0()` carries the pattern's schedule; a schedule-free twin
+        // factored from the same values runs the sequential loops.
+        let scheduled = op.ilu0();
+        let sequential =
+            Ilu0::factor(pattern.row_ptr.as_slice(), pattern.col_idx.as_slice(), op.values());
+        assert_eq!(scheduled.lu, sequential.lu, "factor values must agree bitwise");
+        let schedule = pattern.tri_schedule();
+        assert!(schedule.forward_levels() >= 1);
+        assert!(schedule.backward_levels() >= 1);
+        assert!(schedule.memory_bytes() > 0);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(915);
+        let n = pattern.dim();
+        for _ in 0..4 {
+            let mut r = CVector::random(n, &mut rng).into_vec();
+            r[2] = Complex64::ZERO; // exercise the zero-skip guards
+            let mut z_sched = vec![Complex64::ZERO; n];
+            let mut z_seq = vec![Complex64::ZERO; n];
+            scheduled.solve(&r, &mut z_sched);
+            sequential.solve(&r, &mut z_seq);
+            assert_eq!(z_sched, z_seq, "scheduled forward/backward differs");
+            scheduled.solve_adjoint(&r, &mut z_sched);
+            sequential.solve_adjoint(&r, &mut z_seq);
+            assert_eq!(z_sched, z_seq, "scheduled adjoint differs");
+        }
+        // `with_schedule` upgrades a sequential factorization in place.
+        let upgraded =
+            Ilu0::factor(pattern.row_ptr.as_slice(), pattern.col_idx.as_slice(), op.values())
+                .with_schedule(schedule);
+        let mut r2 = vec![Complex64::ZERO; n];
+        r2[0] = c64(1.0, -2.0);
+        let mut za = vec![Complex64::ZERO; n];
+        let mut zb = vec![Complex64::ZERO; n];
+        upgraded.solve_adjoint(&r2, &mut za);
+        sequential.solve_adjoint(&r2, &mut zb);
+        assert_eq!(za, zb);
     }
 
     #[test]

@@ -217,14 +217,23 @@ impl CsrMatrix {
     pub fn matvec_into(&self, x: &[Complex64], y: &mut [Complex64]) {
         assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
         assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
-        spmv_into(&self.row_ptr, &self.col_idx, &self.values, x, y);
+        crate::timers::time_kernel(|| spmv_into(&self.row_ptr, &self.col_idx, &self.values, x, y));
     }
 
     /// `y = A† x` (serial kernel).
     pub fn matvec_adjoint_into(&self, x: &[Complex64], y: &mut [Complex64]) {
         assert_eq!(x.len(), self.nrows, "adjoint matvec: x length mismatch");
         assert_eq!(y.len(), self.ncols, "adjoint matvec: y length mismatch");
-        spmv_adjoint_into(&self.row_ptr, &self.col_idx, &self.values, x, y);
+        crate::timers::time_kernel(|| {
+            spmv_adjoint_into(&self.row_ptr, &self.col_idx, &self.values, x, y)
+        });
+    }
+
+    /// The value array split into planar `re[]` / `im[]` form, for the
+    /// [`KernelLayout::Split`](crate::KernelLayout::Split) kernels (tests
+    /// and benches; the assembled operator refills its planes per node).
+    pub fn split_values(&self) -> crate::SplitValues {
+        crate::SplitValues::from_values(&self.values)
     }
 
     /// Fused block kernel `Y = A X` over column-major slabs (column `c` of
@@ -237,16 +246,18 @@ impl CsrMatrix {
     pub fn matvec_block_into(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
         assert_eq!(x.len(), self.ncols * nvecs, "block matvec: x slab length mismatch");
         assert_eq!(y.len(), self.nrows * nvecs, "block matvec: y slab length mismatch");
-        spmv_block_into(
-            &self.row_ptr,
-            &self.col_idx,
-            &self.values,
-            self.ncols,
-            self.nrows,
-            x,
-            y,
-            nvecs,
-        );
+        crate::timers::time_kernel(|| {
+            spmv_block_into(
+                &self.row_ptr,
+                &self.col_idx,
+                &self.values,
+                self.ncols,
+                self.nrows,
+                x,
+                y,
+                nvecs,
+            )
+        });
     }
 
     /// Fused block kernel `Y = A† X`; the adjoint twin of
@@ -257,16 +268,18 @@ impl CsrMatrix {
     pub fn matvec_adjoint_block_into(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
         assert_eq!(x.len(), self.nrows * nvecs, "block adjoint matvec: x slab length mismatch");
         assert_eq!(y.len(), self.ncols * nvecs, "block adjoint matvec: y slab length mismatch");
-        spmv_adjoint_block_into(
-            &self.row_ptr,
-            &self.col_idx,
-            &self.values,
-            self.ncols,
-            self.nrows,
-            x,
-            y,
-            nvecs,
-        );
+        crate::timers::time_kernel(|| {
+            spmv_adjoint_block_into(
+                &self.row_ptr,
+                &self.col_idx,
+                &self.values,
+                self.ncols,
+                self.nrows,
+                x,
+                y,
+                nvecs,
+            )
+        });
     }
 
     /// Allocating `A x`.
@@ -294,14 +307,16 @@ impl CsrMatrix {
         }
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
-        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
-            let lo = self.row_ptr[i];
-            let hi = self.row_ptr[i + 1];
-            let mut acc = Complex64::ZERO;
-            for k in lo..hi {
-                acc += self.values[k] * x[self.col_idx[k]];
-            }
-            *yi = acc;
+        crate::timers::time_kernel(|| {
+            y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+                let lo = self.row_ptr[i];
+                let hi = self.row_ptr[i + 1];
+                let mut acc = Complex64::ZERO;
+                for k in lo..hi {
+                    acc += self.values[k] * x[self.col_idx[k]];
+                }
+                *yi = acc;
+            })
         });
     }
 
@@ -397,6 +412,24 @@ impl LinearOperator for CsrMatrix {
 // (`crate::assembled`), whose many per-node value arrays share one symbolic
 // pattern: both storage layouts run the exact same loops, so the bitwise
 // column-equivalence guarantees of the block kernels hold for either.
+//
+// Layout / bitwise contract: these are the **interleaved**
+// (`KernelLayout::Interleaved`) kernels — the values array is one
+// `&[Complex64]`.  Every kernel here reproduces, per output element, the
+// exact accumulation order of the original scalar loops (`spmv_into` /
+// `spmv_adjoint_into`), so results are bit-identical to the column-by-column
+// reference regardless of row blocking or column-group width:
+//
+// * gather kernels accumulate each row's entries in ascending `k`, so
+//   blocking the row loop (`kernels::ROW_BLOCK`) only reorders *between*
+//   independent output elements;
+// * scatter (adjoint) kernels zero the whole output slab once up front and
+//   then visit rows in ascending order within and across row blocks, so
+//   every `y[c]` receives its updates in the same ascending-row order as
+//   the unblocked loop, with the same per-column zero-skip guards.
+//
+// The planar-value (`KernelLayout::Split`) twins live in `crate::kernels`;
+// those trade the bitwise guarantee for FMA chains (≤ 1e-14 columnwise).
 
 /// `y = A x` over a raw CSR triple (serial kernel).
 pub(crate) fn spmv_into(
@@ -440,6 +473,11 @@ pub(crate) fn spmv_adjoint_into(
 
 /// Fused block kernel `Y = A X` over a raw CSR triple; see
 /// [`CsrMatrix::matvec_block_into`] for the layout and bitwise contract.
+///
+/// Row-blocked traversal: the outer loop walks [`crate::kernels::ROW_BLOCK`]
+/// rows at a time and re-streams that block's index/value stream across all
+/// 4/2/1-wide column groups while it is cache-hot.  Per (row, column) the
+/// accumulation order is unchanged, so the blocking is bitwise-invisible.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn spmv_block_into(
     row_ptr: &[usize],
@@ -451,60 +489,80 @@ pub(crate) fn spmv_block_into(
     y: &mut [Complex64],
     nvecs: usize,
 ) {
-    let mut j = 0;
-    while j + 4 <= nvecs {
-        let (x0, rest) = x[j * nc..].split_at(nc);
-        let (x1, rest) = rest.split_at(nc);
-        let (x2, rest) = rest.split_at(nc);
-        let x3 = &rest[..nc];
-        let (y0, rest) = y[j * nr..].split_at_mut(nr);
-        let (y1, rest) = rest.split_at_mut(nr);
-        let (y2, rest) = rest.split_at_mut(nr);
-        let y3 = &mut rest[..nr];
-        for i in 0..nr {
-            let (mut a0, mut a1, mut a2, mut a3) =
-                (Complex64::ZERO, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO);
-            for k in row_ptr[i]..row_ptr[i + 1] {
-                let v = values[k];
-                let c = col_idx[k];
-                a0 += v * x0[c];
-                a1 += v * x1[c];
-                a2 += v * x2[c];
-                a3 += v * x3[c];
+    let mut r0 = 0;
+    while r0 < nr {
+        let r1 = (r0 + crate::kernels::ROW_BLOCK).min(nr);
+        let mut j = 0;
+        while j + 4 <= nvecs {
+            let (x0, rest) = x[j * nc..].split_at(nc);
+            let (x1, rest) = rest.split_at(nc);
+            let (x2, rest) = rest.split_at(nc);
+            let x3 = &rest[..nc];
+            let (y0, rest) = y[j * nr..].split_at_mut(nr);
+            let (y1, rest) = rest.split_at_mut(nr);
+            let (y2, rest) = rest.split_at_mut(nr);
+            let y3 = &mut rest[..nr];
+            for i in r0..r1 {
+                let (mut a0, mut a1, mut a2, mut a3) =
+                    (Complex64::ZERO, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO);
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    let v = values[k];
+                    let c = col_idx[k];
+                    a0 += v * x0[c];
+                    a1 += v * x1[c];
+                    a2 += v * x2[c];
+                    a3 += v * x3[c];
+                }
+                y0[i] = a0;
+                y1[i] = a1;
+                y2[i] = a2;
+                y3[i] = a3;
             }
-            y0[i] = a0;
-            y1[i] = a1;
-            y2[i] = a2;
-            y3[i] = a3;
+            j += 4;
         }
-        j += 4;
-    }
-    if j + 2 <= nvecs {
-        let (x0, rest) = x[j * nc..].split_at(nc);
-        let x1 = &rest[..nc];
-        let (y0, rest) = y[j * nr..].split_at_mut(nr);
-        let y1 = &mut rest[..nr];
-        for i in 0..nr {
-            let (mut a0, mut a1) = (Complex64::ZERO, Complex64::ZERO);
-            for k in row_ptr[i]..row_ptr[i + 1] {
-                let v = values[k];
-                let c = col_idx[k];
-                a0 += v * x0[c];
-                a1 += v * x1[c];
+        if j + 2 <= nvecs {
+            let (x0, rest) = x[j * nc..].split_at(nc);
+            let x1 = &rest[..nc];
+            let (y0, rest) = y[j * nr..].split_at_mut(nr);
+            let y1 = &mut rest[..nr];
+            for i in r0..r1 {
+                let (mut a0, mut a1) = (Complex64::ZERO, Complex64::ZERO);
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    let v = values[k];
+                    let c = col_idx[k];
+                    a0 += v * x0[c];
+                    a1 += v * x1[c];
+                }
+                y0[i] = a0;
+                y1[i] = a1;
             }
-            y0[i] = a0;
-            y1[i] = a1;
+            j += 2;
         }
-        j += 2;
-    }
-    if j < nvecs {
-        spmv_into(row_ptr, col_idx, values, &x[j * nc..(j + 1) * nc], &mut y[j * nr..(j + 1) * nr]);
+        if j < nvecs {
+            // 1-wide tail over this row block — the `spmv_into` body.
+            let xj = &x[j * nc..(j + 1) * nc];
+            let yj = &mut y[j * nr..(j + 1) * nr];
+            for i in r0..r1 {
+                let mut acc = Complex64::ZERO;
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    acc += values[k] * xj[col_idx[k]];
+                }
+                yj[i] = acc;
+            }
+        }
+        r0 = r1;
     }
 }
 
 /// Fused block kernel `Y = A† X` over a raw CSR triple; the adjoint twin of
 /// [`spmv_block_into`], bit-identical to column-by-column
 /// [`spmv_adjoint_into`].
+///
+/// Row blocking is bitwise-invisible here too: the output slab is zeroed
+/// once up front (same initial state as the per-column zero fill), and each
+/// `y[c]` then receives its scatter updates in ascending-row order within
+/// and across row blocks — exactly the order of the unblocked loop — with
+/// the per-column zero-skip guards applied identically.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn spmv_adjoint_block_into(
     row_ptr: &[usize],
@@ -516,56 +574,67 @@ pub(crate) fn spmv_adjoint_block_into(
     y: &mut [Complex64],
     nvecs: usize,
 ) {
-    let mut j = 0;
-    while j + 4 <= nvecs {
-        let (x0, rest) = x[j * nr..].split_at(nr);
-        let (x1, rest) = rest.split_at(nr);
-        let (x2, rest) = rest.split_at(nr);
-        let x3 = &rest[..nr];
-        let (y0, rest) = y[j * nc..].split_at_mut(nc);
-        let (y1, rest) = rest.split_at_mut(nc);
-        let (y2, rest) = rest.split_at_mut(nc);
-        let y3 = &mut rest[..nc];
-        for v in y0.iter_mut().chain(y1.iter_mut()).chain(y2.iter_mut()).chain(y3.iter_mut()) {
-            *v = Complex64::ZERO;
-        }
-        for i in 0..nr {
-            let (x0i, x1i, x2i, x3i) = (x0[i], x1[i], x2[i], x3[i]);
-            let any = x0i != Complex64::ZERO
-                || x1i != Complex64::ZERO
-                || x2i != Complex64::ZERO
-                || x3i != Complex64::ZERO;
-            if !any {
-                continue;
-            }
-            for k in row_ptr[i]..row_ptr[i + 1] {
-                let vc = values[k].conj();
-                let c = col_idx[k];
-                if x0i != Complex64::ZERO {
-                    y0[c] += vc * x0i;
-                }
-                if x1i != Complex64::ZERO {
-                    y1[c] += vc * x1i;
-                }
-                if x2i != Complex64::ZERO {
-                    y2[c] += vc * x2i;
-                }
-                if x3i != Complex64::ZERO {
-                    y3[c] += vc * x3i;
-                }
-            }
-        }
-        j += 4;
+    for v in y.iter_mut() {
+        *v = Complex64::ZERO;
     }
-    while j < nvecs {
-        spmv_adjoint_into(
-            row_ptr,
-            col_idx,
-            values,
-            &x[j * nr..(j + 1) * nr],
-            &mut y[j * nc..(j + 1) * nc],
-        );
-        j += 1;
+    let mut r0 = 0;
+    while r0 < nr {
+        let r1 = (r0 + crate::kernels::ROW_BLOCK).min(nr);
+        let mut j = 0;
+        while j + 4 <= nvecs {
+            let (x0, rest) = x[j * nr..].split_at(nr);
+            let (x1, rest) = rest.split_at(nr);
+            let (x2, rest) = rest.split_at(nr);
+            let x3 = &rest[..nr];
+            let (y0, rest) = y[j * nc..].split_at_mut(nc);
+            let (y1, rest) = rest.split_at_mut(nc);
+            let (y2, rest) = rest.split_at_mut(nc);
+            let y3 = &mut rest[..nc];
+            for i in r0..r1 {
+                let (x0i, x1i, x2i, x3i) = (x0[i], x1[i], x2[i], x3[i]);
+                let any = x0i != Complex64::ZERO
+                    || x1i != Complex64::ZERO
+                    || x2i != Complex64::ZERO
+                    || x3i != Complex64::ZERO;
+                if !any {
+                    continue;
+                }
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    let vc = values[k].conj();
+                    let c = col_idx[k];
+                    if x0i != Complex64::ZERO {
+                        y0[c] += vc * x0i;
+                    }
+                    if x1i != Complex64::ZERO {
+                        y1[c] += vc * x1i;
+                    }
+                    if x2i != Complex64::ZERO {
+                        y2[c] += vc * x2i;
+                    }
+                    if x3i != Complex64::ZERO {
+                        y3[c] += vc * x3i;
+                    }
+                }
+            }
+            j += 4;
+        }
+        while j < nvecs {
+            // 1-wide tail over this row block — the `spmv_adjoint_into`
+            // scatter body without the zero fill (done once above).
+            let xj = &x[j * nr..(j + 1) * nr];
+            let yj = &mut y[j * nc..(j + 1) * nc];
+            for i in r0..r1 {
+                let xi = xj[i];
+                if xi == Complex64::ZERO {
+                    continue;
+                }
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    yj[col_idx[k]] += values[k].conj() * xi;
+                }
+            }
+            j += 1;
+        }
+        r0 = r1;
     }
 }
 

@@ -1,0 +1,389 @@
+//! Split-layout (planar) complex CSR kernels — the `KernelLayout`
+//! experiment.
+//!
+//! A complex CSR matrix can store its entries two ways:
+//!
+//! * **Interleaved** — one `Vec<Complex64>` with `re, im` adjacent in
+//!   memory.  This is the historical layout; every kernel that reads it
+//!   reproduces the exact accumulation order of the original scalar loops,
+//!   so results are **bitwise identical** to every previously shipped
+//!   release.  It stays the default.
+//! * **Split** — two parallel `f64` planes (`re[]`, `im[]`).  The complex
+//!   multiply-accumulate then decomposes into four independent real FMA
+//!   chains per entry (`f64::mul_add`), which the compiler can keep in
+//!   vector registers without the shuffle traffic interleaved complex
+//!   arithmetic needs.  Fused rounding makes the results differ from the
+//!   interleaved kernels in the last bits — agreement is guaranteed to
+//!   `≤ 1e-14` columnwise (relative to the column norm), **not** bitwise,
+//!   which is why the layout is opt-in (`CBS_KERNEL_LAYOUT=split`).
+//!
+//! Both layouts share the same traversal schedule: row-blocked outer loops
+//! (one block of rows' index/value stream stays cache-hot across all
+//! column groups of a block right-hand side) around 4/2/1-wide column-group
+//! SpMM tiles.  The raw interleaved kernels live in [`crate::csr`]; this
+//! module holds the planar value store and its kernels.
+
+use cbs_linalg::{c64, Complex64};
+
+/// Rows per cache block of the blocked SpMV/SpMM traversals.  One block's
+/// index + value stream (≈ `ROW_BLOCK · nnz/row · 24 B` interleaved) fits
+/// comfortably in L2 for the stencil-dominated operators of this crate, so
+/// re-streaming it once per column group is served from cache.
+pub(crate) const ROW_BLOCK: usize = 512;
+
+/// Which value layout the assembled-operator kernels run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelLayout {
+    /// Interleaved `Complex64` values — bitwise-compatible default.
+    #[default]
+    Interleaved,
+    /// Planar `re[]` / `im[]` values with FMA-chain kernels (`≤ 1e-14`
+    /// columnwise agreement, not bitwise).
+    Split,
+}
+
+impl KernelLayout {
+    /// Parse a layout name: `interleaved` | `split`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "interleaved" | "default" => Some(Self::Interleaved),
+            "split" | "planar" => Some(Self::Split),
+            _ => None,
+        }
+    }
+
+    /// Read the layout from the `CBS_KERNEL_LAYOUT` environment variable,
+    /// falling back to the bitwise-compatible [`Interleaved`](Self::Interleaved)
+    /// default when unset or unrecognized.
+    pub fn from_env() -> Self {
+        std::env::var("CBS_KERNEL_LAYOUT")
+            .ok()
+            .and_then(|v| Self::from_name(&v))
+            .unwrap_or_default()
+    }
+
+    /// Canonical knob value of this layout.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Interleaved => "interleaved",
+            Self::Split => "split",
+        }
+    }
+}
+
+/// Planar storage of a CSR value array: two `f64` planes parallel to the
+/// pattern's `col_idx`.
+#[derive(Clone, Debug, Default)]
+pub struct SplitValues {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+impl SplitValues {
+    /// Empty planes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Split an interleaved value array into planes.
+    pub fn from_values(values: &[Complex64]) -> Self {
+        let mut s = Self::new();
+        s.refill(values);
+        s
+    }
+
+    /// Refill the planes from an interleaved value array, reusing the
+    /// existing allocations.
+    pub fn refill(&mut self, values: &[Complex64]) {
+        self.re.clear();
+        self.im.clear();
+        self.re.extend(values.iter().map(|v| v.re));
+        self.im.extend(values.iter().map(|v| v.im));
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.re.len()
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.re.is_empty()
+    }
+
+    /// The two planes `(re, im)`.
+    pub fn planes(&self) -> (&[f64], &[f64]) {
+        (&self.re, &self.im)
+    }
+
+    /// Empty planes backed by recycled allocations from the thread-local
+    /// scratch pool (refill before use).
+    pub(crate) fn take() -> Self {
+        Self { re: crate::scratch::take_f64_scratch(), im: crate::scratch::take_f64_scratch() }
+    }
+
+    /// Return the plane allocations to the thread-local scratch pool.
+    pub(crate) fn recycle(self) {
+        crate::scratch::recycle_f64_scratch(self.re);
+        crate::scratch::recycle_f64_scratch(self.im);
+    }
+}
+
+// Four real FMA chains accumulating `acc += v * x` with `v = (vr, vi)`:
+//   re += vr·x.re − vi·x.im,   im += vr·x.im + vi·x.re
+#[inline(always)]
+fn fma_mul(vr: f64, vi: f64, x: Complex64, ar: &mut f64, ai: &mut f64) {
+    *ar = vr.mul_add(x.re, *ar);
+    *ar = (-vi).mul_add(x.im, *ar);
+    *ai = vr.mul_add(x.im, *ai);
+    *ai = vi.mul_add(x.re, *ai);
+}
+
+// `acc += conj(v) * x` with `conj(v) = (vr, −vi)`:
+//   re += vr·x.re + vi·x.im,   im += vr·x.im − vi·x.re
+#[inline(always)]
+fn fma_mul_conj(vr: f64, vi: f64, x: Complex64, ar: &mut f64, ai: &mut f64) {
+    *ar = vr.mul_add(x.re, *ar);
+    *ar = vi.mul_add(x.im, *ar);
+    *ai = vr.mul_add(x.im, *ai);
+    *ai = (-vi).mul_add(x.re, *ai);
+}
+
+/// `y = A x` over a raw CSR pattern with planar values (serial kernel).
+pub(crate) fn spmv_split_into(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    vals: &SplitValues,
+    x: &[Complex64],
+    y: &mut [Complex64],
+) {
+    let (re, im) = vals.planes();
+    for (i, yi) in y.iter_mut().enumerate() {
+        let (mut ar, mut ai) = (0.0f64, 0.0f64);
+        for k in row_ptr[i]..row_ptr[i + 1] {
+            fma_mul(re[k], im[k], x[col_idx[k]], &mut ar, &mut ai);
+        }
+        *yi = c64(ar, ai);
+    }
+}
+
+/// `y = A† x` over a raw CSR pattern with planar values (serial scatter
+/// kernel).
+pub(crate) fn spmv_split_adjoint_into(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    vals: &SplitValues,
+    x: &[Complex64],
+    y: &mut [Complex64],
+) {
+    let (re, im) = vals.planes();
+    for v in y.iter_mut() {
+        *v = Complex64::ZERO;
+    }
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == Complex64::ZERO {
+            continue;
+        }
+        for k in row_ptr[i]..row_ptr[i + 1] {
+            let c = col_idx[k];
+            let (mut ar, mut ai) = (y[c].re, y[c].im);
+            fma_mul_conj(re[k], im[k], xi, &mut ar, &mut ai);
+            y[c] = c64(ar, ai);
+        }
+    }
+}
+
+/// Row-blocked fused block kernel `Y = A X` with planar values: 4/2/1-wide
+/// column-group tiles inside [`ROW_BLOCK`]-row cache blocks, FMA-chain
+/// accumulators per (row, column).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spmv_split_block_into(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    vals: &SplitValues,
+    nc: usize,
+    nr: usize,
+    x: &[Complex64],
+    y: &mut [Complex64],
+    nvecs: usize,
+) {
+    let (re, im) = vals.planes();
+    let mut r0 = 0;
+    while r0 < nr {
+        let r1 = (r0 + ROW_BLOCK).min(nr);
+        let mut j = 0;
+        while j + 4 <= nvecs {
+            let (x0, rest) = x[j * nc..].split_at(nc);
+            let (x1, rest) = rest.split_at(nc);
+            let (x2, rest) = rest.split_at(nc);
+            let x3 = &rest[..nc];
+            let (y0, rest) = y[j * nr..].split_at_mut(nr);
+            let (y1, rest) = rest.split_at_mut(nr);
+            let (y2, rest) = rest.split_at_mut(nr);
+            let y3 = &mut rest[..nr];
+            for i in r0..r1 {
+                let (mut a0r, mut a0i, mut a1r, mut a1i) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                let (mut a2r, mut a2i, mut a3r, mut a3i) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    let (vr, vi) = (re[k], im[k]);
+                    let c = col_idx[k];
+                    fma_mul(vr, vi, x0[c], &mut a0r, &mut a0i);
+                    fma_mul(vr, vi, x1[c], &mut a1r, &mut a1i);
+                    fma_mul(vr, vi, x2[c], &mut a2r, &mut a2i);
+                    fma_mul(vr, vi, x3[c], &mut a3r, &mut a3i);
+                }
+                y0[i] = c64(a0r, a0i);
+                y1[i] = c64(a1r, a1i);
+                y2[i] = c64(a2r, a2i);
+                y3[i] = c64(a3r, a3i);
+            }
+            j += 4;
+        }
+        if j + 2 <= nvecs {
+            let (x0, rest) = x[j * nc..].split_at(nc);
+            let x1 = &rest[..nc];
+            let (y0, rest) = y[j * nr..].split_at_mut(nr);
+            let y1 = &mut rest[..nr];
+            for i in r0..r1 {
+                let (mut a0r, mut a0i, mut a1r, mut a1i) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    let (vr, vi) = (re[k], im[k]);
+                    let c = col_idx[k];
+                    fma_mul(vr, vi, x0[c], &mut a0r, &mut a0i);
+                    fma_mul(vr, vi, x1[c], &mut a1r, &mut a1i);
+                }
+                y0[i] = c64(a0r, a0i);
+                y1[i] = c64(a1r, a1i);
+            }
+            j += 2;
+        }
+        if j < nvecs {
+            let xj = &x[j * nc..(j + 1) * nc];
+            let yj = &mut y[j * nr..(j + 1) * nr];
+            for i in r0..r1 {
+                let (mut ar, mut ai) = (0.0f64, 0.0f64);
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    fma_mul(re[k], im[k], xj[col_idx[k]], &mut ar, &mut ai);
+                }
+                yj[i] = c64(ar, ai);
+            }
+        }
+        r0 = r1;
+    }
+}
+
+/// Row-blocked fused block kernel `Y = A† X` with planar values; the
+/// adjoint twin of [`spmv_split_block_into`], with the same per-column
+/// zero-skip guards as the interleaved scatter kernels.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spmv_split_adjoint_block_into(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    vals: &SplitValues,
+    nc: usize,
+    nr: usize,
+    x: &[Complex64],
+    y: &mut [Complex64],
+    nvecs: usize,
+) {
+    let (re, im) = vals.planes();
+    for v in y.iter_mut() {
+        *v = Complex64::ZERO;
+    }
+    let mut r0 = 0;
+    while r0 < nr {
+        let r1 = (r0 + ROW_BLOCK).min(nr);
+        let mut j = 0;
+        while j + 4 <= nvecs {
+            let (x0, rest) = x[j * nr..].split_at(nr);
+            let (x1, rest) = rest.split_at(nr);
+            let (x2, rest) = rest.split_at(nr);
+            let x3 = &rest[..nr];
+            let (y0, rest) = y[j * nc..].split_at_mut(nc);
+            let (y1, rest) = rest.split_at_mut(nc);
+            let (y2, rest) = rest.split_at_mut(nc);
+            let y3 = &mut rest[..nc];
+            for i in r0..r1 {
+                let (x0i, x1i, x2i, x3i) = (x0[i], x1[i], x2[i], x3[i]);
+                let any = x0i != Complex64::ZERO
+                    || x1i != Complex64::ZERO
+                    || x2i != Complex64::ZERO
+                    || x3i != Complex64::ZERO;
+                if !any {
+                    continue;
+                }
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    let (vr, vi) = (re[k], im[k]);
+                    let c = col_idx[k];
+                    if x0i != Complex64::ZERO {
+                        let (mut ar, mut ai) = (y0[c].re, y0[c].im);
+                        fma_mul_conj(vr, vi, x0i, &mut ar, &mut ai);
+                        y0[c] = c64(ar, ai);
+                    }
+                    if x1i != Complex64::ZERO {
+                        let (mut ar, mut ai) = (y1[c].re, y1[c].im);
+                        fma_mul_conj(vr, vi, x1i, &mut ar, &mut ai);
+                        y1[c] = c64(ar, ai);
+                    }
+                    if x2i != Complex64::ZERO {
+                        let (mut ar, mut ai) = (y2[c].re, y2[c].im);
+                        fma_mul_conj(vr, vi, x2i, &mut ar, &mut ai);
+                        y2[c] = c64(ar, ai);
+                    }
+                    if x3i != Complex64::ZERO {
+                        let (mut ar, mut ai) = (y3[c].re, y3[c].im);
+                        fma_mul_conj(vr, vi, x3i, &mut ar, &mut ai);
+                        y3[c] = c64(ar, ai);
+                    }
+                }
+            }
+            j += 4;
+        }
+        while j < nvecs {
+            let xj = &x[j * nr..(j + 1) * nr];
+            let yj = &mut y[j * nc..(j + 1) * nc];
+            for i in r0..r1 {
+                let xi = xj[i];
+                if xi == Complex64::ZERO {
+                    continue;
+                }
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    let c = col_idx[k];
+                    let (mut ar, mut ai) = (yj[c].re, yj[c].im);
+                    fma_mul_conj(re[k], im[k], xi, &mut ar, &mut ai);
+                    yj[c] = c64(ar, ai);
+                }
+            }
+            j += 1;
+        }
+        r0 = r1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_knob_parses() {
+        assert_eq!(KernelLayout::from_name("interleaved"), Some(KernelLayout::Interleaved));
+        assert_eq!(KernelLayout::from_name("SPLIT"), Some(KernelLayout::Split));
+        assert_eq!(KernelLayout::from_name("planar"), Some(KernelLayout::Split));
+        assert_eq!(KernelLayout::from_name("bogus"), None);
+        assert_eq!(KernelLayout::default(), KernelLayout::Interleaved);
+        assert_eq!(KernelLayout::Split.name(), "split");
+    }
+
+    #[test]
+    fn split_values_refill_reuses_planes() {
+        let vals = [c64(1.0, 2.0), c64(-3.0, 0.5)];
+        let mut s = SplitValues::from_values(&vals);
+        assert_eq!(s.len(), 2);
+        let (re, im) = s.planes();
+        assert_eq!(re, &[1.0, -3.0]);
+        assert_eq!(im, &[2.0, 0.5]);
+        s.refill(&vals[..1]);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+}

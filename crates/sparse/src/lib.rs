@@ -11,8 +11,13 @@
 //! * [`AssembledPattern`] / [`AssembledOp`] — the shifted QEP operator
 //!   `P(z)` materialized as one CSR by numeric refill of a shared symbolic
 //!   union pattern (one storage traversal per matvec instead of three),
-//! * [`Ilu0`] / [`Preconditioner`] — complex ILU(0) with forward/backward
-//!   and adjoint triangular solves for the preconditioned dual BiCG,
+//! * [`Ilu0`] / [`Preconditioner`] — complex ILU(0) with level-scheduled
+//!   forward/backward and adjoint triangular solves for the preconditioned
+//!   dual BiCG,
+//! * [`FactoredProjector`] — the non-local projector part of `P(z)` kept in
+//!   factored low-rank form alongside an assembled CSR part,
+//! * [`KernelLayout`] / [`SplitValues`] — the interleaved-vs-planar value
+//!   layout experiment of the CSR kernels (`CBS_KERNEL_LAYOUT`),
 //! * composition helpers ([`SumOp`], [`ScaledOp`], [`ShiftedOp`], [`DenseOp`],
 //!   [`IdentityOp`]) used to build the QEP operator `P(z)`.
 
@@ -20,14 +25,20 @@
 
 pub mod assembled;
 pub mod csr;
+pub mod kernels;
 pub mod lowrank;
 pub mod ops;
+pub mod projector;
 pub mod scratch;
+pub mod timers;
 
-pub use assembled::{AssembledOp, AssembledPattern, Ilu0};
+pub use assembled::{AssembledOp, AssembledPattern, Ilu0, TriSchedule};
 pub use csr::{CooBuilder, CsrMatrix};
+pub use kernels::{KernelLayout, SplitValues};
 pub use lowrank::{LowRankOp, RankOneTerm, SparseVec};
 pub use ops::{
     adjoint_defect, DenseOp, IdentityOp, LinearOperator, Preconditioner, ScaledOp, ShiftedOp, SumOp,
 };
-pub use scratch::with_scratch;
+pub use projector::FactoredProjector;
+pub use scratch::{recycle_scratch, take_scratch, with_scratch};
+pub use timers::{stage_delta, stage_snapshot, StageTimes};

@@ -136,6 +136,84 @@ impl LowRankOp {
         &self.terms
     }
 
+    /// The adjoint operator in factored form: `(Σ c |u⟩⟨v|)† =
+    /// Σ conj(c) |v⟩⟨u|`.  Rank and factor sparsity are preserved, so the
+    /// adjoint applies at the same O(rank · nnz) cost — this is what lets
+    /// the dual-system projector stay factored instead of being expanded
+    /// into a dense-ish CSR block.
+    pub fn adjoint(&self) -> Self {
+        Self {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            terms: self
+                .terms
+                .iter()
+                .map(|t| RankOneTerm {
+                    ket: t.bra.clone(),
+                    bra: t.ket.clone(),
+                    coeff: t.coeff.conj(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Accumulate `y_c += alpha · (A x_c)` for each of the `nvecs` columns
+    /// without zeroing `y` — the kernel the factored projector uses to add
+    /// the low-rank part of `P(z)` on top of the assembled CSR part.
+    /// Column accumulation order matches [`apply_block`](LinearOperator::apply_block)
+    /// (terms outer, columns inner, slot-stable scatter).
+    pub fn apply_block_accumulate(
+        &self,
+        alpha: Complex64,
+        x: &[Complex64],
+        y: &mut [Complex64],
+        nvecs: usize,
+    ) {
+        assert_eq!(x.len(), self.ncols * nvecs, "lowrank accumulate: x slab length mismatch");
+        assert_eq!(y.len(), self.nrows * nvecs, "lowrank accumulate: y slab length mismatch");
+        if alpha == Complex64::ZERO {
+            return;
+        }
+        crate::timers::time_kernel(|| {
+            for t in &self.terms {
+                let scaled = alpha * t.coeff;
+                for j in 0..nvecs {
+                    let amp = scaled * t.bra.dotc_dense(&x[j * self.ncols..(j + 1) * self.ncols]);
+                    if amp != Complex64::ZERO {
+                        t.ket.axpy_into_dense(amp, &mut y[j * self.nrows..(j + 1) * self.nrows]);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Accumulate `y_c += alpha · (A† x_c)` per column without zeroing `y`
+    /// (the dual-system twin of [`apply_block_accumulate`](Self::apply_block_accumulate)).
+    pub fn apply_adjoint_block_accumulate(
+        &self,
+        alpha: Complex64,
+        x: &[Complex64],
+        y: &mut [Complex64],
+        nvecs: usize,
+    ) {
+        assert_eq!(x.len(), self.nrows * nvecs, "lowrank adj accumulate: x slab length mismatch");
+        assert_eq!(y.len(), self.ncols * nvecs, "lowrank adj accumulate: y slab length mismatch");
+        if alpha == Complex64::ZERO {
+            return;
+        }
+        crate::timers::time_kernel(|| {
+            for t in &self.terms {
+                let scaled = alpha * t.coeff.conj();
+                for j in 0..nvecs {
+                    let amp = scaled * t.ket.dotc_dense(&x[j * self.nrows..(j + 1) * self.nrows]);
+                    if amp != Complex64::ZERO {
+                        t.bra.axpy_into_dense(amp, &mut y[j * self.ncols..(j + 1) * self.ncols]);
+                    }
+                }
+            }
+        });
+    }
+
     /// Convert to an explicit CSR matrix (used by the OBM baseline and the
     /// dense cross-checks in tests).
     pub fn to_csr(&self) -> crate::csr::CsrMatrix {
@@ -171,65 +249,73 @@ impl LinearOperator for LowRankOp {
     fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
-        for v in y.iter_mut() {
-            *v = Complex64::ZERO;
-        }
-        for t in &self.terms {
-            let amp = t.coeff * t.bra.dotc_dense(x);
-            if amp != Complex64::ZERO {
-                t.ket.axpy_into_dense(amp, y);
+        crate::timers::time_kernel(|| {
+            for v in y.iter_mut() {
+                *v = Complex64::ZERO;
             }
-        }
+            for t in &self.terms {
+                let amp = t.coeff * t.bra.dotc_dense(x);
+                if amp != Complex64::ZERO {
+                    t.ket.axpy_into_dense(amp, y);
+                }
+            }
+        });
     }
     fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
         // (c |u⟩⟨v|)† = conj(c) |v⟩⟨u|
         assert_eq!(x.len(), self.nrows);
         assert_eq!(y.len(), self.ncols);
-        for v in y.iter_mut() {
-            *v = Complex64::ZERO;
-        }
-        for t in &self.terms {
-            let amp = t.coeff.conj() * t.ket.dotc_dense(x);
-            if amp != Complex64::ZERO {
-                t.bra.axpy_into_dense(amp, y);
+        crate::timers::time_kernel(|| {
+            for v in y.iter_mut() {
+                *v = Complex64::ZERO;
             }
-        }
+            for t in &self.terms {
+                let amp = t.coeff.conj() * t.ket.dotc_dense(x);
+                if amp != Complex64::ZERO {
+                    t.bra.axpy_into_dense(amp, y);
+                }
+            }
+        });
     }
     fn apply_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
         assert_eq!(x.len(), self.ncols * nvecs);
         assert_eq!(y.len(), self.nrows * nvecs);
-        for v in y.iter_mut() {
-            *v = Complex64::ZERO;
-        }
-        // Fused over columns: each term's factors are walked once per term
-        // while the projector inner products `⟨bra|x_c⟩` run over all
-        // columns — a (1 × nnz)·(nnz × nvecs) mini-GEMM kept as explicit
-        // loops so each column accumulates in exactly the order of the
-        // single-vector kernel (bit-identical results).
-        for t in &self.terms {
-            for j in 0..nvecs {
-                let amp = t.coeff * t.bra.dotc_dense(&x[j * self.ncols..(j + 1) * self.ncols]);
-                if amp != Complex64::ZERO {
-                    t.ket.axpy_into_dense(amp, &mut y[j * self.nrows..(j + 1) * self.nrows]);
+        crate::timers::time_kernel(|| {
+            for v in y.iter_mut() {
+                *v = Complex64::ZERO;
+            }
+            // Fused over columns: each term's factors are walked once per
+            // term while the projector inner products `⟨bra|x_c⟩` run over
+            // all columns — a (1 × nnz)·(nnz × nvecs) mini-GEMM kept as
+            // explicit loops so each column accumulates in exactly the
+            // order of the single-vector kernel (bit-identical results).
+            for t in &self.terms {
+                for j in 0..nvecs {
+                    let amp = t.coeff * t.bra.dotc_dense(&x[j * self.ncols..(j + 1) * self.ncols]);
+                    if amp != Complex64::ZERO {
+                        t.ket.axpy_into_dense(amp, &mut y[j * self.nrows..(j + 1) * self.nrows]);
+                    }
                 }
             }
-        }
+        });
     }
     fn apply_adjoint_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
         assert_eq!(x.len(), self.nrows * nvecs);
         assert_eq!(y.len(), self.ncols * nvecs);
-        for v in y.iter_mut() {
-            *v = Complex64::ZERO;
-        }
-        for t in &self.terms {
-            for j in 0..nvecs {
-                let amp =
-                    t.coeff.conj() * t.ket.dotc_dense(&x[j * self.nrows..(j + 1) * self.nrows]);
-                if amp != Complex64::ZERO {
-                    t.bra.axpy_into_dense(amp, &mut y[j * self.ncols..(j + 1) * self.ncols]);
+        crate::timers::time_kernel(|| {
+            for v in y.iter_mut() {
+                *v = Complex64::ZERO;
+            }
+            for t in &self.terms {
+                for j in 0..nvecs {
+                    let amp =
+                        t.coeff.conj() * t.ket.dotc_dense(&x[j * self.nrows..(j + 1) * self.nrows]);
+                    if amp != Complex64::ZERO {
+                        t.bra.axpy_into_dense(amp, &mut y[j * self.ncols..(j + 1) * self.ncols]);
+                    }
                 }
             }
-        }
+        });
     }
     fn memory_bytes(&self) -> usize {
         self.storage_bytes()

@@ -16,6 +16,8 @@ use cbs_linalg::Complex64;
 
 thread_local! {
     static POOL: RefCell<Vec<Vec<Complex64>>> = const { RefCell::new(Vec::new()) };
+    static POOL_USIZE: RefCell<Vec<Vec<usize>>> = const { RefCell::new(Vec::new()) };
+    static POOL_F64: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Run `f` with a zeroed scratch slice of length `len` drawn from the
@@ -25,12 +27,55 @@ thread_local! {
 /// The slice is guaranteed to be all-zero on entry, so callers may rely on
 /// the same initial state as a freshly allocated `vec![Complex64::ZERO; len]`.
 pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [Complex64]) -> R) -> R {
+    let mut buf = take_scratch(len);
+    let out = f(&mut buf);
+    recycle_scratch(buf);
+    out
+}
+
+/// Take an owned, zeroed scratch buffer of length `len` from the
+/// thread-local pool — the owned twin of [`with_scratch`] for buffers whose
+/// lifetime is tied to a value rather than a call scope (the assembled
+/// operator's per-node value array, an ILU factor's `lu` array).  Return it
+/// with [`recycle_scratch`]; dropping it instead merely forfeits the reuse.
+pub fn take_scratch(len: usize) -> Vec<Complex64> {
     let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
     buf.clear();
     buf.resize(len, Complex64::ZERO);
-    let out = f(&mut buf);
+    buf
+}
+
+/// Return a buffer obtained from [`take_scratch`] (or any `Vec<Complex64>`
+/// whose allocation is worth keeping) to the current thread's pool.
+pub fn recycle_scratch(buf: Vec<Complex64>) {
     POOL.with(|p| p.borrow_mut().push(buf));
-    out
+}
+
+/// Owned `usize` scratch of length `len`, every element set to `fill`
+/// (crate-internal: the ILU factorization's column-position map).
+pub(crate) fn take_usize_scratch(len: usize, fill: usize) -> Vec<usize> {
+    let mut buf = POOL_USIZE.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    buf.resize(len, fill);
+    buf
+}
+
+/// Return a `usize` scratch buffer to the current thread's pool.
+pub(crate) fn recycle_usize_scratch(buf: Vec<usize>) {
+    POOL_USIZE.with(|p| p.borrow_mut().push(buf));
+}
+
+/// Owned, emptied `f64` scratch (crate-internal: the planar value planes of
+/// the split kernel layout; callers `extend` it to the length they need).
+pub(crate) fn take_f64_scratch() -> Vec<f64> {
+    let mut buf = POOL_F64.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    buf
+}
+
+/// Return an `f64` scratch buffer to the current thread's pool.
+pub(crate) fn recycle_f64_scratch(buf: Vec<f64>) {
+    POOL_F64.with(|p| p.borrow_mut().push(buf));
 }
 
 #[cfg(test)]
@@ -53,6 +98,26 @@ mod tests {
         with_scratch(2, |s| {
             assert!(s.iter().all(|&z| z == Complex64::ZERO));
         });
+    }
+
+    #[test]
+    fn owned_take_recycle_roundtrip() {
+        let mut b = take_scratch(5);
+        assert!(b.iter().all(|&z| z == Complex64::ZERO));
+        b[2] = c64(3.0, 4.0);
+        recycle_scratch(b);
+        // A recycled (dirtied, longer) buffer comes back zeroed at any size.
+        let b2 = take_scratch(3);
+        assert_eq!(b2.len(), 3);
+        assert!(b2.iter().all(|&z| z == Complex64::ZERO));
+        recycle_scratch(b2);
+        let mut u = take_usize_scratch(4, usize::MAX);
+        assert!(u.iter().all(|&v| v == usize::MAX));
+        u[0] = 7;
+        recycle_usize_scratch(u);
+        let u2 = take_usize_scratch(6, usize::MAX);
+        assert!(u2.iter().all(|&v| v == usize::MAX));
+        recycle_usize_scratch(u2);
     }
 
     #[test]

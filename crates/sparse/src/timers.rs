@@ -1,0 +1,84 @@
+//! Lightweight global stage timers for the kernel tier.
+//!
+//! The sweep-level statistics want the wall-clock of one solve *attributed*
+//! to the stages that actually burn it: CSR/low-rank kernel application
+//! (`kernel_ns`) and preconditioner work — ILU(0) factorization plus
+//! triangular solves (`precond_ns`).  Threading per-call timing results
+//! through the `LinearOperator` trait would contaminate every signature on
+//! the hot path, so the kernels instead accumulate into process-global
+//! relaxed atomics; callers take a [`stage_snapshot`] before a solve and
+//! fold the delta into their statistics afterwards.
+//!
+//! The counters are monotone totals over the whole process (all threads —
+//! a rayon-parallel kernel adds each worker's time, so the numbers are CPU
+//! seconds, not wall seconds, under the parallel executor).  They are
+//! diagnostics only: nothing in the numerical pipeline reads them, so the
+//! bitwise determinism contracts are unaffected.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static KERNEL_NS: AtomicU64 = AtomicU64::new(0);
+static PRECOND_NS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the global stage counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Nanoseconds spent inside sparse/low-rank operator application
+    /// kernels (CSR gather/scatter, block SpMM tiles, projector terms).
+    pub kernel_ns: u64,
+    /// Nanoseconds spent inside ILU(0) factorization and triangular solves.
+    pub precond_ns: u64,
+}
+
+/// Read the current totals of the global stage counters.
+pub fn stage_snapshot() -> StageTimes {
+    StageTimes {
+        kernel_ns: KERNEL_NS.load(Ordering::Relaxed),
+        precond_ns: PRECOND_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// The counter increments since `since` (a previous [`stage_snapshot`]).
+pub fn stage_delta(since: StageTimes) -> StageTimes {
+    let now = stage_snapshot();
+    StageTimes {
+        kernel_ns: now.kernel_ns.wrapping_sub(since.kernel_ns),
+        precond_ns: now.precond_ns.wrapping_sub(since.precond_ns),
+    }
+}
+
+/// Run `f`, charging its wall time to the kernel-stage counter.
+#[inline]
+pub(crate) fn time_kernel<R>(f: impl FnOnce() -> R) -> R {
+    let t = Instant::now();
+    let out = f();
+    KERNEL_NS.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
+
+/// Run `f`, charging its wall time to the preconditioner-stage counter.
+#[inline]
+pub(crate) fn time_precond<R>(f: impl FnOnce() -> R) -> R {
+    let t = Instant::now();
+    let out = f();
+    PRECOND_NS.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_are_monotone_and_attributed() {
+        let before = stage_snapshot();
+        time_kernel(|| std::hint::black_box((0..512).sum::<u64>()));
+        let mid = stage_delta(before);
+        assert!(mid.kernel_ns > 0);
+        time_precond(|| std::hint::black_box((0..512).product::<u64>()));
+        let after = stage_delta(before);
+        assert!(after.precond_ns > 0);
+        assert!(after.kernel_ns >= mid.kernel_ns);
+    }
+}

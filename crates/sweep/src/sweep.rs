@@ -29,7 +29,7 @@ use cbs_core::{
 use cbs_dft::BandStructure;
 use cbs_linalg::CVector;
 use cbs_parallel::TaskExecutor;
-use cbs_sparse::{AssembledPattern, LinearOperator};
+use cbs_sparse::{AssembledPattern, FactoredProjector, KernelLayout, LinearOperator};
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{CheckpointError, SweepCheckpoint};
@@ -268,6 +268,11 @@ pub struct EnergySweep<'a> {
     /// is energy-independent); required for the assembled `PrecondPolicy`
     /// variants, which fall back to matrix-free without it.
     pattern: Option<AssembledPattern>,
+    /// Factored non-local projector paired with the pattern (see
+    /// `QepProblem::with_projector`): when present, the pattern is expected
+    /// to cover the sparse-only blocks and the projector tail is applied in
+    /// factored form by every assembled node.
+    projector: Option<FactoredProjector>,
 }
 
 impl<'a> EnergySweep<'a> {
@@ -284,7 +289,7 @@ impl<'a> EnergySweep<'a> {
         assert_eq!(h00.nrows(), h01.nrows(), "H00 and H01 must have the same size");
         assert!(period > 0.0, "period must be positive");
         assert!(config.ss.n_rh > 0, "need at least one right-hand side");
-        Self { h00, h01, period, config, pattern: None }
+        Self { h00, h01, period, config, pattern: None, projector: None }
     }
 
     /// Attach the assembled-operator pattern
@@ -295,6 +300,16 @@ impl<'a> EnergySweep<'a> {
     pub fn with_pattern(mut self, pattern: AssembledPattern) -> Self {
         assert_eq!(pattern.dim(), self.h00.nrows(), "pattern dimension mismatch");
         self.pattern = Some(pattern);
+        self
+    }
+
+    /// Attach a factored non-local projector to pair with the pattern
+    /// (`cbs_dft::BlockHamiltonian::qep_factored` produces a matched pair).
+    /// The pattern must then cover the sparse-only blocks — the projector
+    /// contribution is accumulated on top by every assembled node.
+    pub fn with_projector(mut self, projector: FactoredProjector) -> Self {
+        assert_eq!(projector.dim(), self.h00.nrows(), "projector dimension mismatch");
+        self.projector = Some(projector);
         self
     }
 
@@ -320,13 +335,28 @@ impl<'a> EnergySweep<'a> {
     ) -> Result<RunOutcome, CheckpointError> {
         let mut opts = opts;
         let n = self.h00.dim();
+        let stage_start = cbs_sparse::stage_snapshot();
         let mut fingerprint = self.config.fingerprint(self.period);
         // The *effective* operator policy is part of the resume contract:
         // an assembled `PrecondPolicy` without an attached pattern silently
         // falls back to matrix-free arithmetic, so a checkpoint written in
         // that state must not be resumable by a sweep that does carry a
         // pattern (or vice versa) — the two trajectories differ bitwise.
-        fingerprint.push((self.config.ss.precond.is_assembled() && self.pattern.is_some()) as u64);
+        let assembled_effective = self.config.ss.precond.is_assembled() && self.pattern.is_some();
+        fingerprint.push(assembled_effective as u64);
+        // Two further arithmetic-changing knobs of the assembled path: a
+        // non-empty factored projector (CSR + low-rank split instead of the
+        // expanded pattern) and the planar kernel layout (non-bitwise FMA
+        // kernels).  Either one changes the trajectory bitwise, so both are
+        // part of the resume contract.
+        fingerprint.push(
+            (assembled_effective && self.projector.as_ref().is_some_and(|p| !p.is_empty())) as u64,
+        );
+        fingerprint.push(
+            (assembled_effective
+                && self.pattern.as_ref().is_some_and(|p| p.layout() == KernelLayout::Split))
+                as u64,
+        );
 
         // Ascending, bit-deduplicated grid: the canonical processing order.
         let mut grid: Vec<f64> = energies.to_vec();
@@ -441,7 +471,7 @@ impl<'a> EnergySweep<'a> {
             }
         }
 
-        Ok(RunOutcome::Complete(self.assemble(st)))
+        Ok(RunOutcome::Complete(self.assemble(st, cbs_sparse::stage_delta(stage_start))))
     }
 
     /// Solve one *logical* batch of energies (a release round or refinement
@@ -482,8 +512,12 @@ impl<'a> EnergySweep<'a> {
                 .iter()
                 .map(|&(e, _)| {
                     let p = QepProblem::new(self.h00, self.h01, e, self.period);
-                    match &self.pattern {
+                    let p = match &self.pattern {
                         Some(pattern) => p.with_pattern(pattern),
+                        None => p,
+                    };
+                    match &self.projector {
+                        Some(proj) => p.with_projector(proj),
                         None => p,
                     }
                 })
@@ -643,7 +677,7 @@ impl<'a> EnergySweep<'a> {
 
     /// Sort the records into the final ascending grid, assign
     /// `energy_index` and aggregate the statistics.
-    fn assemble(&self, st: State) -> SweepResult {
+    fn assemble(&self, st: State, stage: cbs_sparse::StageTimes) -> SweepResult {
         let mut records = st.records;
         records.sort_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap());
         let energies: Vec<f64> = records.iter().map(|r| r.energy).collect();
@@ -651,6 +685,12 @@ impl<'a> EnergySweep<'a> {
         let mut stats = CbsStatistics {
             linear_solve_seconds: st.linear_solve_seconds,
             extraction_seconds: st.extraction_seconds,
+            // Per-stage nanosecond counters: the sparse-kernel and
+            // preconditioner timers cover this run only (a resumed sweep
+            // reports post-resume time, like the wall-clock fields).
+            kernel_ns: stage.kernel_ns,
+            precond_ns: stage.precond_ns,
+            extraction_ns: (st.extraction_seconds * 1e9) as u64,
             ..CbsStatistics::default()
         };
         for (index, rec) in records.iter_mut().enumerate() {

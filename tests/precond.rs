@@ -190,6 +190,52 @@ fn matrix_free_policy_is_bitwise_unchanged_by_pattern_attachment() {
     assert_eq!(with.operator_assemblies, 0);
 }
 
+/// The factored-projector assembled path (sparse-only pattern + low-rank
+/// tail) finds the same physics as the dense-expansion pattern on fig6
+/// Al(100), for both assembled policies — while carrying strictly fewer
+/// stored entries through every refill and ILU(0) sweep.
+#[test]
+fn fig6_factored_projector_agrees_with_dense_expansion() {
+    let h = fig6_hamiltonian();
+    let pattern_full = h.qep_pattern();
+    let (pattern_sparse, projector) = h.qep_factored();
+    assert!(!projector.is_empty(), "fig6 must carry non-local projectors");
+    assert!(
+        pattern_sparse.nnz() < pattern_full.nnz(),
+        "sparse-only pattern must be smaller than the projector-expanded one \
+         ({} vs {})",
+        pattern_sparse.nnz(),
+        pattern_full.nnz()
+    );
+    let h00 = h.h00();
+    let h01 = h.h01();
+    for precond in [PrecondPolicy::Assembled, PrecondPolicy::AssembledIlu0] {
+        let full_problem =
+            QepProblem::new(&h00, &h01, 0.15, h.period()).with_pattern(&pattern_full);
+        let full = solve_qep_with(&full_problem, &fig6_config(precond), &SerialExecutor);
+        let fact_problem = QepProblem::new(&h00, &h01, 0.15, h.period())
+            .with_pattern(&pattern_sparse)
+            .with_projector(&projector);
+        let fact = solve_qep_with(&fact_problem, &fig6_config(precond), &SerialExecutor);
+        assert!(!full.eigenpairs.is_empty(), "{precond:?}: expansion found no eigenpairs");
+        assert_eq!(
+            full.eigenpairs.len(),
+            fact.eigenpairs.len(),
+            "{precond:?}: factored path changed the accepted set"
+        );
+        for (a, b) in full.eigenpairs.iter().zip(&fact.eigenpairs) {
+            assert!(
+                (a.lambda - b.lambda).abs() <= 1e-8 * (1.0 + a.lambda.abs()),
+                "{precond:?}: eigenvalue drifted: {:?} vs {:?}",
+                a.lambda,
+                b.lambda
+            );
+        }
+        // Both count as assembled runs (one refill per quadrature node).
+        assert_eq!(fact.operator_assemblies, full.operator_assemblies);
+    }
+}
+
 fn random_csr_blocks(n: usize, seed: u64) -> (CsrMatrix, CsrMatrix) {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let a = CMatrix::random(n, n, &mut rng);
