@@ -99,7 +99,8 @@ fn emit_bench_json(rows: &[BenchRow]) {
              \"bicg_iterations\": {}, \"cold_iterations\": {}, \
              \"warm_iterations\": {}, \"matvecs\": {}, \"traversals\": {}, \
              \"assemblies\": {}, \"accepted\": {}, \"kernel_ns\": {}, \
-             \"precond_ns\": {}, \"extraction_ns\": {}}}{}\n",
+             \"precond_ns\": {}, \"extraction_ns\": {}, \"kernel_wall_ns\": {}, \
+             \"precond_wall_ns\": {}, \"extraction_wall_ns\": {}}}{}\n",
             row.name,
             row.sweep,
             row.block.name(),
@@ -116,6 +117,9 @@ fn emit_bench_json(rows: &[BenchRow]) {
             s.kernel_ns,
             s.precond_ns,
             s.extraction_ns,
+            s.kernel_wall_ns,
+            s.precond_wall_ns,
+            s.extraction_wall_ns,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -166,21 +170,51 @@ fn bench_sweep(c: &mut Criterion) {
 
     // Machine-readable perf trajectory: one timed run per combination (a
     // separate pass so the counters come from exactly the timed sweep).
+    // With `CBS_TRACE=<path>` set, each timed run records under its own
+    // trace session (warmups stay untraced), the wall-ns columns of
+    // `BENCH_sweep.json` fill from the span aggregation, and the reference
+    // `cold_8_energies` row's session exports as Chrome trace-event JSON to
+    // the requested path (viewable in chrome://tracing / Perfetto, checked
+    // by the `trace_check` binary).
+    // A relative CBS_TRACE path is anchored at the repository root (cargo
+    // runs benches with the package dir as cwd), matching BENCH_sweep.json.
+    let trace_path = cbs_trace::trace_path_from_env().map(|p| {
+        if p.is_absolute() {
+            p
+        } else {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(p)
+        }
+    });
     let mut rows = Vec::new();
     for &(tag, block, precond, slice) in &matrix {
         for (sweep_kind, config) in
             [("cold", cold(block, precond, slice)), ("warm", warm(block, precond, slice))]
         {
+            let name = format!("{sweep_kind}_8_energies{tag}");
             let _warmup = run_sweep(&h, &energies, config);
+            let session = trace_path
+                .as_ref()
+                .and_then(|_| cbs_trace::TraceSession::begin(cbs_trace::TraceLevel::from_env()));
             let t = Instant::now();
             let result = run_sweep(&h, &energies, config);
+            let wall_seconds = t.elapsed().as_secs_f64();
+            if let Some(session) = session {
+                let report = session.finish();
+                if name == "cold_8_energies" {
+                    let path = trace_path.as_ref().expect("session implies a trace path");
+                    match report.save_chrome_trace(path) {
+                        Ok(()) => println!("wrote {}", path.display()),
+                        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+                    }
+                }
+            }
             rows.push(BenchRow {
-                name: format!("{sweep_kind}_8_energies{tag}"),
+                name,
                 sweep: sweep_kind,
                 block,
                 precond,
                 slice,
-                wall_seconds: t.elapsed().as_secs_f64(),
+                wall_seconds,
                 result,
             });
         }

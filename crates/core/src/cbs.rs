@@ -115,21 +115,40 @@ pub struct CbsStatistics {
     pub linear_solve_seconds: f64,
     /// Seconds in eigenpair extraction.
     pub extraction_seconds: f64,
-    /// Nanoseconds spent inside the sparse operator kernels (CSR and
-    /// low-rank matvec/adjoint applications), from the `cbs-sparse` stage
-    /// timers.  A subset of the linear-solve wall clock; the remainder is
-    /// vector algebra and solver bookkeeping.
+    /// **CPU** nanoseconds spent inside the sparse operator kernels (CSR
+    /// and low-rank matvec/adjoint applications), from the `cbs-trace`
+    /// stage counters: span durations summed **across threads**.  Under
+    /// `SerialExecutor` this equals wall time; under `RayonExecutor` it can
+    /// exceed the wall clock (up to `threads ×`).  A subset of the
+    /// linear-solve cost; the remainder is vector algebra and solver
+    /// bookkeeping.
     #[serde(default)]
     pub kernel_ns: u64,
-    /// Nanoseconds spent in preconditioner work (ILU(0) factorizations and
-    /// triangular solves), from the `cbs-sparse` stage timers.
+    /// **CPU** nanoseconds spent in preconditioner work (ILU(0)
+    /// factorizations and triangular solves), summed across threads like
+    /// [`kernel_ns`](Self::kernel_ns).
     #[serde(default)]
     pub precond_ns: u64,
-    /// Nanoseconds in eigenpair extraction — the nanosecond mirror of
-    /// [`extraction_seconds`](Self::extraction_seconds), kept alongside the
-    /// other per-stage nanosecond counters for uniform reporting.
+    /// **CPU** nanoseconds in eigenpair extraction (the `cbs-trace`
+    /// `extraction` stage counter; extraction runs on the calling thread,
+    /// so this also mirrors
+    /// [`extraction_seconds`](Self::extraction_seconds)).
     #[serde(default)]
     pub extraction_ns: u64,
+    /// **Wall** nanoseconds during which at least one thread was inside an
+    /// operator kernel — the span-merged (interval-union) counterpart of
+    /// [`kernel_ns`](Self::kernel_ns).  Only filled while a
+    /// `cbs_trace::TraceSession` is recording; zero otherwise.
+    #[serde(default)]
+    pub kernel_wall_ns: u64,
+    /// **Wall** nanoseconds of preconditioner work (span-merged); zero
+    /// without an active trace session.
+    #[serde(default)]
+    pub precond_wall_ns: u64,
+    /// **Wall** nanoseconds of eigenpair extraction (span-merged); zero
+    /// without an active trace session.
+    #[serde(default)]
+    pub extraction_wall_ns: u64,
     /// Total eigenpairs accepted.
     pub accepted: usize,
     /// Total candidates discarded by the residual filter.
@@ -194,8 +213,14 @@ pub fn compute_cbs_with<E: TaskExecutor>(
     let mut stats = CbsStatistics::default();
     let mut per_energy = Vec::with_capacity(energies.len());
     let stage_start = cbs_sparse::stage_snapshot();
+    let cpu_start = cbs_trace::cpu_totals();
+    let trace_t0 = cbs_trace::now_ns();
 
     for (energy_index, &energy) in energies.iter().enumerate() {
+        // Tag every span of this energy's solves (and the extraction on
+        // this thread) with the scan-energy index; the solvers inherit the
+        // context through `TraceHandle::resolve`.
+        let _energy_ctx = cbs_trace::ctx_scope(cbs_trace::SpanCtx::NONE.with_energy(energy_index));
         let problem = QepProblem::new(h00, h01, energy, period);
         // The single-contour policy takes the historical (bitwise-unchanged)
         // engine path; partitioned contours run the flattened slice pool.
@@ -223,7 +248,17 @@ pub fn compute_cbs_with<E: TaskExecutor>(
     let stage = cbs_sparse::stage_delta(stage_start);
     stats.kernel_ns = stage.kernel_ns;
     stats.precond_ns = stage.precond_ns;
-    stats.extraction_ns = (stats.extraction_seconds * 1e9) as u64;
+    let cpu_end = cbs_trace::cpu_totals();
+    stats.extraction_ns = cpu_end[cbs_trace::Stage::Extraction as usize]
+        .wrapping_sub(cpu_start[cbs_trace::Stage::Extraction as usize]);
+    // Wall-clock attribution (span-merged across threads) is only available
+    // while a session records spans; the fields stay zero otherwise.
+    if let Some(agg) = cbs_trace::aggregate_window(trace_t0, cbs_trace::now_ns()) {
+        stats.kernel_wall_ns = agg.wall(cbs_trace::Stage::Kernel);
+        stats.precond_wall_ns =
+            agg.wall(cbs_trace::Stage::IluFactor) + agg.wall(cbs_trace::Stage::TriSweep);
+        stats.extraction_wall_ns = agg.wall(cbs_trace::Stage::Extraction);
+    }
     CbsRun { cbs, stats, per_energy }
 }
 

@@ -34,6 +34,7 @@ use cbs_solver::{
     bicg_dual_block_precond, bicg_dual_precond_seeded, ConvergenceHistory, SolverOptions,
 };
 use cbs_sparse::{LinearOperator, Preconditioner};
+use cbs_trace::TraceHandle;
 use serde::{Deserialize, Serialize};
 
 use crate::contour::{QuadraturePoint, RingContour};
@@ -188,6 +189,17 @@ impl PrecondPolicy {
     /// `true` for the policies that materialize the assembled CSR.
     pub fn is_assembled(self) -> bool {
         !matches!(self, Self::MatrixFree)
+    }
+
+    /// The policy's code in trace span contexts — the
+    /// [`cbs_trace::policy_name`] contract: 0 = matrix-free, 1 = assembled,
+    /// 2 = assembled-ilu0.
+    pub fn trace_code(self) -> u8 {
+        match self {
+            Self::MatrixFree => 0,
+            Self::Assembled => 1,
+            Self::AssembledIlu0 => 2,
+        }
     }
 }
 
@@ -356,6 +368,7 @@ pub struct ShiftedSolveEngine<'e, E: TaskExecutor> {
     majority_stop: bool,
     block: BlockPolicy,
     seeds: Option<&'e dyn SeedProvider>,
+    trace: TraceHandle,
 }
 
 impl Default for ShiftedSolveEngine<'static, SerialExecutor> {
@@ -367,7 +380,14 @@ impl Default for ShiftedSolveEngine<'static, SerialExecutor> {
 impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
     /// Build an engine running on `executor` with the given solver options.
     pub fn new(executor: &'e E, options: SolverOptions) -> Self {
-        Self { executor, options, majority_stop: false, block: BlockPolicy::default(), seeds: None }
+        Self {
+            executor,
+            options,
+            majority_stop: false,
+            block: BlockPolicy::default(),
+            seeds: None,
+            trace: TraceHandle::disabled(),
+        }
     }
 
     /// Enable or disable the deterministic majority-stop rule.
@@ -392,6 +412,15 @@ impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
     /// bit-identical *to each other* for a fixed seed table.
     pub fn with_seed_hook(mut self, seeds: &'e dyn SeedProvider) -> Self {
         self.seeds = Some(seeds);
+        self
+    }
+
+    /// Attach a [`TraceHandle`]: every solve opens a `solve` span tagged
+    /// with its quadrature-node index (plus the handle's base context), and
+    /// — at `TraceLevel::Iter` — per-iteration residual events.  Tracing
+    /// never changes results: spans observe the solves, nothing reads them.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -499,6 +528,7 @@ impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
             (0..n_int).map(|_| OnceLock::new()).collect();
 
         let run_job = |job: ShiftedSolveJob, cap: Option<usize>| -> (ShiftedSolveOutcome, usize) {
+            let _solve_span = self.trace.solve_scope(job.point.index);
             let (op, prec) = op_cells[job.point.index].get_or_init(|| operator_at(job.point.z));
             let v = &rhs[job.rhs_index];
             let stop_at = cap.map(|c| c.max(1));
@@ -528,6 +558,7 @@ impl<'e, E: TaskExecutor> ShiftedSolveEngine<'e, E> {
         // same as under `PerRhs`.
         let run_node =
             |point: QuadraturePoint, cap: Option<usize>| -> (Vec<ShiftedSolveOutcome>, usize) {
+                let _solve_span = self.trace.solve_scope(point.index);
                 let (op, prec) = op_cells[point.index].get_or_init(|| operator_at(point.z));
                 let stop_at = cap.map(|c| c.max(1));
                 let stop_cb = move |iter: usize| stop_at.is_some_and(|c| iter >= c);

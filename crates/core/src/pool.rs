@@ -37,6 +37,7 @@ use cbs_linalg::{CVector, Complex64};
 use cbs_parallel::TaskExecutor;
 use cbs_solver::{bicg_dual_block_precond, bicg_dual_precond_seeded, SolverOptions};
 use cbs_sparse::LinearOperator;
+use cbs_trace::TraceHandle;
 
 use crate::engine::{BlockPolicy, PrecondPolicy, ShiftedSolveOutcome};
 use crate::qep::QepProblem;
@@ -56,6 +57,10 @@ pub struct PoolGroup<'p, 'a> {
     /// solution after its moment contribution, keeping the footprint at
     /// the accumulated moments.
     pub keep_solutions: bool,
+    /// Trace handle for the group's solves: each job opens a `solve` span
+    /// under this handle's context (energy/slice set by the driver, node
+    /// filled per job).  [`TraceHandle::disabled`] for untraced runs.
+    pub trace: TraceHandle,
 }
 
 /// Everything the pool produces for one group.
@@ -180,6 +185,7 @@ pub fn solve_pool<E: TaskExecutor>(
 
     let run_job = |job: FlatJob| -> (usize, usize, usize, Vec<ShiftedSolveOutcome>) {
         let group = &groups[job.group];
+        let _solve_span = group.trace.solve_scope(job.point_index);
         let (op, prec) =
             group.problem.node_solve(policy.precond, shifts[job.group][job.point_index]);
         let assemblies = op.is_assembled() as usize;
@@ -211,6 +217,7 @@ pub fn solve_pool<E: TaskExecutor>(
 
     let run_node_job = |job: FlatNodeJob| -> (usize, usize, usize, Vec<ShiftedSolveOutcome>) {
         let group = &groups[job.group];
+        let _solve_span = group.trace.solve_scope(job.point_index);
         let (op, prec) =
             group.problem.node_solve(policy.precond, shifts[job.group][job.point_index]);
         let assemblies = op.is_assembled() as usize;

@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 use cbs_linalg::{svd, CMatrix, CVector, Complex64};
 use cbs_parallel::{SerialExecutor, TaskExecutor};
 use cbs_solver::{ConvergenceHistory, SolverOptions};
+use cbs_trace::{Stage, TraceHandle};
 
 use crate::contour::{ContourError, RingContour};
 use crate::engine::{ShiftedSolveEngine, ShiftedSolveOutcome};
@@ -85,6 +86,15 @@ pub struct SsConfig {
     /// policy changes the floating-point trajectory for `S > 1`, so it is
     /// part of the sweep checkpoint fingerprint.
     pub slice: SlicePolicy,
+    /// Requested trace detail for this solve's spans (see `cbs-trace`).
+    /// Recording only happens while a `cbs_trace::TraceSession` is active —
+    /// this knob can *raise* the session's level (e.g. to
+    /// [`TraceLevel::Iter`](cbs_trace::TraceLevel::Iter) for per-iteration
+    /// residual events) but cannot start recording on its own.  Tracing
+    /// observes the solves without feeding anything back, so like
+    /// [`block`](Self::block) it is **not** part of the sweep checkpoint
+    /// fingerprint: results are bitwise identical with tracing on or off.
+    pub trace: cbs_trace::TraceLevel,
 }
 
 impl Default for SsConfig {
@@ -112,6 +122,7 @@ impl SsConfig {
             block: crate::engine::BlockPolicy::PerNode,
             precond: crate::engine::PrecondPolicy::Assembled,
             slice: SlicePolicy::single(),
+            trace: cbs_trace::TraceLevel::Stage,
         }
     }
 
@@ -414,9 +425,15 @@ pub fn solve_qep_with<E: TaskExecutor>(
     // through the operator-generic engine. --------------------------------
     let t_solve = std::time::Instant::now();
 
+    // The trace handle resolves against the active session (no-op when none
+    // is recording) and inherits any context — e.g. a sweep's scan-energy
+    // index — the calling thread has installed.
+    let trace = TraceHandle::resolve(config.trace).with_policy(config.precond.trace_code());
+
     let engine = ShiftedSolveEngine::new(executor, config.solver_options())
         .with_majority_stop(config.majority_stop)
-        .with_block_policy(config.block);
+        .with_block_policy(config.block)
+        .with_trace(trace);
 
     // Moment accumulators Ŝ_k (N x N_rh each), stored as columns, folded
     // directly off the engine: outcomes arrive in job order `j * N_rh +
@@ -451,6 +468,7 @@ pub fn solve_qep_with<E: TaskExecutor>(
     );
     let linear_solve_seconds = t_solve.elapsed().as_secs_f64();
 
+    let _trace_ctx = trace.enter();
     extract_from_moments(
         problem,
         config,
@@ -492,6 +510,7 @@ pub fn extract_from_moments(
     let MomentAccumulator { s_moments, histories, .. } = acc;
 
     let t_extract = std::time::Instant::now();
+    let trace_t0 = cbs_trace::now_ns();
     // Residual checks below run through `problem.residual`, whose operator
     // applications are metered on the problem; the delta is folded into the
     // totals so extraction work no longer bypasses the counters.
@@ -583,6 +602,7 @@ pub fn extract_from_moments(
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     let extraction_seconds = t_extract.elapsed().as_secs_f64();
+    cbs_trace::record_span(Stage::Extraction, trace_t0, cbs_trace::now_ns());
     let (residual_matvecs_1, residual_traversals_1) = problem.residual_op_counters();
     let extraction_matvecs = residual_matvecs_1 - residual_matvecs_0;
     let extraction_traversals = residual_traversals_1 - residual_traversals_0;
@@ -701,8 +721,15 @@ pub fn solve_qep_sliced_with<E: TaskExecutor>(
         Err(e) => panic!("{e}"),
     };
     let t_solve = std::time::Instant::now();
+    let trace = TraceHandle::resolve(config.trace).with_policy(config.precond.trace_code());
     let groups: Vec<PoolGroup<'_, '_>> = (0..plan.len())
-        .map(|s| PoolGroup { problem, v_cols: &plan.v_cols[s], seeds: None, keep_solutions: false })
+        .map(|s| PoolGroup {
+            problem,
+            v_cols: &plan.v_cols[s],
+            seeds: None,
+            keep_solutions: false,
+            trace: trace.with_slice(s),
+        })
         .collect();
     let outcomes =
         solve_pool(&groups, plan.accumulators(n), &PoolPolicy::from_config(config), executor);
@@ -745,7 +772,9 @@ pub fn extract_sliced(
         slice_stats: Vec::new(),
     };
 
+    let trace = TraceHandle::resolve(config.trace).with_policy(config.precond.trace_code());
     for (s, outcome) in outcomes.into_iter().enumerate() {
+        let _slice_ctx = trace.with_slice(s).enter();
         let slice_config = &plan.configs[s];
         let slice = &plan.partition.slices()[s];
         let result = extract_from_moments(
@@ -804,7 +833,9 @@ pub fn extract_sliced(
         total.discarded += result.discarded;
     }
 
-    let (eigenpairs, deduped) = merge_claimed(merged, config.slice.merge_tol);
+    let _merge_ctx = trace.enter();
+    let (eigenpairs, deduped) =
+        cbs_trace::timed(Stage::Merge, || merge_claimed(merged, config.slice.merge_tol));
     total.discarded += deduped;
     total.eigenpairs = eigenpairs;
     total.slice_stats = slice_stats;

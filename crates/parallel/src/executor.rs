@@ -70,6 +70,7 @@ impl TaskExecutor for SerialExecutor {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
+        cbs_trace::label_thread("serial");
         tasks.into_iter().map(map).collect()
     }
 
@@ -80,6 +81,7 @@ impl TaskExecutor for SerialExecutor {
         F: Fn(T) -> R + Sync,
         G: FnMut(A, R) -> A,
     {
+        cbs_trace::label_thread("serial");
         // Streaming: one mapped result alive at a time.
         tasks.into_iter().fold(init, |acc, t| fold(acc, map(t)))
     }
@@ -102,7 +104,17 @@ impl TaskExecutor for RayonExecutor {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
-        tasks.into_par_iter().map(map).collect()
+        // Register each worker in the trace thread registry before it runs
+        // its first task; the vendored rayon shim joins its scoped workers
+        // before the dispatch returns, so their buffers are flushed (and
+        // the labels drained) by the time the caller reads the session.
+        tasks
+            .into_par_iter()
+            .map(|t| {
+                cbs_trace::label_thread("rayon");
+                map(t)
+            })
+            .collect()
     }
 }
 

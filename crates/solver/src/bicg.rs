@@ -101,6 +101,7 @@ pub fn bicg_dual_seeded<A: LinearOperator + ?Sized>(
     let bt_norm = b_dual.norm().max(1e-300);
     let mut res = r.norm() / b_norm;
     let mut res_dual = rt.norm() / bt_norm;
+    cbs_trace::record_iteration(None, 0, res);
 
     let mut history = Vec::new();
     let mut dual_history = Vec::new();
@@ -149,6 +150,7 @@ pub fn bicg_dual_seeded<A: LinearOperator + ?Sized>(
 
         res = r.norm() / b_norm;
         res_dual = rt.norm() / bt_norm;
+        cbs_trace::record_iteration(None, iter + 1, res);
         if opts.record_history {
             history.push(res);
             dual_history.push(res_dual);
@@ -252,6 +254,7 @@ pub fn bicg_dual_precond_seeded<A: LinearOperator + ?Sized, M: Preconditioner + 
     let bt_norm = b_dual.norm().max(1e-300);
     let mut res = r.norm() / b_norm;
     let mut res_dual = rt.norm() / bt_norm;
+    cbs_trace::record_iteration(None, 0, res);
 
     let mut history = Vec::new();
     let mut dual_history = Vec::new();
@@ -300,6 +303,7 @@ pub fn bicg_dual_precond_seeded<A: LinearOperator + ?Sized, M: Preconditioner + 
 
         res = r.norm() / b_norm;
         res_dual = rt.norm() / bt_norm;
+        cbs_trace::record_iteration(None, iter + 1, res);
         if opts.record_history {
             history.push(res);
             dual_history.push(res_dual);

@@ -178,6 +178,7 @@ pub fn bicg_dual_block<A: LinearOperator + ?Sized>(
             let bt_norm = b_dual[c].norm().max(1e-300);
             let res = r.norm() / b_norm;
             let res_dual = rt.norm() / bt_norm;
+            cbs_trace::record_iteration(Some(c), 0, res);
             let mut history = Vec::new();
             let mut dual_history = Vec::new();
             if opts.record_history {
@@ -272,6 +273,7 @@ pub fn bicg_dual_block<A: LinearOperator + ?Sized>(
             col.rt.axpy(-alpha.conj(), &col.qt);
             col.res = col.r.norm() / col.b_norm;
             col.res_dual = col.rt.norm() / col.bt_norm;
+            cbs_trace::record_iteration(Some(c), iter + 1, col.res);
             if opts.record_history {
                 col.history.push(col.res);
                 col.dual_history.push(col.res_dual);
@@ -446,6 +448,7 @@ pub fn bicg_dual_block_precond<A: LinearOperator + ?Sized, M: Preconditioner + ?
             let bt_norm = b_dual[c].norm().max(1e-300);
             let res = r.norm() / b_norm;
             let res_dual = rt.norm() / bt_norm;
+            cbs_trace::record_iteration(Some(c), 0, res);
             let mut history = Vec::new();
             let mut dual_history = Vec::new();
             if opts.record_history {
@@ -540,6 +543,7 @@ pub fn bicg_dual_block_precond<A: LinearOperator + ?Sized, M: Preconditioner + ?
             col.rt.axpy(-alpha.conj(), &col.qt);
             col.res = col.r.norm() / col.b_norm;
             col.res_dual = col.rt.norm() / col.bt_norm;
+            cbs_trace::record_iteration(Some(c), iter + 1, col.res);
             if opts.record_history {
                 col.history.push(col.res);
                 col.dual_history.push(col.res_dual);

@@ -43,7 +43,7 @@ use crate::kernels::{
     KernelLayout, SplitValues,
 };
 use crate::ops::{LinearOperator, Preconditioner};
-use crate::timers::{time_kernel, time_precond};
+use crate::timers::{time_assemble, time_ilu_factor, time_kernel, time_tri_sweep};
 
 /// The shared symbolic structure of `P(z)`: the union sparsity pattern of
 /// `H₀₀`, `H₀₁`, `H₀₁†` (plus an explicit diagonal for the `E` shift), with
@@ -182,29 +182,31 @@ impl AssembledPattern {
     /// scratch pool, so per-node assembly performs no steady-state
     /// allocation.
     pub fn assemble(&self, energy: f64, z: Complex64) -> AssembledOp<'_> {
-        let zinv = z.inv();
-        let mut values = crate::scratch::take_scratch(0);
-        values.reserve(self.nnz());
-        values.extend(
-            self.h00_vals
-                .iter()
-                .zip(&self.h01_vals)
-                .zip(&self.h10_vals)
-                .map(|((&v00, &v01), &v10)| -v00 - z * v01 - zinv * v10),
-        );
-        let e = Complex64::real(energy);
-        for &d in &self.diag_idx {
-            values[d] += e;
-        }
-        let split = match self.layout {
-            KernelLayout::Interleaved => None,
-            KernelLayout::Split => {
-                let mut s = SplitValues::take();
-                s.refill(&values);
-                Some(s)
+        time_assemble(|| {
+            let zinv = z.inv();
+            let mut values = crate::scratch::take_scratch(0);
+            values.reserve(self.nnz());
+            values.extend(
+                self.h00_vals
+                    .iter()
+                    .zip(&self.h01_vals)
+                    .zip(&self.h10_vals)
+                    .map(|((&v00, &v01), &v10)| -v00 - z * v01 - zinv * v10),
+            );
+            let e = Complex64::real(energy);
+            for &d in &self.diag_idx {
+                values[d] += e;
             }
-        };
-        AssembledOp { pattern: self, z, values, split }
+            let split = match self.layout {
+                KernelLayout::Interleaved => None,
+                KernelLayout::Split => {
+                    let mut s = SplitValues::take();
+                    s.refill(&values);
+                    Some(s)
+                }
+            };
+            AssembledOp { pattern: self, z, values, split }
+        })
     }
 }
 
@@ -654,7 +656,7 @@ impl<'p> Ilu0<'p> {
         let n = row_ptr.len() - 1;
         assert_eq!(col_idx.len(), values.len(), "ILU(0): pattern/value length mismatch");
         assert_eq!(diag_idx.len(), n, "ILU(0): diagonal index length mismatch");
-        time_precond(|| {
+        time_ilu_factor(|| {
             let floor = pivot_floor(values);
 
             let mut lu = crate::scratch::take_scratch(0);
@@ -757,7 +759,7 @@ impl Preconditioner for Ilu0<'_> {
     fn solve(&self, r: &[Complex64], z: &mut [Complex64]) {
         assert_eq!(r.len(), self.n, "ILU solve: r length mismatch");
         assert_eq!(z.len(), self.n, "ILU solve: z length mismatch");
-        time_precond(|| match self.schedule {
+        time_tri_sweep(|| match self.schedule {
             Some(s) => {
                 // Level-scheduled sweeps: every row's own gather runs in
                 // sequential order, so the result is bit-identical to the
@@ -789,7 +791,7 @@ impl Preconditioner for Ilu0<'_> {
     fn solve_adjoint(&self, r: &[Complex64], z: &mut [Complex64]) {
         assert_eq!(r.len(), self.n, "ILU adjoint solve: r length mismatch");
         assert_eq!(z.len(), self.n, "ILU adjoint solve: z length mismatch");
-        time_precond(|| match self.schedule {
+        time_tri_sweep(|| match self.schedule {
             Some(s) => {
                 // Gather form over the transposed triangle lists.  Per
                 // output element the update order and zero-skip guards

@@ -1,41 +1,44 @@
-//! Lightweight global stage timers for the kernel tier.
+//! Stage timing for the kernel tier, backed by the `cbs-trace` recorder.
 //!
-//! The sweep-level statistics want the wall-clock of one solve *attributed*
-//! to the stages that actually burn it: CSR/low-rank kernel application
+//! The sweep-level statistics want the cost of one solve *attributed* to
+//! the stages that actually burn it: CSR/low-rank kernel application
 //! (`kernel_ns`) and preconditioner work — ILU(0) factorization plus
 //! triangular solves (`precond_ns`).  Threading per-call timing results
 //! through the `LinearOperator` trait would contaminate every signature on
-//! the hot path, so the kernels instead accumulate into process-global
-//! relaxed atomics; callers take a [`stage_snapshot`] before a solve and
-//! fold the delta into their statistics afterwards.
+//! the hot path, so the kernels instead record into `cbs-trace`'s
+//! thread-local recorder; callers take a [`stage_snapshot`] before a solve
+//! and fold the delta into their statistics afterwards.
 //!
-//! The counters are monotone totals over the whole process (all threads —
-//! a rayon-parallel kernel adds each worker's time, so the numbers are CPU
-//! seconds, not wall seconds, under the parallel executor).  They are
-//! diagnostics only: nothing in the numerical pipeline reads them, so the
-//! bitwise determinism contracts are unaffected.
+//! **Semantics:** the counters are monotone **CPU-nanosecond** totals over
+//! the whole process — a rayon-parallel kernel adds each worker's time, so
+//! the numbers are CPU seconds, not wall seconds, under the parallel
+//! executor (the workers of the vendored rayon shim are joined before any
+//! dispatch returns, so post-dispatch reads are complete).  Wall-clock
+//! per-stage attribution (span-merged across threads) is available from
+//! `cbs_trace::aggregate_window` while a `cbs_trace::TraceSession` is
+//! active.  The counters are diagnostics only: nothing in the numerical
+//! pipeline reads them, so the bitwise determinism contracts are
+//! unaffected.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use cbs_trace::Stage;
 
-static KERNEL_NS: AtomicU64 = AtomicU64::new(0);
-static PRECOND_NS: AtomicU64 = AtomicU64::new(0);
-
-/// A point-in-time reading of the global stage counters.
+/// A point-in-time reading of the per-stage CPU counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StageTimes {
-    /// Nanoseconds spent inside sparse/low-rank operator application
+    /// CPU nanoseconds spent inside sparse/low-rank operator application
     /// kernels (CSR gather/scatter, block SpMM tiles, projector terms).
     pub kernel_ns: u64,
-    /// Nanoseconds spent inside ILU(0) factorization and triangular solves.
+    /// CPU nanoseconds spent inside ILU(0) factorization and triangular
+    /// solves.
     pub precond_ns: u64,
 }
 
-/// Read the current totals of the global stage counters.
+/// Read the current totals of the stage counters.
 pub fn stage_snapshot() -> StageTimes {
+    let t = cbs_trace::cpu_totals();
     StageTimes {
-        kernel_ns: KERNEL_NS.load(Ordering::Relaxed),
-        precond_ns: PRECOND_NS.load(Ordering::Relaxed),
+        kernel_ns: t[Stage::Kernel as usize],
+        precond_ns: t[Stage::IluFactor as usize] + t[Stage::TriSweep as usize],
     }
 }
 
@@ -48,22 +51,28 @@ pub fn stage_delta(since: StageTimes) -> StageTimes {
     }
 }
 
-/// Run `f`, charging its wall time to the kernel-stage counter.
+/// Run `f` as one [`Stage::Kernel`] span (operator application).
 #[inline]
 pub(crate) fn time_kernel<R>(f: impl FnOnce() -> R) -> R {
-    let t = Instant::now();
-    let out = f();
-    KERNEL_NS.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    out
+    cbs_trace::timed(Stage::Kernel, f)
 }
 
-/// Run `f`, charging its wall time to the preconditioner-stage counter.
+/// Run `f` as one [`Stage::IluFactor`] span (ILU(0) factorization).
 #[inline]
-pub(crate) fn time_precond<R>(f: impl FnOnce() -> R) -> R {
-    let t = Instant::now();
-    let out = f();
-    PRECOND_NS.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    out
+pub(crate) fn time_ilu_factor<R>(f: impl FnOnce() -> R) -> R {
+    cbs_trace::timed(Stage::IluFactor, f)
+}
+
+/// Run `f` as one [`Stage::TriSweep`] span (triangular solves).
+#[inline]
+pub(crate) fn time_tri_sweep<R>(f: impl FnOnce() -> R) -> R {
+    cbs_trace::timed(Stage::TriSweep, f)
+}
+
+/// Run `f` as one [`Stage::Assemble`] span (numeric pattern refill).
+#[inline]
+pub(crate) fn time_assemble<R>(f: impl FnOnce() -> R) -> R {
+    cbs_trace::timed(Stage::Assemble, f)
 }
 
 #[cfg(test)]
@@ -76,9 +85,24 @@ mod tests {
         time_kernel(|| std::hint::black_box((0..512).sum::<u64>()));
         let mid = stage_delta(before);
         assert!(mid.kernel_ns > 0);
-        time_precond(|| std::hint::black_box((0..512).product::<u64>()));
+        time_tri_sweep(|| std::hint::black_box((0..512).product::<u64>()));
         let after = stage_delta(before);
         assert!(after.precond_ns > 0);
         assert!(after.kernel_ns >= mid.kernel_ns);
+    }
+
+    #[test]
+    fn factor_and_sweep_both_charge_precond() {
+        let before = stage_snapshot();
+        time_ilu_factor(|| std::hint::black_box((0..256).sum::<u64>()));
+        let factored = stage_delta(before).precond_ns;
+        assert!(factored > 0);
+        time_tri_sweep(|| std::hint::black_box((0..256).sum::<u64>()));
+        assert!(stage_delta(before).precond_ns > factored);
+        // Assembly is its own stage: it must not leak into kernel/precond.
+        let pre = stage_delta(before);
+        time_assemble(|| std::hint::black_box((0..256).sum::<u64>()));
+        let post = stage_delta(before);
+        assert_eq!(pre, post);
     }
 }

@@ -26,6 +26,7 @@
 
 use cbs_core::{solve_pool, PoolGroup, PoolOutcome, PoolPolicy, QepProblem, SlicedPlan, SsConfig};
 use cbs_parallel::TaskExecutor;
+use cbs_trace::TraceHandle;
 
 use crate::sweep::SeedTable;
 
@@ -41,6 +42,9 @@ pub(crate) struct SolveGroup<'a, 'p> {
     /// after its moment contribution, keeping the cold sweep's footprint at
     /// the per-energy loop's level.
     pub keep_solutions: bool,
+    /// Trace handle carrying the group's scan-energy context; the pool adds
+    /// the slice (for partitioned contours) and node per job.
+    pub trace: TraceHandle,
 }
 
 /// Everything the round solve produces for one energy.
@@ -92,6 +96,9 @@ pub(crate) fn solve_round<E: TaskExecutor>(
                 v_cols: &plan.v_cols[s],
                 seeds: g.seeds.map(|t| &t[offsets[s]..offsets[s + 1]]),
                 keep_solutions: g.keep_solutions,
+                // The slice index only means something on a partitioned
+                // contour; single-contour spans stay slice-less.
+                trace: if n_slices > 1 { g.trace.with_slice(s) } else { g.trace },
             });
             accs.push(acc);
         }

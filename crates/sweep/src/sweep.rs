@@ -30,6 +30,7 @@ use cbs_dft::BandStructure;
 use cbs_linalg::CVector;
 use cbs_parallel::TaskExecutor;
 use cbs_sparse::{AssembledPattern, FactoredProjector, KernelLayout, LinearOperator};
+use cbs_trace::TraceHandle;
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{CheckpointError, SweepCheckpoint};
@@ -336,6 +337,8 @@ impl<'a> EnergySweep<'a> {
         let mut opts = opts;
         let n = self.h00.dim();
         let stage_start = cbs_sparse::stage_snapshot();
+        let cpu_start = cbs_trace::cpu_totals();
+        let trace_t0 = cbs_trace::now_ns();
         let mut fingerprint = self.config.fingerprint(self.period);
         // The *effective* operator policy is part of the resume contract:
         // an assembled `PrecondPolicy` without an attached pattern silently
@@ -471,7 +474,17 @@ impl<'a> EnergySweep<'a> {
             }
         }
 
-        Ok(RunOutcome::Complete(self.assemble(st, cbs_sparse::stage_delta(stage_start))))
+        let extraction_ns = cbs_trace::cpu_totals()[cbs_trace::Stage::Extraction as usize]
+            .wrapping_sub(cpu_start[cbs_trace::Stage::Extraction as usize]);
+        // Span-merged wall attribution is available only while a trace
+        // session records; `None` leaves the wall fields zero.
+        let wall = cbs_trace::aggregate_window(trace_t0, cbs_trace::now_ns());
+        Ok(RunOutcome::Complete(self.assemble(
+            st,
+            cbs_sparse::stage_delta(stage_start),
+            extraction_ns,
+            wall,
+        )))
     }
 
     /// Solve one *logical* batch of energies (a release round or refinement
@@ -506,6 +519,13 @@ impl<'a> EnergySweep<'a> {
             }
         }
         let warm = self.config.warm_start;
+        // Trace context: each energy of the batch is tagged with the record
+        // index it is about to receive (completion order; `assemble`'s final
+        // ascending `energy_index` is only known at the end).  The handle
+        // resolves to a no-op when no `cbs_trace::TraceSession` records.
+        let record_base = st.records.len();
+        let trace = TraceHandle::resolve(self.config.ss.trace)
+            .with_policy(self.config.ss.precond.trace_code());
 
         if !to_solve.is_empty() {
             let problems: Vec<QepProblem<'_>> = to_solve
@@ -531,12 +551,14 @@ impl<'a> EnergySweep<'a> {
             let groups: Vec<SolveGroup<'_, '_>> = problems
                 .iter()
                 .zip(&donors)
-                .map(|(p, d)| SolveGroup {
+                .enumerate()
+                .map(|(i, (p, d))| SolveGroup {
                     problem: p,
                     seeds: d.map(|(_, t)| t),
                     // Cold sweeps never consult the bank, so don't pay the
                     // memory of retaining every solution vector.
                     keep_solutions: warm,
+                    trace: trace.with_energy(record_base + i),
                 })
                 .collect();
 
@@ -552,6 +574,7 @@ impl<'a> EnergySweep<'a> {
                 // Single-contour energies run the historical extraction
                 // (bitwise unchanged); partitioned contours extract per
                 // slice and merge under the deterministic claim dedup.
+                let _extract_ctx = trace.with_energy(record_base + i).enter();
                 let result = if plan.is_single() {
                     let slice_outcome =
                         outcome.slices.pop().expect("single-slice plan yields one outcome");
@@ -677,7 +700,13 @@ impl<'a> EnergySweep<'a> {
 
     /// Sort the records into the final ascending grid, assign
     /// `energy_index` and aggregate the statistics.
-    fn assemble(&self, st: State, stage: cbs_sparse::StageTimes) -> SweepResult {
+    fn assemble(
+        &self,
+        st: State,
+        stage: cbs_sparse::StageTimes,
+        extraction_ns: u64,
+        wall: Option<cbs_trace::StageAgg>,
+    ) -> SweepResult {
         let mut records = st.records;
         records.sort_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap());
         let energies: Vec<f64> = records.iter().map(|r| r.energy).collect();
@@ -685,12 +714,17 @@ impl<'a> EnergySweep<'a> {
         let mut stats = CbsStatistics {
             linear_solve_seconds: st.linear_solve_seconds,
             extraction_seconds: st.extraction_seconds,
-            // Per-stage nanosecond counters: the sparse-kernel and
-            // preconditioner timers cover this run only (a resumed sweep
-            // reports post-resume time, like the wall-clock fields).
+            // Per-stage nanosecond counters: the CPU-ns stage counters cover
+            // this run only (a resumed sweep reports post-resume time, like
+            // the wall-clock fields).
             kernel_ns: stage.kernel_ns,
             precond_ns: stage.precond_ns,
-            extraction_ns: (st.extraction_seconds * 1e9) as u64,
+            extraction_ns,
+            kernel_wall_ns: wall.map_or(0, |w| w.wall(cbs_trace::Stage::Kernel)),
+            precond_wall_ns: wall.map_or(0, |w| {
+                w.wall(cbs_trace::Stage::IluFactor) + w.wall(cbs_trace::Stage::TriSweep)
+            }),
+            extraction_wall_ns: wall.map_or(0, |w| w.wall(cbs_trace::Stage::Extraction)),
             ..CbsStatistics::default()
         };
         for (index, rec) in records.iter_mut().enumerate() {

@@ -31,6 +31,10 @@ pub use cbs_linalg as linalg;
 /// Sparse matrices and matrix-free operators (re-export of `cbs-sparse`).
 pub use cbs_sparse as sparse;
 
+/// Structured tracing: span recorder, per-stage attribution, Chrome trace
+/// export (re-export of `cbs-trace`).
+pub use cbs_trace as trace;
+
 /// Real-space grids, stencils and domain decomposition (re-export of `cbs-grid`).
 pub use cbs_grid as grid;
 

@@ -1,0 +1,259 @@
+//! Trace-neutrality and attribution tests of the `cbs-trace` span layer:
+//!
+//! * recording a session changes **nothing** — the fig6-style Al(100) solve
+//!   is bitwise identical with tracing off and on, and the sweep's
+//!   checkpoint kill/resume cycle stays bit-identical while a session
+//!   records;
+//! * the serial and rayon executors agree bit-for-bit under a live
+//!   `TraceLevel::Iter` session (per-iteration events do not perturb the
+//!   solves they observe);
+//! * the session's per-stage aggregation reproduces the attribution columns
+//!   of `CbsStatistics` (CPU-ns counters and span-merged wall-ns);
+//! * the Chrome trace-event export is well-formed.
+
+use std::sync::Mutex;
+
+use rand::SeedableRng;
+
+use cbs::core::{compute_cbs_with, SsConfig};
+use cbs::dft::{bulk_al_100, grid_for_structure, BlockHamiltonian, HamiltonianParams};
+use cbs::linalg::{c64, CMatrix};
+use cbs::parallel::{RayonExecutor, SerialExecutor};
+use cbs::sparse::DenseOp;
+use cbs::sweep::{EnergySweep, RunOptions, RunOutcome, SweepCheckpoint, SweepConfig, SweepResult};
+use cbs::trace::{Stage, TraceLevel, TraceSession};
+
+/// `cbs_trace` sessions are process-global and exclusive; every test here
+/// needs sole ownership of the recorder — including the untraced control
+/// runs, which must not record into a neighbour's live session.
+static SESSION_GATE: Mutex<()> = Mutex::new(());
+
+fn al100() -> BlockHamiltonian {
+    let s = bulk_al_100(1);
+    let grid = grid_for_structure(&s, 1.1);
+    BlockHamiltonian::build(grid, &s, HamiltonianParams::default())
+}
+
+fn al_ss() -> SsConfig {
+    SsConfig { n_int: 8, n_mm: 4, n_rh: 4, bicg_max_iterations: 400, ..SsConfig::small() }
+}
+
+fn random_blocks(n: usize, seed: u64) -> (CMatrix, CMatrix) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let a = CMatrix::random(n, n, &mut rng);
+    let h00 = (&a + &a.adjoint()).scale(c64(0.5, 0.0));
+    let h01 = CMatrix::random(n, n, &mut rng).scale(c64(0.35, 0.0));
+    (h00, h01)
+}
+
+fn assert_same_points(
+    a: &cbs::core::ComplexBandStructure,
+    b: &cbs::core::ComplexBandStructure,
+    what: &str,
+) {
+    assert_eq!(a.points.len(), b.points.len(), "{what}: point count differs");
+    for (p, q) in a.points.iter().zip(&b.points) {
+        assert_eq!(p.energy_index, q.energy_index, "{what}");
+        assert_eq!(p.lambda.re.to_bits(), q.lambda.re.to_bits(), "{what}");
+        assert_eq!(p.lambda.im.to_bits(), q.lambda.im.to_bits(), "{what}");
+        assert_eq!(p.k_re.to_bits(), q.k_re.to_bits(), "{what}");
+        assert_eq!(p.k_im.to_bits(), q.k_im.to_bits(), "{what}");
+        assert_eq!(p.propagating, q.propagating, "{what}");
+        assert_eq!(p.residual.to_bits(), q.residual.to_bits(), "{what}");
+    }
+}
+
+fn assert_same_sweep(a: &SweepResult, b: &SweepResult) {
+    assert_same_points(&a.cbs, &b.cbs, "sweep");
+    assert_eq!(a.stats.total_bicg_iterations, b.stats.total_bicg_iterations);
+    assert_eq!(a.stats.total_matvecs, b.stats.total_matvecs);
+    assert_eq!(a.stats.warm_bicg_iterations, b.stats.warm_bicg_iterations);
+    assert_eq!(a.stats.cold_bicg_iterations, b.stats.cold_bicg_iterations);
+}
+
+/// Tracing the fig6-style Al(100) solve changes nothing: results are
+/// bitwise identical with the recorder off and on, the traced run fills the
+/// wall-ns attribution (the untraced run leaves it zero), and the session
+/// actually captured the solve's spans.
+#[test]
+fn al100_solve_is_bitwise_identical_with_tracing_on_and_off() {
+    let _gate = SESSION_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let h = al100();
+    let (h00, h01) = (h.h00(), h.h01());
+    let energies = [0.05, 0.11];
+    let config = al_ss();
+
+    let off = compute_cbs_with(&h00, &h01, h.period(), &energies, &config, &SerialExecutor);
+    assert!(!off.cbs.points.is_empty(), "Al(100) test solve found no CBS points");
+    assert_eq!(off.stats.kernel_wall_ns, 0, "untraced run must not fill wall-ns");
+    assert_eq!(off.stats.precond_wall_ns, 0);
+    assert_eq!(off.stats.extraction_wall_ns, 0);
+
+    let session = TraceSession::begin(TraceLevel::Stage).expect("another session is live");
+    let on = compute_cbs_with(&h00, &h01, h.period(), &energies, &config, &SerialExecutor);
+    let report = session.finish();
+
+    assert_same_points(&off.cbs, &on.cbs, "traced vs untraced");
+    assert_eq!(off.stats.total_bicg_iterations, on.stats.total_bicg_iterations);
+    assert_eq!(off.stats.total_matvecs, on.stats.total_matvecs);
+    // The always-on CPU counters agree run-to-run on identical work.
+    assert_eq!(off.stats.kernel_ns > 0, on.stats.kernel_ns > 0);
+
+    assert!(on.stats.kernel_wall_ns > 0, "traced run must fill kernel wall-ns");
+    assert!(on.stats.extraction_wall_ns > 0, "traced run must fill extraction wall-ns");
+    assert!(!report.spans.is_empty(), "session recorded no spans");
+    assert!(report.spans.iter().any(|s| s.stage == Stage::Solve));
+    assert!(report.spans.iter().any(|s| s.stage == Stage::Kernel));
+    assert!(report.iters.is_empty(), "Stage-level session must not record iteration events");
+}
+
+/// Serial and rayon executors agree bit-for-bit while an iteration-level
+/// session records — the per-iteration residual events observe the solves
+/// without perturbing them, on either executor, and both executors' threads
+/// deliver events into the same session.
+#[test]
+fn serial_and_rayon_agree_under_iter_level_session() {
+    let _gate = SESSION_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let h = al100();
+    let (h00, h01) = (h.h00(), h.h01());
+    let energies = [0.05, 0.11];
+    // The config's `trace` knob raises the level; neither it nor the
+    // session may change results.
+    let config = SweepConfig::cold(SsConfig { trace: TraceLevel::Iter, ..al_ss() });
+    let sweep = EnergySweep::new(&h00, &h01, h.period(), config);
+
+    let session = TraceSession::begin(TraceLevel::Iter).expect("another session is live");
+    let serial = sweep.run(&energies, &SerialExecutor);
+    let rayon = sweep.run(&energies, &RayonExecutor);
+    let report = session.finish();
+
+    assert_same_sweep(&serial, &rayon);
+    assert!(!report.iters.is_empty(), "Iter-level session recorded no iteration events");
+    assert!(report.iters.iter().all(|e| e.residual.is_finite()));
+    let labels: Vec<&str> = report.threads.iter().map(|&(_, l)| l).collect();
+    assert!(labels.contains(&"serial"), "serial executor thread missing from {labels:?}");
+    // The vendored rayon shim spawns scoped workers only when the machine
+    // has more than one hardware thread; on a single-CPU host it runs
+    // inline on the (already-registered) calling thread.
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if hw > 1 {
+        assert!(labels.contains(&"rayon"), "rayon worker threads missing from {labels:?}");
+    }
+}
+
+/// A checkpointed sweep killed partway and resumed while a session records
+/// is bit-identical to an uninterrupted untraced run: tracing is invisible
+/// to the checkpoint fingerprint and the resume path.
+#[test]
+fn kill_resume_with_tracing_is_bit_identical() {
+    let _gate = SESSION_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let (h00, h01) = random_blocks(10, 77);
+    let op00 = DenseOp::new(h00);
+    let op01 = DenseOp::new(h01);
+    let energies: Vec<f64> = (0..12).map(|i| -0.25 + 0.05 * i as f64).collect();
+    let ss = SsConfig {
+        n_int: 16,
+        n_mm: 4,
+        n_rh: 6,
+        bicg_tolerance: 1e-11,
+        residual_cutoff: 1e-6,
+        ..SsConfig::small()
+    };
+    let config = SweepConfig { initial_round: 4, ..SweepConfig::new(ss) };
+    let sweep = EnergySweep::new(&op00, &op01, 1.5, config);
+
+    let uninterrupted = sweep.run(&energies, &SerialExecutor);
+
+    let dir = std::env::temp_dir().join(format!("cbs_trace_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sweep.cp");
+
+    let session = TraceSession::begin(TraceLevel::Stage).expect("another session is live");
+    let outcome = sweep
+        .run_with(
+            &energies,
+            &SerialExecutor,
+            RunOptions {
+                checkpoint_path: Some(&path),
+                max_new_energies: Some(5),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+    let RunOutcome::Interrupted(_) = outcome else { panic!("budget of 5 should interrupt") };
+    let resumed = sweep
+        .run_with(
+            &energies,
+            &SerialExecutor,
+            RunOptions {
+                resume: Some(SweepCheckpoint::load(&path).unwrap()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap()
+        .expect_complete("resume must finish");
+    let report = session.finish();
+
+    assert_same_sweep(&uninterrupted, &resumed);
+    assert!(report.spans.iter().any(|s| s.stage == Stage::Solve), "no solve spans recorded");
+    // The traced resumed run fills wall-ns; the untraced control left it 0.
+    // (Extraction, not Kernel: the dense test operator bypasses the sparse
+    // kernel paths, but every energy runs the instrumented extraction.)
+    assert_eq!(uninterrupted.stats.extraction_wall_ns, 0);
+    assert!(resumed.stats.extraction_wall_ns > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The session's per-stage aggregation is the same accounting
+/// `CbsStatistics` reports: the span-summed CPU-ns match the counter-based
+/// `kernel_ns`/`precond_ns`/`extraction_ns` and the merged wall-ns match
+/// the `*_wall_ns` fields, within 5%.  The Chrome export of the same
+/// session is structurally well-formed.
+#[test]
+fn aggregation_matches_stats_and_chrome_export_is_well_formed() {
+    let _gate = SESSION_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let h = al100();
+    let (h00, h01) = (h.h00(), h.h01());
+    let energies = [0.05, 0.11];
+    let config = al_ss();
+
+    let session = TraceSession::begin(TraceLevel::Stage).expect("another session is live");
+    let run = compute_cbs_with(&h00, &h01, h.period(), &energies, &config, &SerialExecutor);
+    let report = session.finish();
+    let agg = report.stage_totals();
+
+    let close = |a: u64, b: u64, what: &str| {
+        let hi = a.max(b) as f64;
+        let lo = a.min(b) as f64;
+        // Sub-millisecond stages are clock-granularity noise; skip those.
+        if hi >= 1e6 {
+            assert!((hi - lo) / hi <= 0.05, "{what}: {a} vs {b} ns differ by >5%");
+        }
+    };
+    close(agg.cpu(Stage::Kernel), run.stats.kernel_ns, "kernel cpu");
+    close(
+        agg.cpu(Stage::IluFactor) + agg.cpu(Stage::TriSweep),
+        run.stats.precond_ns,
+        "precond cpu",
+    );
+    close(agg.cpu(Stage::Extraction), run.stats.extraction_ns, "extraction cpu");
+    close(agg.wall(Stage::Kernel), run.stats.kernel_wall_ns, "kernel wall");
+    close(
+        agg.wall(Stage::IluFactor) + agg.wall(Stage::TriSweep),
+        run.stats.precond_wall_ns,
+        "precond wall",
+    );
+    close(agg.wall(Stage::Extraction), run.stats.extraction_wall_ns, "extraction wall");
+    // Serial run: wall == cpu per stage (no overlap to merge away).
+    assert!(agg.wall(Stage::Kernel) <= agg.cpu(Stage::Kernel));
+
+    let mut buf = Vec::new();
+    report.write_chrome_trace(&mut buf).unwrap();
+    let text = String::from_utf8(buf).expect("chrome trace must be UTF-8");
+    assert!(text.contains("\"traceEvents\""));
+    assert!(text.contains("\"name\": \"solve\""));
+    assert!(text.contains("\"name\": \"kernel\""));
+    assert!(text.contains("\"name\": \"extraction\""));
+    assert_eq!(text.matches('{').count(), text.matches('}').count(), "unbalanced braces");
+    assert_eq!(text.matches('[').count(), text.matches(']').count(), "unbalanced brackets");
+}
