@@ -145,6 +145,7 @@ fn bench_sweep(c: &mut Criterion) {
         ("_per_rhs", BlockPolicy::PerRhs, PrecondPolicy::MatrixFree, single),
         ("_assembled", BlockPolicy::PerNode, PrecondPolicy::Assembled, single),
         ("_ilu0", BlockPolicy::PerNode, PrecondPolicy::AssembledIlu0, single),
+        ("_ilu0_smw", BlockPolicy::PerNode, PrecondPolicy::AssembledIlu0Smw, single),
         ("_sliced2", BlockPolicy::PerNode, PrecondPolicy::MatrixFree, lean_sectors(2)),
     ];
 

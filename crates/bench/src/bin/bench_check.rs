@@ -20,6 +20,13 @@
 //! invariant that catches double-counted or mis-clipped spans the moment
 //! they appear.  Untraced rows (all wall columns zero) skip this gate.
 //!
+//! Traced ILU rows (`*ilu0*`) additionally pass a **preconditioner-share**
+//! gate: the fraction of the row's wall clock attributed to ILU
+//! factorization + triangular sweeps (`precond_wall_ns / wall`) must not
+//! grow by more than 25% over the committed baseline — the quantity the
+//! blocked/parallel sweep work moves.  Rows untraced on either side skip
+//! the gate.
+//!
 //! The parser is a deliberate hand-rolled scanner (the workspace vendors no
 //! JSON reader) that understands exactly the flat row format
 //! `emit_bench_json` writes: one object per line with `"name"` and
@@ -44,6 +51,9 @@ struct Row {
     /// Sum of the traced stage wall-ns columns; zero on untraced rows and on
     /// baseline files written before those columns existed.
     attributed_wall_ns: u64,
+    /// The traced preconditioner stage alone (ILU factorization +
+    /// triangular sweeps), for the share gate on the ILU rows.
+    precond_wall_ns: u64,
 }
 
 /// Extract a `u64` field from one row's text; missing fields read as zero so
@@ -76,6 +86,7 @@ fn parse_rows(text: &str) -> Vec<Row> {
                 attributed_wall_ns: field_u64(row_text, "kernel_wall_ns")
                     + field_u64(row_text, "precond_wall_ns")
                     + field_u64(row_text, "extraction_wall_ns"),
+                precond_wall_ns: field_u64(row_text, "precond_wall_ns"),
             }),
             _ => eprintln!("bench_check: skipping row {name:?} with unparsable wall_seconds"),
         }
@@ -173,6 +184,35 @@ fn main() -> ExitCode {
             );
         }
     }
+    // Preconditioner-share gate on the traced ILU rows: the blocked and
+    // parallel triangular sweeps exist to shrink the share of wall clock
+    // the ILU apply path consumes, so a candidate whose share grows more
+    // than TOLERANCE over the committed baseline regresses exactly the
+    // quantity this perf work tracks.  Untraced rows on either side (zero
+    // precond_wall_ns) skip the gate.
+    for row in cand_rows.iter().filter(|r| r.name.contains("ilu0")) {
+        let Some(base) = base_rows.iter().find(|r| r.name == row.name) else { continue };
+        if row.precond_wall_ns == 0 || base.precond_wall_ns == 0 {
+            continue;
+        }
+        let base_share = base.precond_wall_ns as f64 / (base.wall_seconds * 1e9);
+        let cand_share = row.precond_wall_ns as f64 / (row.wall_seconds * 1e9);
+        let growth = cand_share / base_share - 1.0;
+        let verdict = if growth > TOLERANCE {
+            failed = true;
+            "FAIL "
+        } else {
+            "ok   "
+        };
+        println!(
+            "  {verdict}{}: precond share {:.1}% -> {:.1}% ({:+.1}%)",
+            row.name,
+            100.0 * base_share,
+            100.0 * cand_share,
+            100.0 * growth
+        );
+    }
+
     if failed {
         eprintln!(
             "bench_check: ratio regression beyond {:.0}% or stage attribution beyond the wall \

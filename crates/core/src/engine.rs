@@ -148,6 +148,15 @@ pub enum PrecondPolicy {
     /// (`M⁻†`, i.e. the `P(1/z̄)` side) recurrences — the iteration-count
     /// lever on top of the traversal lever.
     AssembledIlu0,
+    /// [`AssembledIlu0`](Self::AssembledIlu0) completed by a
+    /// Sherman-Morrison-Woodbury correction for the factored low-rank
+    /// projector tail (`cbs_sparse::SmwPrecond`): the preconditioner
+    /// approximates the *full* `P(z)` instead of only its assembled CSR
+    /// part.  Falls back to plain [`AssembledIlu0`](Self::AssembledIlu0)
+    /// bitwise when no projector is attached (rank 0) or the capacitance
+    /// matrix is singular.  Appended last so existing checkpoint
+    /// fingerprints (which fold in the discriminant) are unchanged.
+    AssembledIlu0Smw,
 }
 
 impl PrecondPolicy {
@@ -164,7 +173,14 @@ impl PrecondPolicy {
     /// Parse a policy name (the `from_env` value syntax); unrecognized
     /// names fall back to the default [`MatrixFree`](Self::MatrixFree).
     pub fn from_name(name: &str) -> Self {
-        if name.eq_ignore_ascii_case("assembled-ilu0")
+        if name.eq_ignore_ascii_case("assembled-ilu0-smw")
+            || name.eq_ignore_ascii_case("assembled_ilu0_smw")
+            || name.eq_ignore_ascii_case("ilu0-smw")
+            || name.eq_ignore_ascii_case("ilu0_smw")
+            || name.eq_ignore_ascii_case("smw")
+        {
+            Self::AssembledIlu0Smw
+        } else if name.eq_ignore_ascii_case("assembled-ilu0")
             || name.eq_ignore_ascii_case("assembled_ilu0")
             || name.eq_ignore_ascii_case("ilu0")
             || name.eq_ignore_ascii_case("ilu")
@@ -183,6 +199,7 @@ impl PrecondPolicy {
             Self::MatrixFree => "matrix-free",
             Self::Assembled => "assembled",
             Self::AssembledIlu0 => "assembled-ilu0",
+            Self::AssembledIlu0Smw => "assembled-ilu0-smw",
         }
     }
 
@@ -193,12 +210,13 @@ impl PrecondPolicy {
 
     /// The policy's code in trace span contexts — the
     /// [`cbs_trace::policy_name`] contract: 0 = matrix-free, 1 = assembled,
-    /// 2 = assembled-ilu0.
+    /// 2 = assembled-ilu0, 3 = assembled-ilu0-smw.
     pub fn trace_code(self) -> u8 {
         match self {
             Self::MatrixFree => 0,
             Self::Assembled => 1,
             Self::AssembledIlu0 => 2,
+            Self::AssembledIlu0Smw => 3,
         }
     }
 }
@@ -1002,13 +1020,20 @@ mod tests {
         assert_eq!(PrecondPolicy::from_name("assembled_ilu0"), PrecondPolicy::AssembledIlu0);
         assert_eq!(PrecondPolicy::from_name("ilu"), PrecondPolicy::AssembledIlu0);
         assert_eq!(PrecondPolicy::from_name("ILU0"), PrecondPolicy::AssembledIlu0);
+        assert_eq!(PrecondPolicy::from_name("assembled-ilu0-smw"), PrecondPolicy::AssembledIlu0Smw);
+        assert_eq!(PrecondPolicy::from_name("assembled_ilu0_smw"), PrecondPolicy::AssembledIlu0Smw);
+        assert_eq!(PrecondPolicy::from_name("ilu0-smw"), PrecondPolicy::AssembledIlu0Smw);
+        assert_eq!(PrecondPolicy::from_name("SMW"), PrecondPolicy::AssembledIlu0Smw);
         assert_eq!(PrecondPolicy::from_name("anything-else"), PrecondPolicy::MatrixFree);
         assert_eq!(PrecondPolicy::MatrixFree.name(), "matrix-free");
         assert_eq!(PrecondPolicy::Assembled.name(), "assembled");
         assert_eq!(PrecondPolicy::AssembledIlu0.name(), "assembled-ilu0");
+        assert_eq!(PrecondPolicy::AssembledIlu0Smw.name(), "assembled-ilu0-smw");
         assert!(!PrecondPolicy::MatrixFree.is_assembled());
         assert!(PrecondPolicy::Assembled.is_assembled());
         assert!(PrecondPolicy::AssembledIlu0.is_assembled());
+        assert!(PrecondPolicy::AssembledIlu0Smw.is_assembled());
+        assert_eq!(PrecondPolicy::AssembledIlu0Smw.trace_code(), 3);
         assert_eq!(PrecondPolicy::default(), PrecondPolicy::MatrixFree);
     }
 

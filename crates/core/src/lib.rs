@@ -47,7 +47,7 @@ pub use engine::{
 };
 pub use partition::{ContourPartition, ContourSlice, SliceNode, SlicePolicy, SliceRegion};
 pub use pool::{solve_pool, PoolGroup, PoolOutcome, PoolPolicy};
-pub use qep::{QepNodeOp, QepOperator, QepProblem};
+pub use qep::{QepNodeOp, QepNodePrecond, QepOperator, QepProblem};
 pub use ss::{
     extract_from_moments, extract_sliced, merge_claimed, solve_qep, solve_qep_sliced,
     solve_qep_sliced_with, solve_qep_with, source_block, MomentAccumulator, QepEigenpair,

@@ -15,7 +15,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use cbs_linalg::{CVector, Complex64};
-use cbs_sparse::{AssembledOp, AssembledPattern, FactoredProjector, Ilu0, LinearOperator};
+use cbs_sparse::{
+    AssembledOp, AssembledPattern, FactoredProjector, Ilu0, LinearOperator, Preconditioner,
+    SmwPrecond,
+};
 
 use crate::engine::PrecondPolicy;
 
@@ -133,7 +136,7 @@ impl<'a> QepProblem<'a> {
     }
 
     /// The per-node solve context under a [`PrecondPolicy`]: the operator
-    /// representation of `P(z)` plus an optional ILU(0) preconditioner.
+    /// representation of `P(z)` plus an optional preconditioner.
     ///
     /// * [`PrecondPolicy::MatrixFree`] — the matrix-free view, no
     ///   preconditioner (bitwise the historical path).
@@ -142,6 +145,11 @@ impl<'a> QepProblem<'a> {
     /// * [`PrecondPolicy::AssembledIlu0`] — the assembled CSR plus its
     ///   ILU(0), whose adjoint triangular solves precondition the dual
     ///   (`P(1/z̄)`) recurrence from the same factorization.
+    /// * [`PrecondPolicy::AssembledIlu0Smw`] — the ILU(0) completed by the
+    ///   Sherman-Morrison-Woodbury correction for the attached factored
+    ///   projector tail, so `M` approximates the full `P(z)`.  Without a
+    ///   non-empty projector this degrades (bitwise) to the plain ILU(0)
+    ///   context.
     ///
     /// Assembled policies require [`with_pattern`](Self::with_pattern);
     /// without it they fall back to the matrix-free context.
@@ -149,7 +157,7 @@ impl<'a> QepProblem<'a> {
         &self,
         policy: PrecondPolicy,
         z: Complex64,
-    ) -> (QepNodeOp<'a, '_>, Option<Ilu0<'a>>) {
+    ) -> (QepNodeOp<'a, '_>, Option<QepNodePrecond<'a>>) {
         match (policy, self.pattern) {
             (PrecondPolicy::MatrixFree, _) | (_, None) => {
                 (QepNodeOp::MatrixFree(self.operator(z)), None)
@@ -160,7 +168,15 @@ impl<'a> QepProblem<'a> {
             (PrecondPolicy::AssembledIlu0, Some(pattern)) => {
                 let op = pattern.assemble(self.energy, z);
                 let ilu = op.ilu0();
-                (self.wrap_assembled(op), Some(ilu))
+                (self.wrap_assembled(op), Some(QepNodePrecond::Ilu0(ilu)))
+            }
+            (PrecondPolicy::AssembledIlu0Smw, Some(pattern)) => {
+                let op = pattern.assemble(self.energy, z);
+                let prec = match self.projector {
+                    Some(proj) if !proj.is_empty() => QepNodePrecond::Smw(op.ilu0_smw(proj)),
+                    _ => QepNodePrecond::Ilu0(op.ilu0()),
+                };
+                (self.wrap_assembled(op), Some(prec))
             }
         }
     }
@@ -348,6 +364,60 @@ impl QepNodeOp<'_, '_> {
     /// `true` for the assembled representations (plain or factored).
     pub fn is_assembled(&self) -> bool {
         matches!(self, Self::Assembled(_) | Self::Factored(..))
+    }
+}
+
+/// The per-node preconditioner resolved from a [`PrecondPolicy`] by
+/// [`QepProblem::node_solve`]: the plain assembled ILU(0), or the ILU(0)
+/// completed by the Sherman-Morrison-Woodbury projector correction
+/// ([`cbs_sparse::SmwPrecond`]).  Delegates every [`Preconditioner`]
+/// method — including the blocked multi-RHS entry points — unchanged, so
+/// the bitwise contracts of the underlying applies carry through.
+pub enum QepNodePrecond<'a> {
+    /// Plain ILU(0) of the assembled CSR part.
+    Ilu0(Ilu0<'a>),
+    /// ILU(0) plus the SMW low-rank completion (`M ≈ P(z)` in full).
+    Smw(SmwPrecond<'a>),
+}
+
+impl QepNodePrecond<'_> {
+    /// `true` when the SMW completion is active (non-empty projector tail
+    /// with a non-singular capacitance matrix).
+    pub fn is_smw_complete(&self) -> bool {
+        matches!(self, Self::Smw(p) if p.is_complete())
+    }
+}
+
+impl Preconditioner for QepNodePrecond<'_> {
+    fn dim(&self) -> usize {
+        match self {
+            Self::Ilu0(p) => p.dim(),
+            Self::Smw(p) => p.dim(),
+        }
+    }
+    fn solve(&self, r: &[Complex64], z: &mut [Complex64]) {
+        match self {
+            Self::Ilu0(p) => p.solve(r, z),
+            Self::Smw(p) => p.solve(r, z),
+        }
+    }
+    fn solve_adjoint(&self, r: &[Complex64], z: &mut [Complex64]) {
+        match self {
+            Self::Ilu0(p) => p.solve_adjoint(r, z),
+            Self::Smw(p) => p.solve_adjoint(r, z),
+        }
+    }
+    fn solve_block(&self, r: &[Complex64], z: &mut [Complex64], nvecs: usize) {
+        match self {
+            Self::Ilu0(p) => p.solve_block(r, z, nvecs),
+            Self::Smw(p) => p.solve_block(r, z, nvecs),
+        }
+    }
+    fn solve_adjoint_block(&self, r: &[Complex64], z: &mut [Complex64], nvecs: usize) {
+        match self {
+            Self::Ilu0(p) => p.solve_adjoint_block(r, z, nvecs),
+            Self::Smw(p) => p.solve_adjoint_block(r, z, nvecs),
+        }
     }
 }
 
@@ -633,9 +703,12 @@ mod tests {
 
         // Without a pattern, every policy resolves matrix-free.
         let bare = QepProblem::new(&op00, &op01, 0.1, 1.0);
-        for policy in
-            [PrecondPolicy::MatrixFree, PrecondPolicy::Assembled, PrecondPolicy::AssembledIlu0]
-        {
+        for policy in [
+            PrecondPolicy::MatrixFree,
+            PrecondPolicy::Assembled,
+            PrecondPolicy::AssembledIlu0,
+            PrecondPolicy::AssembledIlu0Smw,
+        ] {
             let (op, prec) = bare.node_solve(policy, z);
             assert!(!op.is_assembled());
             assert!(prec.is_none());
@@ -650,11 +723,17 @@ mod tests {
         let x = CVector::random(n, &mut rng);
         let (free_op, _) = with.node_solve(PrecondPolicy::MatrixFree, z);
         let y_free = free_op.apply_vec(&x);
-        for policy in [PrecondPolicy::Assembled, PrecondPolicy::AssembledIlu0] {
+        for policy in [
+            PrecondPolicy::Assembled,
+            PrecondPolicy::AssembledIlu0,
+            PrecondPolicy::AssembledIlu0Smw,
+        ] {
             let (op, prec) = with.node_solve(policy, z);
             assert!(op.is_assembled());
             assert_eq!(op.traversal_weight(), 1);
-            assert_eq!(prec.is_some(), policy == PrecondPolicy::AssembledIlu0);
+            assert_eq!(prec.is_some(), policy != PrecondPolicy::Assembled);
+            // No projector attached: the SMW policy degrades to plain ILU(0).
+            assert!(!prec.as_ref().is_some_and(QepNodePrecond::is_smw_complete));
             let y = op.apply_vec(&x);
             assert!(
                 (&y - &y_free).norm() < 1e-11 * (1.0 + y_free.norm()),
@@ -705,12 +784,22 @@ mod tests {
         assert!(factored.projector().is_some());
 
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(414);
-        for policy in [PrecondPolicy::Assembled, PrecondPolicy::AssembledIlu0] {
+        for policy in [
+            PrecondPolicy::Assembled,
+            PrecondPolicy::AssembledIlu0,
+            PrecondPolicy::AssembledIlu0Smw,
+        ] {
             let (op_full, _) = expanded.node_solve(policy, z);
             let (op_fact, prec) = factored.node_solve(policy, z);
             assert!(op_fact.is_assembled());
             assert!(matches!(op_fact, QepNodeOp::Factored(..)));
-            assert_eq!(prec.is_some(), policy == PrecondPolicy::AssembledIlu0);
+            assert_eq!(prec.is_some(), policy != PrecondPolicy::Assembled);
+            // With a non-empty projector, the SMW policy completes the
+            // preconditioner with the low-rank tail.
+            assert_eq!(
+                prec.as_ref().is_some_and(QepNodePrecond::is_smw_complete),
+                policy == PrecondPolicy::AssembledIlu0Smw
+            );
             assert!(op_fact.memory_bytes() > 0);
             for nvecs in [1usize, 3] {
                 let x: Vec<Complex64> = CVector::random(n * nvecs, &mut rng).into_vec();

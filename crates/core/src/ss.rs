@@ -76,6 +76,12 @@ pub struct SsConfig {
     /// [`QepProblem::with_pattern`]) and fall back to matrix-free without
     /// one — problems that never attach a pattern are bitwise unaffected by
     /// the default.
+    /// [`AssembledIlu0Smw`](crate::engine::PrecondPolicy::AssembledIlu0Smw)
+    /// additionally folds an attached factored projector into the
+    /// preconditioner via Sherman-Morrison-Woodbury; it is a *distinct*
+    /// fingerprint value (appended last, so checkpoints written under the
+    /// older policies resume unchanged), and without a projector its
+    /// trajectory is bitwise the plain ILU(0) one.
     pub precond: crate::engine::PrecondPolicy,
     /// Contour partitioning (see [`SlicePolicy`], env knob `CBS_SLICES`):
     /// the default single contour runs the monolithic pipeline, bitwise

@@ -13,6 +13,11 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 use serde::{Deserialize, Serialize};
 
 /// A complex number with `f64` real and imaginary parts.
+///
+/// `#[repr(C)]` guarantees the `(re, im)` field order in memory, so slices
+/// of `Complex64` can be reinterpreted as interleaved `f64` pairs — the
+/// SIMD tile kernels in `cbs-sparse` rely on this.
+#[repr(C)]
 #[derive(Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct Complex64 {
     /// Real part.

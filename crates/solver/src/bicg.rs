@@ -205,8 +205,14 @@ pub fn bicg_dual_seeded<A: LinearOperator + ?Sized>(
 ///
 /// The adjoint solve `M⁻†` on the dual side is what preserves the paper's
 /// dual-circle trick under preconditioning: with `M ≈ P(z)` (e.g.
-/// `cbs_sparse::Ilu0` of the assembled operator), `M† ≈ P(z)† = P(1/z̄)`,
-/// the operator of the paired inner-circle node.
+/// `cbs_sparse::Ilu0` of the assembled operator, or `cbs_sparse::SmwPrecond`
+/// completing it with the projector tail), `M† ≈ P(z)† = P(1/z̄)`, the
+/// operator of the paired inner-circle node.
+///
+/// This scalar solver is the per-column bitwise reference for the block
+/// solver [`bicg_dual_block_precond`](crate::bicg_dual_block_precond),
+/// whose batched [`Preconditioner::solve_block`] applies are contractually
+/// bit-identical to the `m.solve` / `m.solve_adjoint` calls here.
 pub fn bicg_dual_precond_seeded<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
     a: &A,
     m: Option<&M>,

@@ -354,9 +354,12 @@ struct PrecondColumn {
 /// dual BiCG recurrence of
 /// [`bicg_dual_precond_seeded`](crate::bicg_dual_precond_seeded) — per
 /// column bit-identical to that standalone solver, because the fused
-/// matvecs are bit-identical per column and the triangular preconditioner
-/// solves are applied column by column.  Deflation, seeding and the
-/// external stop behave exactly as in the unpreconditioned block solver.
+/// matvecs are bit-identical per column and the preconditioner applies run
+/// through the blocked [`Preconditioner::solve_block`] /
+/// [`Preconditioner::solve_adjoint_block`] entry points, whose contract
+/// (and default) is bitwise equivalence to the per-column solves.
+/// Deflation, seeding and the external stop behave exactly as in the
+/// unpreconditioned block solver.
 pub fn bicg_dual_block_precond<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
     a: &A,
     m: Option<&M>,
@@ -426,22 +429,44 @@ pub fn bicg_dual_block_precond<A: LinearOperator + ?Sized, M: Preconditioner + ?
             .collect();
     }
 
-    let mut cols: Vec<PrecondColumn> = (0..nvecs)
+    // Initial states per column, then ONE blocked preconditioner pass over
+    // all columns: `solve_block` / `solve_adjoint_block` stream the factor
+    // once per level across the whole slab instead of once per column, and
+    // are contractually bitwise equivalent to the per-column applies.
+    let init: Vec<(CVector, CVector, CVector, CVector, usize)> = (0..nvecs)
         .map(|c| {
             assert_eq!(b[c].len(), n, "rhs length mismatch");
             assert_eq!(b_dual[c].len(), n, "dual rhs length mismatch");
             let seed = seeds.and_then(|s| s[c]);
-            let (x, xt, r, rt, matvecs) = match seed {
+            match seed {
                 None => (CVector::zeros(n), CVector::zeros(n), b[c].clone(), b_dual[c].clone(), 0),
                 Some((x0, xt0)) => {
                     let slot = seeded.iter().position(|&s| s == c).expect("seeded slot");
                     (x0.clone(), xt0.clone(), seed_r[slot].clone(), seed_rt[slot].clone(), 2)
                 }
-            };
+            }
+        })
+        .collect();
+    let mut r_slab = vec![Complex64::ZERO; n * nvecs];
+    let mut z_slab = vec![Complex64::ZERO; n * nvecs];
+    let mut zt_slab = vec![Complex64::ZERO; n * nvecs];
+    for (slot, (_, _, r, _, _)) in init.iter().enumerate() {
+        r_slab[slot * n..(slot + 1) * n].copy_from_slice(r.as_slice());
+    }
+    m.solve_block(&r_slab, &mut z_slab, nvecs);
+    for (slot, (_, _, _, rt, _)) in init.iter().enumerate() {
+        r_slab[slot * n..(slot + 1) * n].copy_from_slice(rt.as_slice());
+    }
+    m.solve_adjoint_block(&r_slab, &mut zt_slab, nvecs);
+
+    let mut cols: Vec<PrecondColumn> = init
+        .into_iter()
+        .enumerate()
+        .map(|(c, (x, xt, r, rt, matvecs))| {
             let mut z = CVector::zeros(n);
             let mut zt = CVector::zeros(n);
-            m.solve(r.as_slice(), z.as_mut_slice());
-            m.solve_adjoint(rt.as_slice(), zt.as_mut_slice());
+            z.as_mut_slice().copy_from_slice(&z_slab[c * n..(c + 1) * n]);
+            zt.as_mut_slice().copy_from_slice(&zt_slab[c * n..(c + 1) * n]);
             let p = z.clone();
             let pt = zt.clone();
             let b_norm = b[c].norm().max(1e-300);
@@ -526,7 +551,9 @@ pub fn bicg_dual_block_precond<A: LinearOperator + ?Sized, M: Preconditioner + ?
         }
 
         // Per-column recurrence updates, identical to the preconditioned
-        // scalar solver.
+        // scalar solver, with the two triangular applies batched across the
+        // columns that survive the breakdown check so the factor streams
+        // once per iteration instead of once per column.
         for &c in &active {
             let col = &mut cols[c];
             col.matvecs += 2;
@@ -548,8 +575,32 @@ pub fn bicg_dual_block_precond<A: LinearOperator + ?Sized, M: Preconditioner + ?
                 col.history.push(col.res);
                 col.dual_history.push(col.res_dual);
             }
-            m.solve(col.r.as_slice(), col.z.as_mut_slice());
-            m.solve_adjoint(col.rt.as_slice(), col.zt.as_mut_slice());
+        }
+        let live: Vec<usize> = active.iter().copied().filter(|&c| cols[c].active).collect();
+        if live.is_empty() {
+            continue;
+        }
+        let nl = live.len();
+        p_slab.clear();
+        p_slab.resize(n * nl, Complex64::ZERO);
+        q_slab.clear();
+        q_slab.resize(n * nl, Complex64::ZERO);
+        for (slot, &c) in live.iter().enumerate() {
+            p_slab[slot * n..(slot + 1) * n].copy_from_slice(cols[c].r.as_slice());
+        }
+        m.solve_block(&p_slab, &mut q_slab, nl);
+        for (slot, &c) in live.iter().enumerate() {
+            cols[c].z.as_mut_slice().copy_from_slice(&q_slab[slot * n..(slot + 1) * n]);
+        }
+        for (slot, &c) in live.iter().enumerate() {
+            p_slab[slot * n..(slot + 1) * n].copy_from_slice(cols[c].rt.as_slice());
+        }
+        m.solve_adjoint_block(&p_slab, &mut q_slab, nl);
+        for (slot, &c) in live.iter().enumerate() {
+            cols[c].zt.as_mut_slice().copy_from_slice(&q_slab[slot * n..(slot + 1) * n]);
+        }
+        for &c in &live {
+            let col = &mut cols[c];
             let rho_new = col.rt.dot(&col.z);
             let beta = rho_new / col.rho;
             col.rho = rho_new;

@@ -43,6 +43,7 @@ use crate::kernels::{
     KernelLayout, SplitValues,
 };
 use crate::ops::{LinearOperator, Preconditioner};
+use crate::projector::FactoredProjector;
 use crate::timers::{time_assemble, time_ilu_factor, time_kernel, time_tri_sweep};
 
 /// The shared symbolic structure of `P(z)`: the union sparsity pattern of
@@ -255,6 +256,15 @@ impl<'p> AssembledOp<'p> {
             &self.values,
             Some(self.pattern.tri_schedule()),
         )
+    }
+
+    /// [`ilu0`](Self::ilu0) plus the Sherman-Morrison-Woodbury completion:
+    /// fold `projector`'s low-rank tail at this operator's shift into the
+    /// apply, so the preconditioner approximates the *full* `P(z)` instead
+    /// of its CSR part (see [`SmwPrecond`](crate::SmwPrecond)).  An empty
+    /// projector degrades to the plain ILU(0) apply bitwise.
+    pub fn ilu0_smw(&self, projector: &FactoredProjector) -> crate::smw::SmwPrecond<'p> {
+        crate::smw::SmwPrecond::new(self.ilu0(), projector, self.z)
     }
 }
 
@@ -580,6 +590,25 @@ fn guarded(pivot: Complex64, floor: f64) -> Complex64 {
     }
 }
 
+/// Parse the `CBS_TRI_PAR` level-width threshold once per process: levels
+/// with at least this many rows run their independent gathers through the
+/// rayon fork-join (the same order-preserving, join-before-return backend
+/// the `RayonExecutor` dispatches node solves through), narrower levels
+/// stay serial.  Unset, `0`, or unparsable keeps every level serial.
+///
+/// Parallel level execution is **bitwise identical** to serial (each row's
+/// gather chain is unchanged; writes are scattered after the join), so the
+/// knob is *not* part of the sweep-resume fingerprint.
+fn tri_par_threshold() -> Option<usize> {
+    static THRESHOLD: OnceLock<Option<usize>> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("CBS_TRI_PAR")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+    })
+}
+
 /// A complex ILU(0) factorization `M = L U ≈ A` on the sparsity pattern of
 /// `A` (no fill-in): `L` unit lower triangular, `U` upper triangular, both
 /// stored in one value array over the borrowed pattern.
@@ -594,6 +623,17 @@ fn guarded(pivot: Complex64, floor: f64) -> Complex64 {
 /// level-scheduled sweeps (adjoints as transposed gathers) — bit-identical
 /// to the sequential loops, which remain in place for factorizations built
 /// without a schedule ([`factor`](Self::factor) / [`from_csr`](Self::from_csr)).
+///
+/// Two further execution modes stack on the schedule, both bit-identical:
+///
+/// * **Blocked multi-RHS sweeps** ([`solve_block`](Preconditioner::solve_block)
+///   / [`solve_adjoint_block`](Preconditioner::solve_adjoint_block)) advance
+///   all columns of a slab through each level together, so a row's `lu`
+///   values and column indices stream once per level instead of once per
+///   column — the block solver's per-iteration preconditioner path.
+/// * **Parallel levels** (`CBS_TRI_PAR=<width>`): levels at least that wide
+///   compute their independent row gathers through the rayon fork-join and
+///   scatter the results after the join (`CBS_TRI_PAR`).
 pub struct Ilu0<'p> {
     n: usize,
     row_ptr: &'p [usize],
@@ -604,6 +644,9 @@ pub struct Ilu0<'p> {
     floor: f64,
     /// Once-per-pattern level schedule; `None` runs the sequential sweeps.
     schedule: Option<&'p TriSchedule>,
+    /// Minimum level width for parallel level execution (`CBS_TRI_PAR`);
+    /// `None` keeps every level serial.
+    par_threshold: Option<usize>,
 }
 
 impl<'p> Ilu0<'p> {
@@ -688,7 +731,16 @@ impl<'p> Ilu0<'p> {
                 }
             }
             crate::scratch::recycle_usize_scratch(pos);
-            Self { n, row_ptr, col_idx, diag_idx, lu, floor, schedule }
+            Self {
+                n,
+                row_ptr,
+                col_idx,
+                diag_idx,
+                lu,
+                floor,
+                schedule,
+                par_threshold: tri_par_threshold(),
+            }
         })
     }
 
@@ -707,6 +759,21 @@ impl<'p> Ilu0<'p> {
         self
     }
 
+    /// Override the `CBS_TRI_PAR` parallel level-width threshold (tests
+    /// exercise both executors regardless of the environment).  Parallel
+    /// levels are bitwise identical to serial ones, so this never changes
+    /// results — only which backend walks the wide levels.
+    pub fn with_tri_par(mut self, threshold: Option<usize>) -> Self {
+        self.par_threshold = threshold;
+        self
+    }
+
+    /// Should a level of `width` rows run through the parallel backend?
+    #[inline]
+    fn par_level(&self, width: usize) -> bool {
+        self.par_threshold.is_some_and(|t| width >= t)
+    }
+
     /// Storage footprint of the factor values (the pattern is shared).
     pub fn memory_bytes(&self) -> usize {
         self.lu.len() * std::mem::size_of::<Complex64>()
@@ -723,21 +790,364 @@ impl<'p> Ilu0<'p> {
     /// One forward-substitution row: `z[i] = r[i] - Σ_L lu·z` (unit diag).
     #[inline(always)]
     fn forward_row(&self, i: usize, r: &[Complex64], z: &mut [Complex64]) {
-        let mut acc = r[i];
-        for k in self.row_ptr[i]..self.diag_idx[i] {
-            acc -= self.lu[k] * z[self.col_idx[k]];
-        }
-        z[i] = acc;
+        let v = self.fwd_gather(i, r[i], z);
+        z[i] = v;
     }
 
     /// One backward-substitution row: `z[i] = (z[i] - Σ_U lu·z) / pivot`.
     #[inline(always)]
     fn backward_row(&self, i: usize, z: &mut [Complex64]) {
+        let v = self.bwd_gather(i, z);
+        z[i] = v;
+    }
+
+    /// The forward-substitution gather: `rhs - Σ_L lu·z` (unit diagonal).
+    #[inline(always)]
+    fn fwd_gather(&self, i: usize, rhs: Complex64, z: &[Complex64]) -> Complex64 {
+        let mut acc = rhs;
+        for k in self.row_ptr[i]..self.diag_idx[i] {
+            acc -= self.lu[k] * z[self.col_idx[k]];
+        }
+        acc
+    }
+
+    /// The backward-substitution gather: `(z_i - Σ_U lu·z) / pivot`.
+    #[inline(always)]
+    fn bwd_gather(&self, i: usize, z: &[Complex64]) -> Complex64 {
         let mut acc = z[i];
         for k in (self.diag_idx[i] + 1)..self.row_ptr[i + 1] {
             acc -= self.lu[k] * z[self.col_idx[k]];
         }
-        z[i] = acc / guarded(self.lu[self.diag_idx[i]], self.floor);
+        acc / guarded(self.lu[self.diag_idx[i]], self.floor)
+    }
+
+    /// One `U†` column gather (ascending rows, zero-skip) with the conjugate
+    /// pivot division — replays the sequential scatter order exactly.
+    #[inline(always)]
+    fn utf_gather(&self, s: &TriSchedule, j: usize, rhs: Complex64, z: &[Complex64]) -> Complex64 {
+        let mut acc = rhs;
+        for t in s.ut_ptr[j]..s.ut_ptr[j + 1] {
+            let wi = z[s.ut_row[t]];
+            if wi != Complex64::ZERO {
+                acc -= self.lu[s.ut_pos[t]].conj() * wi;
+            }
+        }
+        acc / guarded(self.lu[self.diag_idx[j]], self.floor).conj()
+    }
+
+    /// One `L†` column gather (descending rows, zero-skip, unit diagonal).
+    #[inline(always)]
+    fn ltb_gather(&self, s: &TriSchedule, j: usize, z: &[Complex64]) -> Complex64 {
+        let mut acc = z[j];
+        for t in (s.lt_ptr[j]..s.lt_ptr[j + 1]).rev() {
+            let xi = z[s.lt_row[t]];
+            if xi != Complex64::ZERO {
+                acc -= self.lu[s.lt_pos[t]].conj() * xi;
+            }
+        }
+        acc
+    }
+
+    /// Stream one forward level over a chunk of exactly `W` columns:
+    /// entry-outer / column-inner, so each row's `lu` value and column index
+    /// load once for the whole chunk, while every column replays its
+    /// sequential gather chain in the exact per-entry order — bitwise
+    /// identical to [`fwd_gather`](Self::fwd_gather) per column.
+    #[inline(always)]
+    fn fwd_level_chunk<const W: usize>(
+        &self,
+        level: &[usize],
+        rs: &[&[Complex64]],
+        zs: &mut [&mut [Complex64]],
+    ) {
+        debug_assert_eq!(zs.len(), W);
+        for &i in level {
+            let mut acc = [Complex64::ZERO; W];
+            for (a, rc) in acc.iter_mut().zip(rs) {
+                *a = rc[i];
+            }
+            for k in self.row_ptr[i]..self.diag_idx[i] {
+                let v = self.lu[k];
+                let j = self.col_idx[k];
+                for (a, zc) in acc.iter_mut().zip(zs.iter()) {
+                    *a -= v * zc[j];
+                }
+            }
+            for (zc, a) in zs.iter_mut().zip(acc) {
+                zc[i] = a;
+            }
+        }
+    }
+
+    /// Execute one forward level over `zs.len()` columns.  Serial mode
+    /// streams each row's `lu` entries once per column chunk
+    /// (entry-outer / column-inner with fixed-width accumulators); parallel
+    /// mode computes every `(row, column)` gather from the pre-level state
+    /// (rows within a level never depend on each other) and scatters the
+    /// results after the join.  Both replay the per-column sequential gather
+    /// chains exactly — bitwise identical.
+    fn fwd_level(
+        &self,
+        level: &[usize],
+        par: bool,
+        rs: &[&[Complex64]],
+        zs: &mut [&mut [Complex64]],
+    ) {
+        let w = zs.len();
+        if par {
+            let vals: Vec<Complex64> = {
+                let shared: Vec<&[Complex64]> = zs.iter().map(|zc| &**zc).collect();
+                use rayon::prelude::*;
+                (0..level.len() * w)
+                    .into_par_iter()
+                    .map(|t| self.fwd_gather(level[t / w], rs[t % w][level[t / w]], shared[t % w]))
+                    .collect()
+            };
+            for (t, &v) in vals.iter().enumerate() {
+                zs[t % w][level[t / w]] = v;
+            }
+        } else {
+            for (zch, rch) in zs.chunks_mut(4).zip(rs.chunks(4)) {
+                match zch.len() {
+                    4 => self.fwd_level_chunk::<4>(level, rch, zch),
+                    3 => {
+                        let (z2, z1) = zch.split_at_mut(2);
+                        self.fwd_level_chunk::<2>(level, &rch[..2], z2);
+                        self.fwd_level_chunk::<1>(level, &rch[2..], z1);
+                    }
+                    2 => self.fwd_level_chunk::<2>(level, rch, zch),
+                    _ => self.fwd_level_chunk::<1>(level, rch, zch),
+                }
+            }
+        }
+    }
+
+    /// The backward streaming chunk: as
+    /// [`fwd_level_chunk`](Self::fwd_level_chunk) over the `U` part, with the
+    /// guarded pivot loaded once per row (the division order per column is
+    /// unchanged — bitwise identical to [`bwd_gather`](Self::bwd_gather)).
+    #[inline(always)]
+    fn bwd_level_chunk<const W: usize>(&self, level: &[usize], zs: &mut [&mut [Complex64]]) {
+        debug_assert_eq!(zs.len(), W);
+        for &i in level {
+            let mut acc = [Complex64::ZERO; W];
+            for (a, zc) in acc.iter_mut().zip(zs.iter()) {
+                *a = zc[i];
+            }
+            for k in (self.diag_idx[i] + 1)..self.row_ptr[i + 1] {
+                let v = self.lu[k];
+                let j = self.col_idx[k];
+                for (a, zc) in acc.iter_mut().zip(zs.iter()) {
+                    *a -= v * zc[j];
+                }
+            }
+            let piv = guarded(self.lu[self.diag_idx[i]], self.floor);
+            for (zc, a) in zs.iter_mut().zip(acc) {
+                zc[i] = a / piv;
+            }
+        }
+    }
+
+    /// Execute one backward level; modes as in [`fwd_level`](Self::fwd_level).
+    fn bwd_level(&self, level: &[usize], par: bool, zs: &mut [&mut [Complex64]]) {
+        let w = zs.len();
+        if par {
+            let vals: Vec<Complex64> = {
+                let shared: Vec<&[Complex64]> = zs.iter().map(|zc| &**zc).collect();
+                use rayon::prelude::*;
+                (0..level.len() * w)
+                    .into_par_iter()
+                    .map(|t| self.bwd_gather(level[t / w], shared[t % w]))
+                    .collect()
+            };
+            for (t, &v) in vals.iter().enumerate() {
+                zs[t % w][level[t / w]] = v;
+            }
+        } else {
+            for zch in zs.chunks_mut(4) {
+                match zch.len() {
+                    4 => self.bwd_level_chunk::<4>(level, zch),
+                    3 => {
+                        let (z2, z1) = zch.split_at_mut(2);
+                        self.bwd_level_chunk::<2>(level, z2);
+                        self.bwd_level_chunk::<1>(level, z1);
+                    }
+                    2 => self.bwd_level_chunk::<2>(level, zch),
+                    _ => self.bwd_level_chunk::<1>(level, zch),
+                }
+            }
+        }
+    }
+
+    /// Execute one `U†` adjoint-forward level; modes as in
+    /// [`fwd_level`](Self::fwd_level).
+    fn utf_level(
+        &self,
+        s: &TriSchedule,
+        level: &[usize],
+        par: bool,
+        rs: &[&[Complex64]],
+        zs: &mut [&mut [Complex64]],
+    ) {
+        let w = zs.len();
+        if par {
+            let vals: Vec<Complex64> = {
+                let shared: Vec<&[Complex64]> = zs.iter().map(|zc| &**zc).collect();
+                use rayon::prelude::*;
+                (0..level.len() * w)
+                    .into_par_iter()
+                    .map(|t| {
+                        self.utf_gather(s, level[t / w], rs[t % w][level[t / w]], shared[t % w])
+                    })
+                    .collect()
+            };
+            for (t, &v) in vals.iter().enumerate() {
+                zs[t % w][level[t / w]] = v;
+            }
+        } else {
+            for (zch, rch) in zs.chunks_mut(4).zip(rs.chunks(4)) {
+                match zch.len() {
+                    4 => self.utf_level_chunk::<4>(s, level, rch, zch),
+                    3 => {
+                        let (z2, z1) = zch.split_at_mut(2);
+                        self.utf_level_chunk::<2>(s, level, &rch[..2], z2);
+                        self.utf_level_chunk::<1>(s, level, &rch[2..], z1);
+                    }
+                    2 => self.utf_level_chunk::<2>(s, level, rch, zch),
+                    _ => self.utf_level_chunk::<1>(s, level, rch, zch),
+                }
+            }
+        }
+    }
+
+    /// The `U†` streaming chunk: the conjugated factor value and row index
+    /// load once per entry for the whole chunk; the zero-skip stays a
+    /// per-(entry, column) decision on that column's multiplicand, and the
+    /// conjugate pivot division closes each column's chain — bitwise
+    /// identical to [`utf_gather`](Self::utf_gather) per column.
+    #[inline(always)]
+    fn utf_level_chunk<const W: usize>(
+        &self,
+        s: &TriSchedule,
+        level: &[usize],
+        rs: &[&[Complex64]],
+        zs: &mut [&mut [Complex64]],
+    ) {
+        debug_assert_eq!(zs.len(), W);
+        for &j in level {
+            let mut acc = [Complex64::ZERO; W];
+            for (a, rc) in acc.iter_mut().zip(rs) {
+                *a = rc[j];
+            }
+            for t in s.ut_ptr[j]..s.ut_ptr[j + 1] {
+                let lc = self.lu[s.ut_pos[t]].conj();
+                let row = s.ut_row[t];
+                for (a, zc) in acc.iter_mut().zip(zs.iter()) {
+                    let wi = zc[row];
+                    if wi != Complex64::ZERO {
+                        *a -= lc * wi;
+                    }
+                }
+            }
+            let piv = guarded(self.lu[self.diag_idx[j]], self.floor).conj();
+            for (zc, a) in zs.iter_mut().zip(acc) {
+                zc[j] = a / piv;
+            }
+        }
+    }
+
+    /// Execute one `L†` adjoint-backward level; modes as in
+    /// [`fwd_level`](Self::fwd_level).
+    fn ltb_level(&self, s: &TriSchedule, level: &[usize], par: bool, zs: &mut [&mut [Complex64]]) {
+        let w = zs.len();
+        if par {
+            let vals: Vec<Complex64> = {
+                let shared: Vec<&[Complex64]> = zs.iter().map(|zc| &**zc).collect();
+                use rayon::prelude::*;
+                (0..level.len() * w)
+                    .into_par_iter()
+                    .map(|t| self.ltb_gather(s, level[t / w], shared[t % w]))
+                    .collect()
+            };
+            for (t, &v) in vals.iter().enumerate() {
+                zs[t % w][level[t / w]] = v;
+            }
+        } else {
+            for zch in zs.chunks_mut(4) {
+                match zch.len() {
+                    4 => self.ltb_level_chunk::<4>(s, level, zch),
+                    3 => {
+                        let (z2, z1) = zch.split_at_mut(2);
+                        self.ltb_level_chunk::<2>(s, level, z2);
+                        self.ltb_level_chunk::<1>(s, level, z1);
+                    }
+                    2 => self.ltb_level_chunk::<2>(s, level, zch),
+                    _ => self.ltb_level_chunk::<1>(s, level, zch),
+                }
+            }
+        }
+    }
+
+    /// The `L†` streaming chunk: descending entry order, per-(entry, column)
+    /// zero-skip, unit diagonal — bitwise identical to
+    /// [`ltb_gather`](Self::ltb_gather) per column.
+    #[inline(always)]
+    fn ltb_level_chunk<const W: usize>(
+        &self,
+        s: &TriSchedule,
+        level: &[usize],
+        zs: &mut [&mut [Complex64]],
+    ) {
+        debug_assert_eq!(zs.len(), W);
+        for &j in level {
+            let mut acc = [Complex64::ZERO; W];
+            for (a, zc) in acc.iter_mut().zip(zs.iter()) {
+                *a = zc[j];
+            }
+            for t in (s.lt_ptr[j]..s.lt_ptr[j + 1]).rev() {
+                let lc = self.lu[s.lt_pos[t]].conj();
+                let row = s.lt_row[t];
+                for (a, zc) in acc.iter_mut().zip(zs.iter()) {
+                    let xi = zc[row];
+                    if xi != Complex64::ZERO {
+                        *a -= lc * xi;
+                    }
+                }
+            }
+            for (zc, a) in zs.iter_mut().zip(acc) {
+                zc[j] = a;
+            }
+        }
+    }
+
+    /// The four scheduled sweeps over a column slab (forward then backward).
+    fn scheduled_solve_slab(
+        &self,
+        s: &TriSchedule,
+        rs: &[&[Complex64]],
+        zs: &mut [&mut [Complex64]],
+    ) {
+        for level in TriSchedule::levels(&s.fwd_level_ptr, &s.fwd_rows) {
+            self.fwd_level(level, self.par_level(level.len()), rs, zs);
+        }
+        for level in TriSchedule::levels(&s.bwd_level_ptr, &s.bwd_rows) {
+            self.bwd_level(level, self.par_level(level.len()), zs);
+        }
+    }
+
+    /// The scheduled adjoint sweeps over a column slab (`U†` then `L†`).
+    fn scheduled_adjoint_slab(
+        &self,
+        s: &TriSchedule,
+        rs: &[&[Complex64]],
+        zs: &mut [&mut [Complex64]],
+    ) {
+        for level in TriSchedule::levels(&s.utf_level_ptr, &s.utf_cols) {
+            self.utf_level(s, level, self.par_level(level.len()), rs, zs);
+        }
+        for level in TriSchedule::levels(&s.ltb_level_ptr, &s.ltb_cols) {
+            self.ltb_level(s, level, self.par_level(level.len()), zs);
+        }
     }
 }
 
@@ -762,18 +1172,11 @@ impl Preconditioner for Ilu0<'_> {
         time_tri_sweep(|| match self.schedule {
             Some(s) => {
                 // Level-scheduled sweeps: every row's own gather runs in
-                // sequential order, so the result is bit-identical to the
-                // `None` branch below.
-                for level in TriSchedule::levels(&s.fwd_level_ptr, &s.fwd_rows) {
-                    for &i in level {
-                        self.forward_row(i, r, z);
-                    }
-                }
-                for level in TriSchedule::levels(&s.bwd_level_ptr, &s.bwd_rows) {
-                    for &i in level {
-                        self.backward_row(i, z);
-                    }
-                }
+                // sequential order (serial or parallel per level), so the
+                // result is bit-identical to the `None` branch below.
+                let rs = [r];
+                let mut zs = [&mut *z];
+                self.scheduled_solve_slab(s, &rs, &mut zs);
             }
             None => {
                 // Forward: L y = r (unit diagonal).
@@ -798,32 +1201,9 @@ impl Preconditioner for Ilu0<'_> {
                 // replay the sequential scatter exactly (ascending rows for
                 // U†, descending for L†), so the result is bit-identical
                 // to the `None` branch below.
-                // U† w = r: column j gathers from rows i < j, ascending.
-                for level in TriSchedule::levels(&s.utf_level_ptr, &s.utf_cols) {
-                    for &j in level {
-                        let mut acc = r[j];
-                        for t in s.ut_ptr[j]..s.ut_ptr[j + 1] {
-                            let wi = z[s.ut_row[t]];
-                            if wi != Complex64::ZERO {
-                                acc -= self.lu[s.ut_pos[t]].conj() * wi;
-                            }
-                        }
-                        z[j] = acc / guarded(self.lu[self.diag_idx[j]], self.floor).conj();
-                    }
-                }
-                // L† x = w: column j gathers from rows i > j, descending.
-                for level in TriSchedule::levels(&s.ltb_level_ptr, &s.ltb_cols) {
-                    for &j in level {
-                        let mut acc = z[j];
-                        for t in (s.lt_ptr[j]..s.lt_ptr[j + 1]).rev() {
-                            let xi = z[s.lt_row[t]];
-                            if xi != Complex64::ZERO {
-                                acc -= self.lu[s.lt_pos[t]].conj() * xi;
-                            }
-                        }
-                        z[j] = acc;
-                    }
-                }
+                let rs = [r];
+                let mut zs = [&mut *z];
+                self.scheduled_adjoint_slab(s, &rs, &mut zs);
             }
             None => {
                 z.copy_from_slice(r);
@@ -850,6 +1230,44 @@ impl Preconditioner for Ilu0<'_> {
                     }
                 }
             }
+        });
+    }
+
+    fn solve_block(&self, r: &[Complex64], z: &mut [Complex64], nvecs: usize) {
+        assert!(r.len() >= self.n * nvecs, "ILU block solve: r slab too short");
+        assert!(z.len() >= self.n * nvecs, "ILU block solve: z slab too short");
+        let Some(s) = self.schedule else {
+            // No level schedule: the sequential per-column sweeps.
+            for (rc, zc) in r.chunks_exact(self.n).zip(z.chunks_exact_mut(self.n)).take(nvecs) {
+                self.solve(rc, zc);
+            }
+            return;
+        };
+        time_tri_sweep(|| {
+            // Blocked sweeps: all columns advance through each level
+            // together, so a row's `lu` values and indices stream once per
+            // level instead of once per column.  Per column the gather
+            // chains are the sequential ones — bitwise identical to the
+            // per-column default.
+            let rs: Vec<&[Complex64]> = r.chunks_exact(self.n).take(nvecs).collect();
+            let mut zs: Vec<&mut [Complex64]> = z.chunks_exact_mut(self.n).take(nvecs).collect();
+            self.scheduled_solve_slab(s, &rs, &mut zs);
+        });
+    }
+
+    fn solve_adjoint_block(&self, r: &[Complex64], z: &mut [Complex64], nvecs: usize) {
+        assert!(r.len() >= self.n * nvecs, "ILU adjoint block solve: r slab too short");
+        assert!(z.len() >= self.n * nvecs, "ILU adjoint block solve: z slab too short");
+        let Some(s) = self.schedule else {
+            for (rc, zc) in r.chunks_exact(self.n).zip(z.chunks_exact_mut(self.n)).take(nvecs) {
+                self.solve_adjoint(rc, zc);
+            }
+            return;
+        };
+        time_tri_sweep(|| {
+            let rs: Vec<&[Complex64]> = r.chunks_exact(self.n).take(nvecs).collect();
+            let mut zs: Vec<&mut [Complex64]> = z.chunks_exact_mut(self.n).take(nvecs).collect();
+            self.scheduled_adjoint_slab(s, &rs, &mut zs);
         });
     }
 }

@@ -23,6 +23,8 @@
 //! SpMM tiles.  The raw interleaved kernels live in [`crate::csr`]; this
 //! module holds the planar value store and its kernels.
 
+use std::sync::OnceLock;
+
 use cbs_linalg::{c64, Complex64};
 
 /// Rows per cache block of the blocked SpMV/SpMM traversals.  One block's
@@ -129,6 +131,57 @@ impl SplitValues {
     }
 }
 
+/// SIMD dispatch mode of the split-layout tile kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdMode {
+    /// Explicit AVX2+FMA vector tiles (x86-64 with runtime support): the
+    /// 4-wide and 2-wide column-group SpMM tiles run their FMA chains
+    /// 4/2 lanes at a time.  Each lane executes the *same* fused chain as
+    /// the scalar tile (`fmadd`/`fnmadd` per entry, one rounding each), so
+    /// `Wide` is **bit-identical** to `Scalar` — the dispatch is a speed
+    /// knob, never a results knob.
+    Wide,
+    /// Portable scalar `f64::mul_add` chains — the only mode on non-x86-64
+    /// targets, on CPUs without AVX2/FMA, or when forced via
+    /// `CBS_SIMD=scalar`.
+    Scalar,
+}
+
+impl SimdMode {
+    /// Canonical knob value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Wide => "wide",
+            Self::Scalar => "scalar",
+        }
+    }
+}
+
+/// Runtime-detected SIMD mode, cached once per process.  `CBS_SIMD=scalar`
+/// forces the portable chains (for debugging or perf A/B runs); anything
+/// else auto-detects `avx2`+`fma` via `is_x86_feature_detected!` with the
+/// scalar chains as the portable fallback.
+pub fn simd_mode() -> SimdMode {
+    static MODE: OnceLock<SimdMode> = OnceLock::new();
+    *MODE.get_or_init(|| {
+        let forced_scalar = std::env::var("CBS_SIMD")
+            .map(|v| v.trim().eq_ignore_ascii_case("scalar"))
+            .unwrap_or(false);
+        if forced_scalar {
+            return SimdMode::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return SimdMode::Wide;
+            }
+        }
+        SimdMode::Scalar
+    })
+}
+
 // Four real FMA chains accumulating `acc += v * x` with `v = (vr, vi)`:
 //   re += vr·x.re − vi·x.im,   im += vr·x.im + vi·x.re
 #[inline(always)]
@@ -193,9 +246,174 @@ pub(crate) fn spmv_split_adjoint_into(
     }
 }
 
+/// The scalar 4-wide column-group tile over rows `r0..r1` (reference
+/// implementation; the AVX2 twin in [`avx2`] is bit-identical per lane).
+#[allow(clippy::too_many_arguments)]
+fn tile4_scalar(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    re: &[f64],
+    im: &[f64],
+    r0: usize,
+    r1: usize,
+    x: (&[Complex64], &[Complex64], &[Complex64], &[Complex64]),
+    y: (&mut [Complex64], &mut [Complex64], &mut [Complex64], &mut [Complex64]),
+) {
+    let (x0, x1, x2, x3) = x;
+    let (y0, y1, y2, y3) = y;
+    for i in r0..r1 {
+        let (mut a0r, mut a0i, mut a1r, mut a1i) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let (mut a2r, mut a2i, mut a3r, mut a3i) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for k in row_ptr[i]..row_ptr[i + 1] {
+            let (vr, vi) = (re[k], im[k]);
+            let c = col_idx[k];
+            fma_mul(vr, vi, x0[c], &mut a0r, &mut a0i);
+            fma_mul(vr, vi, x1[c], &mut a1r, &mut a1i);
+            fma_mul(vr, vi, x2[c], &mut a2r, &mut a2i);
+            fma_mul(vr, vi, x3[c], &mut a3r, &mut a3i);
+        }
+        y0[i] = c64(a0r, a0i);
+        y1[i] = c64(a1r, a1i);
+        y2[i] = c64(a2r, a2i);
+        y3[i] = c64(a3r, a3i);
+    }
+}
+
+/// The scalar 2-wide column-group tile over rows `r0..r1`.
+#[allow(clippy::too_many_arguments)]
+fn tile2_scalar(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    re: &[f64],
+    im: &[f64],
+    r0: usize,
+    r1: usize,
+    x: (&[Complex64], &[Complex64]),
+    y: (&mut [Complex64], &mut [Complex64]),
+) {
+    let (x0, x1) = x;
+    let (y0, y1) = y;
+    for i in r0..r1 {
+        let (mut a0r, mut a0i, mut a1r, mut a1i) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for k in row_ptr[i]..row_ptr[i + 1] {
+            let (vr, vi) = (re[k], im[k]);
+            let c = col_idx[k];
+            fma_mul(vr, vi, x0[c], &mut a0r, &mut a0i);
+            fma_mul(vr, vi, x1[c], &mut a1r, &mut a1i);
+        }
+        y0[i] = c64(a0r, a0i);
+        y1[i] = c64(a1r, a1i);
+    }
+}
+
+/// Explicit AVX2+FMA twins of the scalar column-group tiles.
+///
+/// Per CSR entry the scalar tile runs, for each column lane, the chain
+/// `ar = fma(vr, xr, ar); ar = fma(-vi, xi, ar); ai = fma(vr, xi, ai);
+/// ai = fma(vi, xr, ai)` — four fused operations with one rounding each.
+/// The vector tiles broadcast `(vr, vi)`, transpose the lanes' interleaved
+/// `x` values into planar registers (`unpacklo`/`unpackhi`), and run the
+/// *same* chain with `vfmadd`/`vfnmadd` across all lanes at once.  Because
+/// FMA negation is exact and each lane's operation order is unchanged, the
+/// results are **bit-identical** to the scalar tiles — locked by a test.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{c64, Complex64};
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure `avx2` and `fma` are supported at runtime.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn tile4(
+        row_ptr: &[usize],
+        col_idx: &[usize],
+        re: &[f64],
+        im: &[f64],
+        r0: usize,
+        r1: usize,
+        x: (&[Complex64], &[Complex64], &[Complex64], &[Complex64]),
+        y: (&mut [Complex64], &mut [Complex64], &mut [Complex64], &mut [Complex64]),
+    ) {
+        let (x0, x1, x2, x3) = x;
+        let (y0, y1, y2, y3) = y;
+        for i in r0..r1 {
+            let mut ar = _mm256_setzero_pd();
+            let mut ai = _mm256_setzero_pd();
+            for k in row_ptr[i]..row_ptr[i + 1] {
+                let vr = _mm256_set1_pd(re[k]);
+                let vi = _mm256_set1_pd(im[k]);
+                let c = col_idx[k];
+                let p0 = _mm_loadu_pd(&x0[c] as *const Complex64 as *const f64);
+                let p1 = _mm_loadu_pd(&x1[c] as *const Complex64 as *const f64);
+                let p2 = _mm_loadu_pd(&x2[c] as *const Complex64 as *const f64);
+                let p3 = _mm_loadu_pd(&x3[c] as *const Complex64 as *const f64);
+                let xr = _mm256_set_m128d(_mm_unpacklo_pd(p2, p3), _mm_unpacklo_pd(p0, p1));
+                let xi = _mm256_set_m128d(_mm_unpackhi_pd(p2, p3), _mm_unpackhi_pd(p0, p1));
+                ar = _mm256_fmadd_pd(vr, xr, ar);
+                ar = _mm256_fnmadd_pd(vi, xi, ar);
+                ai = _mm256_fmadd_pd(vr, xi, ai);
+                ai = _mm256_fmadd_pd(vi, xr, ai);
+            }
+            let mut rs = [0.0f64; 4];
+            let mut is = [0.0f64; 4];
+            _mm256_storeu_pd(rs.as_mut_ptr(), ar);
+            _mm256_storeu_pd(is.as_mut_ptr(), ai);
+            y0[i] = c64(rs[0], is[0]);
+            y1[i] = c64(rs[1], is[1]);
+            y2[i] = c64(rs[2], is[2]);
+            y3[i] = c64(rs[3], is[3]);
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure `avx2` and `fma` are supported at runtime.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn tile2(
+        row_ptr: &[usize],
+        col_idx: &[usize],
+        re: &[f64],
+        im: &[f64],
+        r0: usize,
+        r1: usize,
+        x: (&[Complex64], &[Complex64]),
+        y: (&mut [Complex64], &mut [Complex64]),
+    ) {
+        let (x0, x1) = x;
+        let (y0, y1) = y;
+        for i in r0..r1 {
+            let mut ar = _mm_setzero_pd();
+            let mut ai = _mm_setzero_pd();
+            for k in row_ptr[i]..row_ptr[i + 1] {
+                let vr = _mm_set1_pd(re[k]);
+                let vi = _mm_set1_pd(im[k]);
+                let c = col_idx[k];
+                let p0 = _mm_loadu_pd(&x0[c] as *const Complex64 as *const f64);
+                let p1 = _mm_loadu_pd(&x1[c] as *const Complex64 as *const f64);
+                let xr = _mm_unpacklo_pd(p0, p1);
+                let xi = _mm_unpackhi_pd(p0, p1);
+                ar = _mm_fmadd_pd(vr, xr, ar);
+                ar = _mm_fnmadd_pd(vi, xi, ar);
+                ai = _mm_fmadd_pd(vr, xi, ai);
+                ai = _mm_fmadd_pd(vi, xr, ai);
+            }
+            let mut rs = [0.0f64; 2];
+            let mut is = [0.0f64; 2];
+            _mm_storeu_pd(rs.as_mut_ptr(), ar);
+            _mm_storeu_pd(is.as_mut_ptr(), ai);
+            y0[i] = c64(rs[0], is[0]);
+            y1[i] = c64(rs[1], is[1]);
+        }
+    }
+}
+
 /// Row-blocked fused block kernel `Y = A X` with planar values: 4/2/1-wide
 /// column-group tiles inside [`ROW_BLOCK`]-row cache blocks, FMA-chain
-/// accumulators per (row, column).
+/// accumulators per (row, column).  The 4- and 2-wide tiles dispatch on
+/// [`simd_mode`] between the explicit AVX2+FMA vector tiles and the
+/// portable scalar chains (bit-identical — see [`SimdMode`]); the 1-wide
+/// remainder is always scalar.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn spmv_split_block_into(
     row_ptr: &[usize],
@@ -208,6 +426,7 @@ pub(crate) fn spmv_split_block_into(
     nvecs: usize,
 ) {
     let (re, im) = vals.planes();
+    let wide = simd_mode() == SimdMode::Wide;
     let mut r0 = 0;
     while r0 < nr {
         let r1 = (r0 + ROW_BLOCK).min(nr);
@@ -221,22 +440,25 @@ pub(crate) fn spmv_split_block_into(
             let (y1, rest) = rest.split_at_mut(nr);
             let (y2, rest) = rest.split_at_mut(nr);
             let y3 = &mut rest[..nr];
-            for i in r0..r1 {
-                let (mut a0r, mut a0i, mut a1r, mut a1i) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-                let (mut a2r, mut a2i, mut a3r, mut a3i) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-                for k in row_ptr[i]..row_ptr[i + 1] {
-                    let (vr, vi) = (re[k], im[k]);
-                    let c = col_idx[k];
-                    fma_mul(vr, vi, x0[c], &mut a0r, &mut a0i);
-                    fma_mul(vr, vi, x1[c], &mut a1r, &mut a1i);
-                    fma_mul(vr, vi, x2[c], &mut a2r, &mut a2i);
-                    fma_mul(vr, vi, x3[c], &mut a3r, &mut a3i);
+            #[cfg(target_arch = "x86_64")]
+            if wide {
+                // SAFETY: `wide` implies runtime avx2+fma support.
+                unsafe {
+                    avx2::tile4(
+                        row_ptr,
+                        col_idx,
+                        re,
+                        im,
+                        r0,
+                        r1,
+                        (x0, x1, x2, x3),
+                        (y0, y1, y2, y3),
+                    );
                 }
-                y0[i] = c64(a0r, a0i);
-                y1[i] = c64(a1r, a1i);
-                y2[i] = c64(a2r, a2i);
-                y3[i] = c64(a3r, a3i);
+                j += 4;
+                continue;
             }
+            tile4_scalar(row_ptr, col_idx, re, im, r0, r1, (x0, x1, x2, x3), (y0, y1, y2, y3));
             j += 4;
         }
         if j + 2 <= nvecs {
@@ -244,16 +466,17 @@ pub(crate) fn spmv_split_block_into(
             let x1 = &rest[..nc];
             let (y0, rest) = y[j * nr..].split_at_mut(nr);
             let y1 = &mut rest[..nr];
-            for i in r0..r1 {
-                let (mut a0r, mut a0i, mut a1r, mut a1i) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-                for k in row_ptr[i]..row_ptr[i + 1] {
-                    let (vr, vi) = (re[k], im[k]);
-                    let c = col_idx[k];
-                    fma_mul(vr, vi, x0[c], &mut a0r, &mut a0i);
-                    fma_mul(vr, vi, x1[c], &mut a1r, &mut a1i);
+            let mut done = false;
+            #[cfg(target_arch = "x86_64")]
+            if wide {
+                // SAFETY: `wide` implies runtime avx2+fma support.
+                unsafe {
+                    avx2::tile2(row_ptr, col_idx, re, im, r0, r1, (x0, x1), (y0, y1));
                 }
-                y0[i] = c64(a0r, a0i);
-                y1[i] = c64(a1r, a1i);
+                done = true;
+            }
+            if !done {
+                tile2_scalar(row_ptr, col_idx, re, im, r0, r1, (x0, x1), (y0, y1));
             }
             j += 2;
         }
@@ -372,6 +595,92 @@ mod tests {
         assert_eq!(KernelLayout::from_name("bogus"), None);
         assert_eq!(KernelLayout::default(), KernelLayout::Interleaved);
         assert_eq!(KernelLayout::Split.name(), "split");
+    }
+
+    #[test]
+    fn simd_mode_reports_a_name() {
+        // The resolved mode is environment/CPU dependent; only the knob
+        // surface is asserted here.  Bit-identity of Wide vs Scalar is
+        // locked below on x86-64.
+        assert!(matches!(simd_mode().name(), "wide" | "scalar"));
+        assert_eq!(SimdMode::Wide.name(), "wide");
+        assert_eq!(SimdMode::Scalar.name(), "scalar");
+    }
+
+    /// A little random CSR + slab fixture (deterministic, no RNG dep).
+    fn fixture(n: usize, nvecs: usize) -> (Vec<usize>, Vec<usize>, SplitValues, Vec<Complex64>) {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if (i + 3 * j) % 4 == 0 || i == j {
+                    col_idx.push(j);
+                    vals.push(c64(next(), next()));
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let x: Vec<Complex64> = (0..n * nvecs).map(|_| c64(next(), next())).collect();
+        (row_ptr, col_idx, SplitValues::from_values(&vals), x)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_tiles_are_bitwise_identical_to_scalar_tiles() {
+        if !(std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma"))
+        {
+            eprintln!("avx2/fma not available; skipping SIMD bit-identity check");
+            return;
+        }
+        let n = 37;
+        let (row_ptr, col_idx, vals, x) = fixture(n, 4);
+        let (re, im) = vals.planes();
+        let (x0, rest) = x.split_at(n);
+        let (x1, rest) = rest.split_at(n);
+        let (x2, x3) = rest.split_at(n);
+
+        let mut ys = vec![Complex64::ZERO; 4 * n];
+        {
+            let (y0, rest) = ys.split_at_mut(n);
+            let (y1, rest) = rest.split_at_mut(n);
+            let (y2, y3) = rest.split_at_mut(n);
+            tile4_scalar(&row_ptr, &col_idx, re, im, 0, n, (x0, x1, x2, x3), (y0, y1, y2, y3));
+        }
+        let mut yw = vec![Complex64::ZERO; 4 * n];
+        {
+            let (y0, rest) = yw.split_at_mut(n);
+            let (y1, rest) = rest.split_at_mut(n);
+            let (y2, y3) = rest.split_at_mut(n);
+            // SAFETY: feature support checked above.
+            unsafe {
+                avx2::tile4(&row_ptr, &col_idx, re, im, 0, n, (x0, x1, x2, x3), (y0, y1, y2, y3));
+            }
+        }
+        assert_eq!(ys, yw, "avx2 tile4 must be bitwise identical to the scalar tile");
+
+        let mut ys2 = vec![Complex64::ZERO; 2 * n];
+        {
+            let (y0, y1) = ys2.split_at_mut(n);
+            tile2_scalar(&row_ptr, &col_idx, re, im, 0, n, (x0, x1), (y0, y1));
+        }
+        let mut yw2 = vec![Complex64::ZERO; 2 * n];
+        {
+            let (y0, y1) = yw2.split_at_mut(n);
+            // SAFETY: feature support checked above.
+            unsafe {
+                avx2::tile2(&row_ptr, &col_idx, re, im, 0, n, (x0, x1), (y0, y1));
+            }
+        }
+        assert_eq!(ys2, yw2, "avx2 tile2 must be bitwise identical to the scalar tile");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   dual BiCG,
 //! * [`FactoredProjector`] — the non-local projector part of `P(z)` kept in
 //!   factored low-rank form alongside an assembled CSR part,
+//! * [`SmwPrecond`] — the Sherman-Morrison-Woodbury completion folding that
+//!   low-rank tail into the ILU(0) apply (`M ≈ P(z)` in full),
 //! * [`KernelLayout`] / [`SplitValues`] — the interleaved-vs-planar value
 //!   layout experiment of the CSR kernels (`CBS_KERNEL_LAYOUT`),
 //! * composition helpers ([`SumOp`], [`ScaledOp`], [`ShiftedOp`], [`DenseOp`],
@@ -30,15 +32,17 @@ pub mod lowrank;
 pub mod ops;
 pub mod projector;
 pub mod scratch;
+pub mod smw;
 pub mod timers;
 
 pub use assembled::{AssembledOp, AssembledPattern, Ilu0, TriSchedule};
 pub use csr::{CooBuilder, CsrMatrix};
-pub use kernels::{KernelLayout, SplitValues};
+pub use kernels::{simd_mode, KernelLayout, SimdMode, SplitValues};
 pub use lowrank::{LowRankOp, RankOneTerm, SparseVec};
 pub use ops::{
     adjoint_defect, DenseOp, IdentityOp, LinearOperator, Preconditioner, ScaledOp, ShiftedOp, SumOp,
 };
 pub use projector::FactoredProjector;
 pub use scratch::{recycle_scratch, take_scratch, with_scratch};
+pub use smw::SmwPrecond;
 pub use timers::{stage_delta, stage_snapshot, StageTimes};

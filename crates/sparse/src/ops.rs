@@ -115,6 +115,32 @@ pub trait Preconditioner: Sync {
 
     /// `z = M⁻† r`.  `z` is fully overwritten.
     fn solve_adjoint(&self, r: &[Complex64], z: &mut [Complex64]);
+
+    /// Multi-RHS solve over `nvecs` column-major vectors: column `c` lives
+    /// at `r[c*n..(c+1)*n]` / `z[c*n..(c+1)*n]` (the same slab convention
+    /// as [`LinearOperator::apply_block`]).
+    ///
+    /// The default loops [`Preconditioner::solve`] per column, so every
+    /// implementation is *bitwise* equivalent to the per-column path out of
+    /// the box.  Implementations that override it (the level-scheduled
+    /// ILU(0) blocked sweeps) must preserve that bitwise equivalence — the
+    /// block solver's parity contract with the per-column reference solver
+    /// is test-locked on top of this seam.
+    fn solve_block(&self, r: &[Complex64], z: &mut [Complex64], nvecs: usize) {
+        let n = self.dim();
+        for (rc, zc) in r.chunks_exact(n).zip(z.chunks_exact_mut(n)).take(nvecs) {
+            self.solve(rc, zc);
+        }
+    }
+
+    /// Multi-RHS adjoint solve; slab layout and bitwise contract as in
+    /// [`Preconditioner::solve_block`].
+    fn solve_adjoint_block(&self, r: &[Complex64], z: &mut [Complex64], nvecs: usize) {
+        let n = self.dim();
+        for (rc, zc) in r.chunks_exact(n).zip(z.chunks_exact_mut(n)).take(nvecs) {
+            self.solve_adjoint(rc, zc);
+        }
+    }
 }
 
 impl<T: LinearOperator + ?Sized> LinearOperator for &T {

@@ -75,6 +75,13 @@ impl FactoredProjector {
         &self.vnl01
     }
 
+    /// The precomputed adjoint factor `V₁₀ = V₀₁†` (same terms the hot-loop
+    /// accumulators stream — consumers like the SMW preconditioner reuse it
+    /// instead of re-transposing).
+    pub fn vnl10(&self) -> &LowRankOp {
+        &self.vnl10
+    }
+
     /// Total factor storage in bytes.
     pub fn storage_bytes(&self) -> usize {
         self.vnl00.storage_bytes() + self.vnl01.storage_bytes() + self.vnl10.storage_bytes()

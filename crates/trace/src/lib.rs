@@ -182,6 +182,7 @@ pub fn policy_name(code: u8) -> Option<&'static str> {
         0 => Some("matrix-free"),
         1 => Some("assembled"),
         2 => Some("assembled-ilu0"),
+        3 => Some("assembled-ilu0-smw"),
         _ => None,
     }
 }

@@ -255,6 +255,7 @@ fn policy_matrix_cell_from_env() {
     let h00 = h.h00();
     let h01 = h.h01();
     let pattern = h.qep_pattern();
+    let (pattern_sparse, projector) = h.qep_factored();
     let block = BlockPolicy::from_env("CBS_BLOCK");
     let precond = PrecondPolicy::from_env("CBS_PRECOND");
     let slice = match SlicePolicy::from_env("CBS_SLICES") {
@@ -262,7 +263,15 @@ fn policy_matrix_cell_from_env() {
         p => SlicePolicy { arc_nodes: Some(32), ..p },
     };
     let config = SsConfig { n_mm: 4, n_rh: 4, block, precond, ..fig6_config() };
-    let problem = QepProblem::new(&h00, &h01, 0.15, h.period()).with_pattern(&pattern);
+    // The SMW cell needs the factored problem (sparse-only pattern plus
+    // projector tail) for the completion to be distinct from plain ILU(0).
+    let problem = if precond == PrecondPolicy::AssembledIlu0Smw {
+        QepProblem::new(&h00, &h01, 0.15, h.period())
+            .with_pattern(&pattern_sparse)
+            .with_projector(&projector)
+    } else {
+        QepProblem::new(&h00, &h01, 0.15, h.period()).with_pattern(&pattern)
+    };
 
     let rayon = std::env::var("CBS_EXECUTOR").is_ok_and(|v| v.eq_ignore_ascii_case("rayon"));
     let sliced_cfg = SsConfig { slice, ..config };
