@@ -1,0 +1,4 @@
+pub fn apply(n: usize) -> Vec<f64> {
+    let buf = vec![0.0f64; n];
+    buf
+}

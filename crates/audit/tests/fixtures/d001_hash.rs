@@ -1,0 +1,4 @@
+pub fn index() -> usize {
+    let m = std::collections::HashMap::<u64, usize>::new();
+    m.len()
+}

@@ -1,0 +1,5 @@
+use rayon::prelude::*;
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}

@@ -1,0 +1,4 @@
+pub fn quiet() {
+    // cbs-audit: allow(D002)
+    let _ = ();
+}

@@ -1,0 +1,4 @@
+pub fn quiet() {
+    // cbs-audit: allow(Z999) reason="no such lint"
+    let _ = ();
+}

@@ -152,7 +152,7 @@ fn bench_sweep(c: &mut Criterion) {
     // `CBS_BENCH_SMOKE=1` skips the sampled criterion group and keeps only
     // the one-timed-run row pass below — the CI regression gate runs in
     // this mode so the wall-clock ratios land in minutes, not an hour.
-    let smoke = std::env::var_os("CBS_BENCH_SMOKE").is_some();
+    let smoke = cbs_trace::knob_set("CBS_BENCH_SMOKE");
     if !smoke {
         let mut group = c.benchmark_group("sweep_cbs");
         group.sample_size(10);

@@ -2,7 +2,6 @@
 //! crystalline bundle around the Fermi energy.
 fn main() {
     println!("=== Figure 11: CBS of carbon-nanotube bundles ===");
-    let n_energies: usize =
-        std::env::var("CBS_ENERGIES").ok().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let n_energies: usize = cbs_trace::knob("CBS_ENERGIES").unwrap_or(5);
     cbs_bench::experiments::fig11_bundles(n_energies);
 }

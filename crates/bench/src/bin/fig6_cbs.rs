@@ -2,8 +2,7 @@
 //! Al(100) and the (6,6) CNT.
 fn main() {
     println!("=== Figure 6: CBS vs conventional band structure ===");
-    let n_energies: usize =
-        std::env::var("CBS_ENERGIES").ok().and_then(|s| s.parse().ok()).unwrap_or(12);
+    let n_energies: usize = cbs_trace::knob("CBS_ENERGIES").unwrap_or(12);
     for sys in cbs_bench::experiments::serial_systems() {
         cbs_bench::experiments::fig6_cbs_vs_bands(&sys, n_energies);
     }

@@ -59,9 +59,9 @@ pub fn compute_cbs_env(h: &BlockHamiltonian, energies: &[f64], config: &SsConfig
         slice: slice_policy_env(config.slice),
         ..*config
     };
-    let sweep_config = match std::env::var("CBS_SWEEP") {
-        Ok(v) if v.eq_ignore_ascii_case("cold") => SweepConfig::cold(config),
-        _ => SweepConfig::new(config),
+    let sweep_config = match cbs_trace::knob("CBS_SWEEP") {
+        Some(SweepMode::Cold) => SweepConfig::cold(config),
+        Some(SweepMode::Warm) | None => SweepConfig::new(config),
     };
     let h00 = h.h00();
     let h01 = h.h01();
@@ -87,25 +87,49 @@ fn ss_config() -> SsConfig {
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    cbs_trace::knob(key).unwrap_or(default)
+}
+
+/// Warm-start mode of the bench energy sweeps (`CBS_SWEEP`).
+enum SweepMode {
+    /// Cross-energy warm starting on (the default).
+    Warm,
+    /// Every energy solves cold — bit-identical to the per-energy loop.
+    Cold,
+}
+
+impl cbs_trace::Knob for SweepMode {
+    fn parse_knob(value: &str) -> Option<Self> {
+        if value.eq_ignore_ascii_case("cold") {
+            Some(Self::Cold)
+        } else if value.eq_ignore_ascii_case("warm") {
+            Some(Self::Warm)
+        } else {
+            None
+        }
+    }
 }
 
 /// `CBS_BLOCK` overrides the configured job granularity only when it is
-/// actually set; an unset variable keeps the caller's choice.
+/// set to a *valid* policy name; unset (or malformed, which warns once)
+/// keeps the caller's choice — it can no longer silently snap to the hard
+/// default the way the old `from_name` fallback did.
 fn block_policy_env(configured: BlockPolicy) -> BlockPolicy {
-    std::env::var("CBS_BLOCK").map_or(configured, |v| BlockPolicy::from_name(&v))
+    cbs_trace::knob("CBS_BLOCK").unwrap_or(configured)
 }
 
 /// `CBS_PRECOND` overrides the configured operator representation /
-/// preconditioning only when it is actually set.
+/// preconditioning only when it is set to a valid policy name (same
+/// keep-the-configured-value contract as [`block_policy_env`]).
 fn precond_policy_env(configured: PrecondPolicy) -> PrecondPolicy {
-    std::env::var("CBS_PRECOND").map_or(configured, |v| PrecondPolicy::from_name(&v))
+    cbs_trace::knob("CBS_PRECOND").unwrap_or(configured)
 }
 
 /// `CBS_SLICES` overrides the configured contour partitioning only when it
-/// is actually set.
+/// is set to a valid policy name (same keep-the-configured-value contract
+/// as [`block_policy_env`]).
 fn slice_policy_env(configured: SlicePolicy) -> SlicePolicy {
-    std::env::var("CBS_SLICES").map_or(configured, |v| SlicePolicy::from_name(&v))
+    cbs_trace::knob("CBS_SLICES").unwrap_or(configured)
 }
 
 /// The assembled pattern a single-energy harness should attach to its
@@ -129,7 +153,7 @@ pub fn fig4_compare(sys: &BenchSystem) -> (f64, f64, usize, usize) {
         problem = problem.with_pattern(p);
     }
 
-    let t0 = std::time::Instant::now();
+    let t0 = std::time::Instant::now(); // cbs-audit: allow(D002) reason="bench wall-clock: reported runtime statistic, never fingerprinted"
     let ss = solve_qep_env(&problem, &ss_config());
     let ss_seconds = t0.elapsed().as_secs_f64();
     // SS memory: sparse blocks + the moment/source workspace O(M N).
@@ -140,7 +164,7 @@ pub fn fig4_compare(sys: &BenchSystem) -> (f64, f64, usize, usize) {
 
     let h00_csr = h.h00_csr();
     let h01_csr = h.h01_csr();
-    let t1 = std::time::Instant::now();
+    let t1 = std::time::Instant::now(); // cbs-audit: allow(D002) reason="bench wall-clock: reported runtime statistic, never fingerprinted"
     let obm = obm_solve(&h00_csr, &h01_csr, energy, &ObmConfig::default());
     let obm_seconds = t1.elapsed().as_secs_f64();
 
@@ -169,7 +193,7 @@ pub fn fig4_compare(sys: &BenchSystem) -> (f64, f64, usize, usize) {
 /// Table 1: cost breakdown of the proposed method for one system.
 pub fn table1_breakdown(sys: &BenchSystem) -> (f64, f64, f64) {
     let h = &sys.hamiltonian;
-    let t0 = std::time::Instant::now();
+    let t0 = std::time::Instant::now(); // cbs-audit: allow(D002) reason="bench wall-clock: reported runtime statistic, never fingerprinted"
     let h00 = h.h00();
     let h01 = h.h01();
     let pattern = env_pattern(h, ss_config().precond);

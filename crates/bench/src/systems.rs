@@ -15,13 +15,10 @@ use cbs_grid::FdOrder;
 /// Paper grid spacing: 0.2 angstrom in bohr.
 pub const PAPER_SPACING_BOHR: f64 = 0.2 * 1.889_725_988_6;
 
-/// Resolution scale factor read from `CBS_SCALE` (1.0 = paper resolution).
+/// Resolution scale factor read from `CBS_SCALE` (1.0 = paper resolution);
+/// values outside `(0.05, 1.0]` are rejected like malformed ones.
 pub fn scale_factor() -> f64 {
-    std::env::var("CBS_SCALE")
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .filter(|&v| v > 0.05 && v <= 1.0)
-        .unwrap_or(0.45)
+    cbs_trace::knob::<f64>("CBS_SCALE").filter(|&v| v > 0.05 && v <= 1.0).unwrap_or(0.45)
 }
 
 /// Grid spacing implied by the current scale factor (coarser than the paper

@@ -87,23 +87,35 @@ pub enum BlockPolicy {
 impl BlockPolicy {
     /// Read the policy from an environment variable (mirrors
     /// `cbs_parallel::ExecutorChoice::from_env`): `"per-rhs"` / `"perrhs"`
-    /// / `"rhs"` select [`PerRhs`](Self::PerRhs); anything else — including
-    /// unset — is the default [`PerNode`](Self::PerNode).
+    /// / `"rhs"` select [`PerRhs`](Self::PerRhs), `"per-node"` selects
+    /// [`PerNode`](Self::PerNode); unset keeps the default and a malformed
+    /// value warns once and does the same (via [`cbs_trace::knob()`]).
     pub fn from_env(var: &str) -> Self {
-        std::env::var(var).map_or(Self::PerNode, |v| Self::from_name(&v))
+        cbs_trace::knob(var).unwrap_or_default()
+    }
+
+    /// Strictly parse a policy name (the `from_env` value syntax); `None`
+    /// for unrecognized names.
+    pub fn try_from_name(name: &str) -> Option<Self> {
+        if name.eq_ignore_ascii_case("per-rhs")
+            || name.eq_ignore_ascii_case("perrhs")
+            || name.eq_ignore_ascii_case("rhs")
+        {
+            Some(Self::PerRhs)
+        } else if name.eq_ignore_ascii_case("per-node")
+            || name.eq_ignore_ascii_case("pernode")
+            || name.eq_ignore_ascii_case("node")
+        {
+            Some(Self::PerNode)
+        } else {
+            None
+        }
     }
 
     /// Parse a policy name (the `from_env` value syntax); unrecognized
     /// names fall back to the default [`PerNode`](Self::PerNode).
     pub fn from_name(name: &str) -> Self {
-        if name.eq_ignore_ascii_case("per-rhs")
-            || name.eq_ignore_ascii_case("perrhs")
-            || name.eq_ignore_ascii_case("rhs")
-        {
-            Self::PerRhs
-        } else {
-            Self::PerNode
-        }
+        Self::try_from_name(name).unwrap_or_default()
     }
 
     /// Short name for reports.
@@ -112,6 +124,12 @@ impl BlockPolicy {
             Self::PerRhs => "per-rhs",
             Self::PerNode => "per-node",
         }
+    }
+}
+
+impl cbs_trace::Knob for BlockPolicy {
+    fn parse_knob(value: &str) -> Option<Self> {
+        Self::try_from_name(value)
     }
 }
 
@@ -163,34 +181,45 @@ impl PrecondPolicy {
     /// Read the policy from an environment variable (mirrors
     /// [`BlockPolicy::from_env`]): `"assembled"` / `"asm"` select
     /// [`Assembled`](Self::Assembled), `"assembled-ilu0"` / `"ilu0"` /
-    /// `"ilu"` select [`AssembledIlu0`](Self::AssembledIlu0); anything else
-    /// — including unset — is the default
-    /// [`MatrixFree`](Self::MatrixFree).
+    /// `"ilu"` select [`AssembledIlu0`](Self::AssembledIlu0); unset keeps
+    /// the [`MatrixFree`](Self::MatrixFree) env fallback and a malformed
+    /// value warns once and does the same (via [`cbs_trace::knob()`]).
     pub fn from_env(var: &str) -> Self {
-        std::env::var(var).map_or(Self::MatrixFree, |v| Self::from_name(&v))
+        cbs_trace::knob(var).unwrap_or(Self::MatrixFree)
     }
 
-    /// Parse a policy name (the `from_env` value syntax); unrecognized
-    /// names fall back to the default [`MatrixFree`](Self::MatrixFree).
-    pub fn from_name(name: &str) -> Self {
+    /// Strictly parse a policy name (the `from_env` value syntax); `None`
+    /// for unrecognized names.
+    pub fn try_from_name(name: &str) -> Option<Self> {
         if name.eq_ignore_ascii_case("assembled-ilu0-smw")
             || name.eq_ignore_ascii_case("assembled_ilu0_smw")
             || name.eq_ignore_ascii_case("ilu0-smw")
             || name.eq_ignore_ascii_case("ilu0_smw")
             || name.eq_ignore_ascii_case("smw")
         {
-            Self::AssembledIlu0Smw
+            Some(Self::AssembledIlu0Smw)
         } else if name.eq_ignore_ascii_case("assembled-ilu0")
             || name.eq_ignore_ascii_case("assembled_ilu0")
             || name.eq_ignore_ascii_case("ilu0")
             || name.eq_ignore_ascii_case("ilu")
         {
-            Self::AssembledIlu0
+            Some(Self::AssembledIlu0)
         } else if name.eq_ignore_ascii_case("assembled") || name.eq_ignore_ascii_case("asm") {
-            Self::Assembled
+            Some(Self::Assembled)
+        } else if name.eq_ignore_ascii_case("matrix-free")
+            || name.eq_ignore_ascii_case("matrixfree")
+            || name.eq_ignore_ascii_case("mf")
+        {
+            Some(Self::MatrixFree)
         } else {
-            Self::MatrixFree
+            None
         }
+    }
+
+    /// Parse a policy name (the `from_env` value syntax); unrecognized
+    /// names fall back to the default [`MatrixFree`](Self::MatrixFree).
+    pub fn from_name(name: &str) -> Self {
+        Self::try_from_name(name).unwrap_or(Self::MatrixFree)
     }
 
     /// Short name for reports.
@@ -218,6 +247,12 @@ impl PrecondPolicy {
             Self::AssembledIlu0 => 2,
             Self::AssembledIlu0Smw => 3,
         }
+    }
+}
+
+impl cbs_trace::Knob for PrecondPolicy {
+    fn parse_knob(value: &str) -> Option<Self> {
+        Self::try_from_name(value)
     }
 }
 

@@ -156,25 +156,34 @@ impl SlicePolicy {
     /// slices; anything else — including unset — is the default single
     /// contour.
     pub fn from_env(var: &str) -> Self {
-        std::env::var(var).map_or_else(|_| Self::single(), |v| Self::from_name(&v))
+        cbs_trace::knob(var).unwrap_or_else(Self::single)
+    }
+
+    /// Strictly parse a policy name (the `from_env` value syntax: `"S"`,
+    /// `"AxR"`, or `"single"`); `None` for unrecognized names.
+    pub fn try_from_name(name: &str) -> Option<Self> {
+        let name = name.trim().to_ascii_lowercase();
+        if name == "single" {
+            return Some(Self::single());
+        }
+        if let Some((a, r)) = name.split_once('x') {
+            return match (a.parse::<usize>(), r.parse::<usize>()) {
+                (Ok(a), Ok(r)) if a >= 1 && r >= 1 => {
+                    Some(Self { angular: a, radial: r, ..Self::single() })
+                }
+                _ => None,
+            };
+        }
+        match name.parse::<usize>() {
+            Ok(s) if s >= 1 => Some(Self::sectors(s)),
+            _ => None,
+        }
     }
 
     /// Parse a policy name (the `from_env` value syntax); unrecognized
     /// names fall back to the single contour.
     pub fn from_name(name: &str) -> Self {
-        let name = name.trim().to_ascii_lowercase();
-        if let Some((a, r)) = name.split_once('x') {
-            if let (Ok(a), Ok(r)) = (a.parse::<usize>(), r.parse::<usize>()) {
-                if a >= 1 && r >= 1 {
-                    return Self { angular: a, radial: r, ..Self::single() };
-                }
-            }
-            return Self::single();
-        }
-        match name.parse::<usize>() {
-            Ok(s) if s >= 1 => Self::sectors(s),
-            _ => Self::single(),
-        }
+        Self::try_from_name(name).unwrap_or_else(Self::single)
     }
 
     /// Short name for reports (`"single"`, `"4"`, `"4x2"`).
@@ -217,6 +226,12 @@ impl SlicePolicy {
             return bad("merge_tol must be finite and positive");
         }
         Ok(())
+    }
+}
+
+impl cbs_trace::Knob for SlicePolicy {
+    fn parse_knob(value: &str) -> Option<Self> {
+        Self::try_from_name(value)
     }
 }
 
@@ -537,7 +552,7 @@ impl ContourPartition {
     /// Total number of primal shifted solves per right-hand side, summed
     /// over the slices.
     pub fn total_nodes(&self) -> usize {
-        self.slices.iter().map(|s| s.n_nodes()).sum()
+        self.slices.iter().map(ContourSlice::n_nodes).sum()
     }
 }
 

@@ -335,7 +335,7 @@ pub fn solve_pool<E: TaskExecutor>(
                     }
                 }
                 executor.execute_fold(jobs, run_node_job, (), |(), o| {
-                    record(tracking, accs, counters, o)
+                    record(tracking, accs, counters, o);
                 });
             }
         }

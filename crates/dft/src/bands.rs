@@ -25,12 +25,12 @@ pub struct BandStructure {
 impl BandStructure {
     /// Smallest sampled energy.
     pub fn min_energy(&self) -> f64 {
-        self.bands.iter().flatten().cloned().fold(f64::INFINITY, f64::min)
+        self.bands.iter().flatten().copied().fold(f64::INFINITY, f64::min)
     }
 
     /// Largest sampled energy.
     pub fn max_energy(&self) -> f64 {
-        self.bands.iter().flatten().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.bands.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Distance from `energy` to the nearest band value at the k-point
@@ -59,7 +59,7 @@ impl BandStructure {
     /// the CBS channel count jumps — exactly the energies an adaptive sweep
     /// wants to resolve.
     pub fn band_edges(&self, tol: f64) -> Vec<f64> {
-        let n_bands = self.bands.iter().map(|b| b.len()).max().unwrap_or(0);
+        let n_bands = self.bands.iter().map(std::vec::Vec::len).max().unwrap_or(0);
         let mut edges = Vec::new();
         for band in 0..n_bands {
             let values = self.bands.iter().filter_map(|b| b.get(band).copied());

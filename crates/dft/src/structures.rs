@@ -275,8 +275,8 @@ mod tests {
             .iter()
             .map(|a| ((a.position[0] - cx).powi(2) + (a.position[1] - cy).powi(2)).sqrt())
             .collect();
-        let rmin = radii.iter().cloned().fold(f64::INFINITY, f64::min);
-        let rmax = radii.iter().cloned().fold(0.0, f64::max);
+        let rmin = radii.iter().copied().fold(f64::INFINITY, f64::min);
+        let rmax = radii.iter().copied().fold(0.0, f64::max);
         assert!((rmax - rmin) < 1e-9, "radius spread {}", rmax - rmin);
     }
 
@@ -318,7 +318,7 @@ mod tests {
         let doped = bn_dope(&base, 16, 42);
         assert_eq!(doped.natoms(), base.natoms());
         let comp = doped.composition();
-        let count = |e: Element| comp.iter().find(|(el, _)| *el == e).map(|(_, c)| *c).unwrap_or(0);
+        let count = |e: Element| comp.iter().find(|(el, _)| *el == e).map_or(0, |(_, c)| *c);
         assert_eq!(count(Element::B), 16);
         assert_eq!(count(Element::N), 16);
         assert_eq!(count(Element::C), base.natoms() - 32);

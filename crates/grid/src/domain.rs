@@ -231,7 +231,7 @@ mod tests {
         let g = Grid3::isotropic(7, 6, 10, 0.5);
         let dd = DomainDecomposition::new(g, 2, 3, 4);
         assert_eq!(dd.n_domains(), 24);
-        let total: usize = dd.domains.iter().map(|d| d.npoints()).sum();
+        let total: usize = dd.domains.iter().map(super::Domain::npoints).sum();
         assert_eq!(total, g.npoints());
         // Every point owned by exactly one domain, consistent with contains().
         for idx in 0..g.npoints() {

@@ -38,7 +38,7 @@ impl Interface {
             row_used.iter().enumerate().filter(|(_, &u)| u).map(|(i, _)| i).collect();
         let cols_f: Vec<usize> =
             col_used.iter().enumerate().filter(|(_, &u)| u).map(|(j, _)| j).collect();
-        let col_pos: std::collections::HashMap<usize, usize> =
+        let col_pos: std::collections::BTreeMap<usize, usize> =
             cols_f.iter().enumerate().map(|(p, &j)| (j, p)).collect();
         let mut coupling = CMatrix::zeros(rows_l.len(), cols_f.len());
         for (r, &i) in rows_l.iter().enumerate() {

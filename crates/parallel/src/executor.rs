@@ -132,12 +132,11 @@ pub enum ExecutorChoice {
 
 impl ExecutorChoice {
     /// Read the choice from an environment variable (`"rayon"` selects the
-    /// threaded executor, anything else — including unset — is serial).
+    /// threaded executor, `"serial"` the calling thread; unset keeps the
+    /// serial default and a malformed value warns once and does the same,
+    /// via [`cbs_trace::knob()`]).
     pub fn from_env(var: &str) -> Self {
-        match std::env::var(var) {
-            Ok(v) if v.eq_ignore_ascii_case("rayon") => Self::Rayon,
-            _ => Self::Serial,
-        }
+        cbs_trace::knob(var).unwrap_or_default()
     }
 
     /// The executor's report name.
@@ -145,6 +144,18 @@ impl ExecutorChoice {
         match self {
             Self::Serial => SerialExecutor.name(),
             Self::Rayon => RayonExecutor.name(),
+        }
+    }
+}
+
+impl cbs_trace::Knob for ExecutorChoice {
+    fn parse_knob(value: &str) -> Option<Self> {
+        if value.eq_ignore_ascii_case("rayon") {
+            Some(Self::Rayon)
+        } else if value.eq_ignore_ascii_case("serial") {
+            Some(Self::Serial)
+        } else {
+            None
         }
     }
 }
@@ -178,7 +189,7 @@ impl DomainDecomposedOp {
     /// Total number of values exchanged between domains per application
     /// (one "halo exchange" of the bottom layer).
     pub fn halo_volume(&self) -> usize {
-        self.halo.iter().map(|h| h.len()).sum()
+        self.halo.iter().map(std::vec::Vec::len).sum()
     }
 
     /// Access the wrapped matrix.
@@ -276,7 +287,7 @@ pub fn measure_bicg_iteration_cost<A: LinearOperator + ?Sized>(
         max_iterations: iterations,
         record_history: false,
     };
-    let start = std::time::Instant::now();
+    let start = std::time::Instant::now(); // cbs-audit: allow(D002) reason="calibration measurement for the Table 2 performance model; never feeds solver decisions"
     let _ = bicg_dual(op, &b, &b, &opts, None);
     start.elapsed().as_secs_f64()
 }

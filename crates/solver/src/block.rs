@@ -818,10 +818,10 @@ mod tests {
                 self.0.ncols()
             }
             fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
-                self.0.apply(x, y)
+                self.0.apply(x, y);
             }
             fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
-                self.0.apply_adjoint(x, y)
+                self.0.apply_adjoint(x, y);
             }
             fn traversal_weight(&self) -> usize {
                 3

@@ -87,13 +87,13 @@ impl AssembledPattern {
         let n = h00.nrows();
         let h10 = h01.adjoint();
 
-        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut row_ptr = Vec::with_capacity(n + 1); // cbs-audit: allow(A001) reason="pattern assembly, once per operator -- not on the per-apply path"
         row_ptr.push(0usize);
         let mut col_idx: Vec<usize> = Vec::new();
         let mut h00_vals: Vec<Complex64> = Vec::new();
         let mut h01_vals: Vec<Complex64> = Vec::new();
         let mut h10_vals: Vec<Complex64> = Vec::new();
-        let mut diag_idx = Vec::with_capacity(n);
+        let mut diag_idx = Vec::with_capacity(n); // cbs-audit: allow(A001) reason="pattern assembly, once per operator -- not on the per-apply path"
 
         let mut cols: Vec<usize> = Vec::new();
         for i in 0..n {
@@ -297,10 +297,10 @@ impl LinearOperator for AssembledOp<'_> {
         assert_eq!(y.len(), self.pattern.n, "assembled adjoint: y length mismatch");
         time_kernel(|| match &self.split {
             Some(s) => {
-                spmv_split_adjoint_into(&self.pattern.row_ptr, &self.pattern.col_idx, s, x, y)
+                spmv_split_adjoint_into(&self.pattern.row_ptr, &self.pattern.col_idx, s, x, y);
             }
             None => {
-                spmv_adjoint_into(&self.pattern.row_ptr, &self.pattern.col_idx, &self.values, x, y)
+                spmv_adjoint_into(&self.pattern.row_ptr, &self.pattern.col_idx, &self.values, x, y);
             }
         });
     }
@@ -416,14 +416,14 @@ pub struct TriSchedule {
 fn bucket_levels(lvl: &[usize]) -> (Vec<usize>, Vec<usize>) {
     let n = lvl.len();
     let n_levels = lvl.iter().copied().max().map_or(0, |m| m + 1);
-    let mut ptr = vec![0usize; n_levels + 1];
+    let mut ptr = vec![0usize; n_levels + 1]; // cbs-audit: allow(A001) reason="level-schedule counting sort, once per pattern"
     for &l in lvl {
         ptr[l + 1] += 1;
     }
     for l in 0..n_levels {
         ptr[l + 1] += ptr[l];
     }
-    let mut rows = vec![0usize; n];
+    let mut rows = vec![0usize; n]; // cbs-audit: allow(A001) reason="level-schedule counting sort, once per pattern"
     let mut next = ptr.clone();
     for (i, &l) in lvl.iter().enumerate() {
         rows[next[l]] = i;
@@ -439,7 +439,7 @@ impl TriSchedule {
         let n = row_ptr.len() - 1;
 
         // Forward (L): row i depends on its sub-diagonal columns.
-        let mut lvl = vec![0usize; n];
+        let mut lvl = vec![0usize; n]; // cbs-audit: allow(A001) reason="schedule analysis scratch, once per pattern"
         for i in 0..n {
             let mut m = 0usize;
             for k in row_ptr[i]..diag_idx[i] {
@@ -461,8 +461,8 @@ impl TriSchedule {
 
         // Strict-triangle transposes (counting sort; pushing rows in
         // ascending i keeps each column's list sorted by row).
-        let mut ut_ptr = vec![0usize; n + 1];
-        let mut lt_ptr = vec![0usize; n + 1];
+        let mut ut_ptr = vec![0usize; n + 1]; // cbs-audit: allow(A001) reason="strict-triangle transpose build, once per pattern"
+        let mut lt_ptr = vec![0usize; n + 1]; // cbs-audit: allow(A001) reason="strict-triangle transpose build, once per pattern"
         for i in 0..n {
             for k in row_ptr[i]..diag_idx[i] {
                 lt_ptr[col_idx[k] + 1] += 1;
@@ -475,10 +475,10 @@ impl TriSchedule {
             ut_ptr[j + 1] += ut_ptr[j];
             lt_ptr[j + 1] += lt_ptr[j];
         }
-        let mut ut_row = vec![0usize; ut_ptr[n]];
-        let mut ut_pos = vec![0usize; ut_ptr[n]];
-        let mut lt_row = vec![0usize; lt_ptr[n]];
-        let mut lt_pos = vec![0usize; lt_ptr[n]];
+        let mut ut_row = vec![0usize; ut_ptr[n]]; // cbs-audit: allow(A001) reason="strict-triangle transpose build, once per pattern"
+        let mut ut_pos = vec![0usize; ut_ptr[n]]; // cbs-audit: allow(A001) reason="strict-triangle transpose build, once per pattern"
+        let mut lt_row = vec![0usize; lt_ptr[n]]; // cbs-audit: allow(A001) reason="strict-triangle transpose build, once per pattern"
+        let mut lt_pos = vec![0usize; lt_ptr[n]]; // cbs-audit: allow(A001) reason="strict-triangle transpose build, once per pattern"
         let mut ut_next = ut_ptr.clone();
         let mut lt_next = lt_ptr.clone();
         for i in 0..n {
@@ -601,12 +601,7 @@ fn guarded(pivot: Complex64, floor: f64) -> Complex64 {
 /// knob is *not* part of the sweep-resume fingerprint.
 fn tri_par_threshold() -> Option<usize> {
     static THRESHOLD: OnceLock<Option<usize>> = OnceLock::new();
-    *THRESHOLD.get_or_init(|| {
-        std::env::var("CBS_TRI_PAR")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&t| t > 0)
-    })
+    *THRESHOLD.get_or_init(|| cbs_trace::knob::<usize>("CBS_TRI_PAR").filter(|&t| t > 0))
 }
 
 /// A complex ILU(0) factorization `M = L U ≈ A` on the sparsity pattern of
@@ -658,7 +653,7 @@ impl<'p> Ilu0<'p> {
     /// positions inside the pattern.
     pub fn factor(row_ptr: &'p [usize], col_idx: &'p [usize], values: &[Complex64]) -> Self {
         let n = row_ptr.len() - 1;
-        let mut diag_idx = vec![usize::MAX; n];
+        let mut diag_idx = vec![usize::MAX; n]; // cbs-audit: allow(A001) reason="factorization-time workspace, once per numeric refill"
         for i in 0..n {
             for (k, &c) in (row_ptr[i]..row_ptr[i + 1]).zip(&col_idx[row_ptr[i]..row_ptr[i + 1]]) {
                 if c == i {

@@ -195,7 +195,7 @@ impl CsrMatrix {
 
     /// Look up a single entry (O(row nnz)).
     pub fn get(&self, i: usize, j: usize) -> Complex64 {
-        self.row_entries(i).find(|&(c, _)| c == j).map(|(_, v)| v).unwrap_or(Complex64::ZERO)
+        self.row_entries(i).find(|&(c, _)| c == j).map_or(Complex64::ZERO, |(_, v)| v)
     }
 
     /// Row pointers (length `nrows + 1`).
@@ -225,7 +225,7 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.nrows, "adjoint matvec: x length mismatch");
         assert_eq!(y.len(), self.ncols, "adjoint matvec: y length mismatch");
         crate::timers::time_kernel(|| {
-            spmv_adjoint_into(&self.row_ptr, &self.col_idx, &self.values, x, y)
+            spmv_adjoint_into(&self.row_ptr, &self.col_idx, &self.values, x, y);
         });
     }
 
@@ -256,7 +256,7 @@ impl CsrMatrix {
                 x,
                 y,
                 nvecs,
-            )
+            );
         });
     }
 
@@ -278,7 +278,7 @@ impl CsrMatrix {
                 x,
                 y,
                 nvecs,
-            )
+            );
         });
     }
 
@@ -316,7 +316,7 @@ impl CsrMatrix {
                     acc += self.values[k] * x[self.col_idx[k]];
                 }
                 *yi = acc;
-            })
+            });
         });
     }
 

@@ -56,12 +56,10 @@ impl KernelLayout {
 
     /// Read the layout from the `CBS_KERNEL_LAYOUT` environment variable,
     /// falling back to the bitwise-compatible [`Interleaved`](Self::Interleaved)
-    /// default when unset or unrecognized.
+    /// default when unset (an unrecognized value warns once and does the
+    /// same, via [`cbs_trace::knob()`]).
     pub fn from_env() -> Self {
-        std::env::var("CBS_KERNEL_LAYOUT")
-            .ok()
-            .and_then(|v| Self::from_name(&v))
-            .unwrap_or_default()
+        cbs_trace::knob("CBS_KERNEL_LAYOUT").unwrap_or_default()
     }
 
     /// Canonical knob value of this layout.
@@ -70,6 +68,12 @@ impl KernelLayout {
             Self::Interleaved => "interleaved",
             Self::Split => "split",
         }
+    }
+}
+
+impl cbs_trace::Knob for KernelLayout {
+    fn parse_knob(value: &str) -> Option<Self> {
+        Self::from_name(value)
     }
 }
 
@@ -157,17 +161,25 @@ impl SimdMode {
     }
 }
 
+impl cbs_trace::Knob for SimdMode {
+    fn parse_knob(value: &str) -> Option<Self> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "scalar" | "portable" => Some(Self::Scalar),
+            "wide" | "auto" | "avx2" => Some(Self::Wide),
+            _ => None,
+        }
+    }
+}
+
 /// Runtime-detected SIMD mode, cached once per process.  `CBS_SIMD=scalar`
-/// forces the portable chains (for debugging or perf A/B runs); anything
-/// else auto-detects `avx2`+`fma` via `is_x86_feature_detected!` with the
-/// scalar chains as the portable fallback.
+/// forces the portable chains (for debugging or perf A/B runs); `wide`,
+/// unset, or a malformed value (warned once) auto-detects `avx2`+`fma` via
+/// `is_x86_feature_detected!` with the scalar chains as the portable
+/// fallback — `wide` is a detection *request*, never an unchecked override.
 pub fn simd_mode() -> SimdMode {
     static MODE: OnceLock<SimdMode> = OnceLock::new();
     *MODE.get_or_init(|| {
-        let forced_scalar = std::env::var("CBS_SIMD")
-            .map(|v| v.trim().eq_ignore_ascii_case("scalar"))
-            .unwrap_or(false);
-        if forced_scalar {
+        if cbs_trace::knob("CBS_SIMD") == Some(SimdMode::Scalar) {
             return SimdMode::Scalar;
         }
         #[cfg(target_arch = "x86_64")]
@@ -323,6 +335,11 @@ mod avx2 {
 
     /// # Safety
     /// Caller must ensure `avx2` and `fma` are supported at runtime.
+    // SAFETY: the only unsafe operations in the body are the AVX2/FMA
+    // intrinsics enabled by `target_feature`; they are sound exactly when
+    // the caller upholds the documented runtime-support contract, and all
+    // loads/stores go through `&`/`&mut` slice elements (no raw-pointer
+    // arithmetic beyond the element address itself).
     #[target_feature(enable = "avx2,fma")]
     #[allow(clippy::too_many_arguments)]
     pub(super) unsafe fn tile4(
@@ -335,39 +352,49 @@ mod avx2 {
         x: (&[Complex64], &[Complex64], &[Complex64], &[Complex64]),
         y: (&mut [Complex64], &mut [Complex64], &mut [Complex64], &mut [Complex64]),
     ) {
-        let (x0, x1, x2, x3) = x;
-        let (y0, y1, y2, y3) = y;
-        for i in r0..r1 {
-            let mut ar = _mm256_setzero_pd();
-            let mut ai = _mm256_setzero_pd();
-            for k in row_ptr[i]..row_ptr[i + 1] {
-                let vr = _mm256_set1_pd(re[k]);
-                let vi = _mm256_set1_pd(im[k]);
-                let c = col_idx[k];
-                let p0 = _mm_loadu_pd(&x0[c] as *const Complex64 as *const f64);
-                let p1 = _mm_loadu_pd(&x1[c] as *const Complex64 as *const f64);
-                let p2 = _mm_loadu_pd(&x2[c] as *const Complex64 as *const f64);
-                let p3 = _mm_loadu_pd(&x3[c] as *const Complex64 as *const f64);
-                let xr = _mm256_set_m128d(_mm_unpacklo_pd(p2, p3), _mm_unpacklo_pd(p0, p1));
-                let xi = _mm256_set_m128d(_mm_unpackhi_pd(p2, p3), _mm_unpackhi_pd(p0, p1));
-                ar = _mm256_fmadd_pd(vr, xr, ar);
-                ar = _mm256_fnmadd_pd(vi, xi, ar);
-                ai = _mm256_fmadd_pd(vr, xi, ai);
-                ai = _mm256_fmadd_pd(vi, xr, ai);
+        // SAFETY: the body only calls the AVX2/FMA intrinsics the
+        // `target_feature` attribute enables (the caller upholds the
+        // runtime-detection contract documented on the fn), and every
+        // load/store goes through bounds-checked slice indexing.
+        unsafe {
+            let (x0, x1, x2, x3) = x;
+            let (y0, y1, y2, y3) = y;
+            for i in r0..r1 {
+                let mut ar = _mm256_setzero_pd();
+                let mut ai = _mm256_setzero_pd();
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    let vr = _mm256_set1_pd(re[k]);
+                    let vi = _mm256_set1_pd(im[k]);
+                    let c = col_idx[k];
+                    let p0 = _mm_loadu_pd((&x0[c] as *const Complex64).cast::<f64>());
+                    let p1 = _mm_loadu_pd((&x1[c] as *const Complex64).cast::<f64>());
+                    let p2 = _mm_loadu_pd((&x2[c] as *const Complex64).cast::<f64>());
+                    let p3 = _mm_loadu_pd((&x3[c] as *const Complex64).cast::<f64>());
+                    let xr = _mm256_set_m128d(_mm_unpacklo_pd(p2, p3), _mm_unpacklo_pd(p0, p1));
+                    let xi = _mm256_set_m128d(_mm_unpackhi_pd(p2, p3), _mm_unpackhi_pd(p0, p1));
+                    ar = _mm256_fmadd_pd(vr, xr, ar);
+                    ar = _mm256_fnmadd_pd(vi, xi, ar);
+                    ai = _mm256_fmadd_pd(vr, xi, ai);
+                    ai = _mm256_fmadd_pd(vi, xr, ai);
+                }
+                let mut rs = [0.0f64; 4];
+                let mut is = [0.0f64; 4];
+                _mm256_storeu_pd(rs.as_mut_ptr(), ar);
+                _mm256_storeu_pd(is.as_mut_ptr(), ai);
+                y0[i] = c64(rs[0], is[0]);
+                y1[i] = c64(rs[1], is[1]);
+                y2[i] = c64(rs[2], is[2]);
+                y3[i] = c64(rs[3], is[3]);
             }
-            let mut rs = [0.0f64; 4];
-            let mut is = [0.0f64; 4];
-            _mm256_storeu_pd(rs.as_mut_ptr(), ar);
-            _mm256_storeu_pd(is.as_mut_ptr(), ai);
-            y0[i] = c64(rs[0], is[0]);
-            y1[i] = c64(rs[1], is[1]);
-            y2[i] = c64(rs[2], is[2]);
-            y3[i] = c64(rs[3], is[3]);
         }
     }
 
     /// # Safety
     /// Caller must ensure `avx2` and `fma` are supported at runtime.
+    // SAFETY: same contract as `tile4` — the body's unsafety is the
+    // feature-gated intrinsics plus 128-bit unaligned loads of `Complex64`
+    // slice elements (`repr(C)` pair of `f64`, so the cast is layout-sound);
+    // runtime `avx2`+`fma` support is the caller's obligation.
     #[target_feature(enable = "avx2,fma")]
     #[allow(clippy::too_many_arguments)]
     pub(super) unsafe fn tile2(
@@ -380,30 +407,36 @@ mod avx2 {
         x: (&[Complex64], &[Complex64]),
         y: (&mut [Complex64], &mut [Complex64]),
     ) {
-        let (x0, x1) = x;
-        let (y0, y1) = y;
-        for i in r0..r1 {
-            let mut ar = _mm_setzero_pd();
-            let mut ai = _mm_setzero_pd();
-            for k in row_ptr[i]..row_ptr[i + 1] {
-                let vr = _mm_set1_pd(re[k]);
-                let vi = _mm_set1_pd(im[k]);
-                let c = col_idx[k];
-                let p0 = _mm_loadu_pd(&x0[c] as *const Complex64 as *const f64);
-                let p1 = _mm_loadu_pd(&x1[c] as *const Complex64 as *const f64);
-                let xr = _mm_unpacklo_pd(p0, p1);
-                let xi = _mm_unpackhi_pd(p0, p1);
-                ar = _mm_fmadd_pd(vr, xr, ar);
-                ar = _mm_fnmadd_pd(vi, xi, ar);
-                ai = _mm_fmadd_pd(vr, xi, ai);
-                ai = _mm_fmadd_pd(vi, xr, ai);
+        // SAFETY: same contract as `tile4` — the body only calls the SSE2/FMA
+        // intrinsics the `target_feature` attribute enables (the caller upholds
+        // the runtime-detection contract documented on the fn), and every
+        // load/store goes through bounds-checked slice indexing.
+        unsafe {
+            let (x0, x1) = x;
+            let (y0, y1) = y;
+            for i in r0..r1 {
+                let mut ar = _mm_setzero_pd();
+                let mut ai = _mm_setzero_pd();
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    let vr = _mm_set1_pd(re[k]);
+                    let vi = _mm_set1_pd(im[k]);
+                    let c = col_idx[k];
+                    let p0 = _mm_loadu_pd((&x0[c] as *const Complex64).cast::<f64>());
+                    let p1 = _mm_loadu_pd((&x1[c] as *const Complex64).cast::<f64>());
+                    let xr = _mm_unpacklo_pd(p0, p1);
+                    let xi = _mm_unpackhi_pd(p0, p1);
+                    ar = _mm_fmadd_pd(vr, xr, ar);
+                    ar = _mm_fnmadd_pd(vi, xi, ar);
+                    ai = _mm_fmadd_pd(vr, xi, ai);
+                    ai = _mm_fmadd_pd(vi, xr, ai);
+                }
+                let mut rs = [0.0f64; 2];
+                let mut is = [0.0f64; 2];
+                _mm_storeu_pd(rs.as_mut_ptr(), ar);
+                _mm_storeu_pd(is.as_mut_ptr(), ai);
+                y0[i] = c64(rs[0], is[0]);
+                y1[i] = c64(rs[1], is[1]);
             }
-            let mut rs = [0.0f64; 2];
-            let mut is = [0.0f64; 2];
-            _mm_storeu_pd(rs.as_mut_ptr(), ar);
-            _mm_storeu_pd(is.as_mut_ptr(), ai);
-            y0[i] = c64(rs[0], is[0]);
-            y1[i] = c64(rs[1], is[1]);
         }
     }
 }

@@ -151,16 +151,16 @@ impl<T: LinearOperator + ?Sized> LinearOperator for &T {
         (**self).ncols()
     }
     fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
-        (**self).apply(x, y)
+        (**self).apply(x, y);
     }
     fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
-        (**self).apply_adjoint(x, y)
+        (**self).apply_adjoint(x, y);
     }
     fn apply_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
-        (**self).apply_block(x, y, nvecs)
+        (**self).apply_block(x, y, nvecs);
     }
     fn apply_adjoint_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
-        (**self).apply_adjoint_block(x, y, nvecs)
+        (**self).apply_adjoint_block(x, y, nvecs);
     }
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
@@ -178,16 +178,16 @@ impl<T: LinearOperator + ?Sized> LinearOperator for Box<T> {
         (**self).ncols()
     }
     fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
-        (**self).apply(x, y)
+        (**self).apply(x, y);
     }
     fn apply_adjoint(&self, x: &[Complex64], y: &mut [Complex64]) {
-        (**self).apply_adjoint(x, y)
+        (**self).apply_adjoint(x, y);
     }
     fn apply_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
-        (**self).apply_block(x, y, nvecs)
+        (**self).apply_block(x, y, nvecs);
     }
     fn apply_adjoint_block(&self, x: &[Complex64], y: &mut [Complex64], nvecs: usize) {
-        (**self).apply_adjoint_block(x, y, nvecs)
+        (**self).apply_adjoint_block(x, y, nvecs);
     }
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()

@@ -19,7 +19,7 @@
 //! * a resumed sweep reproduces the uninterrupted one bit-for-bit
 //!   (counters included; wall-clock timings are per-run).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::path::Path;
 
 use cbs_core::{
@@ -238,7 +238,7 @@ impl SeedBank {
 struct State {
     records: Vec<EnergyRecord>,
     /// Bits of completed energies → index into `records`.
-    done: HashMap<u64, usize>,
+    done: BTreeMap<u64, usize>,
     /// Committed donor tables: only *fully completed* batches.  Donor
     /// selection reads exclusively from here, so the donors of a batch are
     /// a pure function of the batches before it — which is what keeps a
@@ -369,7 +369,7 @@ impl<'a> EnergySweep<'a> {
 
         let mut st = State {
             records: Vec::new(),
-            done: HashMap::new(),
+            done: BTreeMap::new(),
             bank: SeedBank::new(),
             pending: Vec::new(),
             new_energies: 0,
@@ -506,7 +506,7 @@ impl<'a> EnergySweep<'a> {
         opts: &RunOptions<'_>,
         checkpoint: &dyn Fn(&State) -> SweepCheckpoint,
     ) -> Result<BatchStatus, CheckpointError> {
-        let batch_bits: std::collections::HashSet<u64> =
+        let batch_bits: std::collections::BTreeSet<u64> =
             batch.iter().map(|(e, _)| e.to_bits()).collect();
         let mut to_solve: Vec<(f64, EnergyOrigin)> =
             batch.into_iter().filter(|(e, _)| !st.done.contains_key(&e.to_bits())).collect();
@@ -562,7 +562,7 @@ impl<'a> EnergySweep<'a> {
                 })
                 .collect();
 
-            let t0 = std::time::Instant::now();
+            let t0 = std::time::Instant::now(); // cbs-audit: allow(D002) reason="per-run wall-clock counter; resume stays bit-identical (timings are per-run)"
             let outcomes = solve_round(&groups, plan, &self.config.ss, executor);
             st.linear_solve_seconds += t0.elapsed().as_secs_f64();
             drop(groups);

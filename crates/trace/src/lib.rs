@@ -52,8 +52,10 @@
 
 mod aggregate;
 mod chrome;
+pub mod knob;
 
 pub use aggregate::{AggRow, StageAgg};
+pub use knob::{knob, knob_path, knob_set, Knob};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
@@ -240,16 +242,23 @@ impl TraceLevel {
     /// [`Stage`](Self::Stage)).  This is the level a driver passes to
     /// [`TraceSession::begin`] once it has decided to trace at all.
     pub fn from_env() -> TraceLevel {
-        match std::env::var("CBS_TRACE_LEVEL") {
-            Ok(v) if v.eq_ignore_ascii_case("iter") => TraceLevel::Iter,
-            _ => TraceLevel::Stage,
+        knob::knob("CBS_TRACE_LEVEL").unwrap_or(TraceLevel::Stage)
+    }
+}
+
+impl knob::Knob for TraceLevel {
+    fn parse_knob(value: &str) -> Option<Self> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "iter" | "iteration" => Some(TraceLevel::Iter),
+            "stage" | "span" => Some(TraceLevel::Stage),
+            _ => None,
         }
     }
 }
 
 /// The Chrome-trace export path requested by `CBS_TRACE`, if any.
 pub fn trace_path_from_env() -> Option<std::path::PathBuf> {
-    std::env::var_os("CBS_TRACE").filter(|v| !v.is_empty()).map(std::path::PathBuf::from)
+    knob::knob_path("CBS_TRACE")
 }
 
 // ---------------------------------------------------------------------------
@@ -291,7 +300,7 @@ static STORE: Mutex<SessionStore> =
     Mutex::new(SessionStore { spans: Vec::new(), iters: Vec::new(), threads: Vec::new() });
 
 fn store() -> std::sync::MutexGuard<'static, SessionStore> {
-    STORE.lock().unwrap_or_else(|e| e.into_inner())
+    STORE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// `true` while a [`TraceSession`] is recording.
@@ -774,7 +783,7 @@ mod tests {
 
     #[test]
     fn session_records_spans_with_context() {
-        let _gate = SESSION_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let _gate = SESSION_GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let session = TraceSession::begin(TraceLevel::Stage).expect("no concurrent session");
         let handle = TraceHandle::resolve(TraceLevel::Off).with_energy(3).with_policy(2);
         {
@@ -805,7 +814,7 @@ mod tests {
 
     #[test]
     fn iteration_events_only_inside_armed_scopes() {
-        let _gate = SESSION_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let _gate = SESSION_GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let session = TraceSession::begin(TraceLevel::Iter).expect("no concurrent session");
         record_iteration(None, 0, 1.0); // outside any solve scope: dropped
         let handle = TraceHandle::resolve(TraceLevel::Off);

@@ -22,7 +22,7 @@ use cbs::core::{
 use cbs::dft::{bulk_al_100, grid_for_structure, BlockHamiltonian, HamiltonianParams};
 use cbs::linalg::Complex64;
 use cbs::obm::{obm_solve, ObmConfig};
-use cbs::parallel::{RayonExecutor, SerialExecutor};
+use cbs::parallel::{ExecutorChoice, RayonExecutor, SerialExecutor};
 
 /// The fig6 Al(100) system at the regression-test resolution (identical to
 /// `tests/block_determinism.rs`).
@@ -273,7 +273,7 @@ fn policy_matrix_cell_from_env() {
         QepProblem::new(&h00, &h01, 0.15, h.period()).with_pattern(&pattern)
     };
 
-    let rayon = std::env::var("CBS_EXECUTOR").is_ok_and(|v| v.eq_ignore_ascii_case("rayon"));
+    let rayon = ExecutorChoice::from_env("CBS_EXECUTOR") == ExecutorChoice::Rayon;
     let sliced_cfg = SsConfig { slice, ..config };
     let (single, sliced) = if rayon {
         (

@@ -77,7 +77,7 @@ fn assert_same_sweep(a: &SweepResult, b: &SweepResult) {
 /// actually captured the solve's spans.
 #[test]
 fn al100_solve_is_bitwise_identical_with_tracing_on_and_off() {
-    let _gate = SESSION_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let _gate = SESSION_GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let h = al100();
     let (h00, h01) = (h.h00(), h.h01());
     let energies = [0.05, 0.11];
@@ -113,7 +113,7 @@ fn al100_solve_is_bitwise_identical_with_tracing_on_and_off() {
 /// deliver events into the same session.
 #[test]
 fn serial_and_rayon_agree_under_iter_level_session() {
-    let _gate = SESSION_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let _gate = SESSION_GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let h = al100();
     let (h00, h01) = (h.h00(), h.h01());
     let energies = [0.05, 0.11];
@@ -146,7 +146,7 @@ fn serial_and_rayon_agree_under_iter_level_session() {
 /// to the checkpoint fingerprint and the resume path.
 #[test]
 fn kill_resume_with_tracing_is_bit_identical() {
-    let _gate = SESSION_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let _gate = SESSION_GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let (h00, h01) = random_blocks(10, 77);
     let op00 = DenseOp::new(h00);
     let op01 = DenseOp::new(h01);
@@ -211,7 +211,7 @@ fn kill_resume_with_tracing_is_bit_identical() {
 /// session is structurally well-formed.
 #[test]
 fn aggregation_matches_stats_and_chrome_export_is_well_formed() {
-    let _gate = SESSION_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let _gate = SESSION_GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let h = al100();
     let (h00, h01) = (h.h00(), h.h01());
     let energies = [0.05, 0.11];
