@@ -3,8 +3,11 @@
 //! per-energy-loop equivalent) and warm-started (dyadic wavefront with
 //! cross-energy BiCG seeding), under both job granularities
 //! (`BlockPolicy::PerNode` fused block solves vs `BlockPolicy::PerRhs`
-//! single-vector solves) and the three operator policies
-//! (`PrecondPolicy::MatrixFree` / `Assembled` / `AssembledIlu0`).  The
+//! single-vector solves), the operator-policy ladder
+//! (`PrecondPolicy::MatrixFree` / `Assembled` / `AssembledIlu0` /
+//! `AssembledIlu0Smw`), and the calibrated auto-tuned cell
+//! (`SsConfig::auto()` — the probe commits a policy, and `bench_check`
+//! holds the `_auto` rows to within 10% of the best fixed row).  The
 //! committed baseline lives in `baselines/sweep_cbs.json`; regenerate with
 //!
 //! ```sh
@@ -34,7 +37,7 @@ fn small_hamiltonian() -> BlockHamiltonian {
     BlockHamiltonian::build(grid, &s, HamiltonianParams::default())
 }
 
-fn ss(block: BlockPolicy, precond: PrecondPolicy, slice: SlicePolicy) -> SsConfig {
+fn ss(block: BlockPolicy, precond: PrecondPolicy, slice: SlicePolicy, auto: bool) -> SsConfig {
     SsConfig {
         n_int: 8,
         n_mm: 4,
@@ -43,6 +46,7 @@ fn ss(block: BlockPolicy, precond: PrecondPolicy, slice: SlicePolicy) -> SsConfi
         block,
         precond,
         slice,
+        auto,
         ..SsConfig::small()
     }
 }
@@ -60,7 +64,9 @@ fn run_sweep(h: &BlockHamiltonian, energies: &[f64], config: SweepConfig) -> Swe
     let h00 = h.h00();
     let h01 = h.h01();
     let mut sweep = EnergySweep::new(&h00, &h01, h.period(), config);
-    if config.ss.precond.is_assembled() {
+    // Auto-tuned rows need the factored operators too: the probe's
+    // preconditioner ladder is only reachable with a pattern attached.
+    if config.ss.precond.is_assembled() || config.ss.auto {
         // Factored attachment: sparse-only CSR pattern + low-rank projector
         // tail, so refills and ILU(0) sweeps never touch dense projector
         // fill-in.
@@ -93,8 +99,20 @@ fn emit_bench_json(rows: &[BenchRow]) {
     out.push_str("  \"configs\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let s = &row.result.stats;
+        // Auto rows report the cell the probe committed, fixed rows the
+        // configured one.
+        let (block, precond, slices) = match &row.result.auto {
+            Some(d) => (
+                d.block.name().to_string(),
+                d.precond.name().to_string(),
+                if d.slices > 1 { d.slices.to_string() } else { "single".to_string() },
+            ),
+            None => {
+                (row.block.name().to_string(), row.precond.name().to_string(), row.slice.name())
+            }
+        };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"sweep\": \"{}\", \"block\": \"{}\", \
+            "    {{\"name\": \"{}\", \"sweep\": \"{}\", \"auto\": {}, \"block\": \"{}\", \
              \"precond\": \"{}\", \"slices\": \"{}\", \"wall_seconds\": {:.6}, \
              \"bicg_iterations\": {}, \"cold_iterations\": {}, \
              \"warm_iterations\": {}, \"matvecs\": {}, \"traversals\": {}, \
@@ -103,9 +121,10 @@ fn emit_bench_json(rows: &[BenchRow]) {
              \"precond_wall_ns\": {}, \"extraction_wall_ns\": {}}}{}\n",
             row.name,
             row.sweep,
-            row.block.name(),
-            row.precond.name(),
-            row.slice.name(),
+            row.result.auto.is_some(),
+            block,
+            precond,
+            slices,
             row.wall_seconds,
             s.total_bicg_iterations,
             s.cold_bicg_iterations,
@@ -133,20 +152,26 @@ fn emit_bench_json(rows: &[BenchRow]) {
 fn bench_sweep(c: &mut Criterion) {
     let h = small_hamiltonian();
     let energies: Vec<f64> = (0..8).map(|i| 0.05 + 0.02 * i as f64).collect();
-    let cold = |b, p, s| SweepConfig::cold(ss(b, p, s));
-    let warm = |b, p, s| SweepConfig { initial_round: 2, ..SweepConfig::new(ss(b, p, s)) };
+    let cold = |b, p, s, a| SweepConfig::cold(ss(b, p, s, a));
+    let warm = |b, p, s, a| SweepConfig { initial_round: 2, ..SweepConfig::new(ss(b, p, s, a)) };
     let single = SlicePolicy::single();
 
     // The benchmark matrix: (cold, warm) x per-node {matrix-free,
-    // assembled, ilu0} plus the legacy per-rhs matrix-free shape, plus the
-    // sliced-vs-single contour comparison (2-sector partition).
-    let matrix: Vec<(&'static str, BlockPolicy, PrecondPolicy, SlicePolicy)> = vec![
-        ("", BlockPolicy::PerNode, PrecondPolicy::MatrixFree, single),
-        ("_per_rhs", BlockPolicy::PerRhs, PrecondPolicy::MatrixFree, single),
-        ("_assembled", BlockPolicy::PerNode, PrecondPolicy::Assembled, single),
-        ("_ilu0", BlockPolicy::PerNode, PrecondPolicy::AssembledIlu0, single),
-        ("_ilu0_smw", BlockPolicy::PerNode, PrecondPolicy::AssembledIlu0Smw, single),
-        ("_sliced2", BlockPolicy::PerNode, PrecondPolicy::MatrixFree, lean_sectors(2)),
+    // assembled, ilu0} plus the legacy per-rhs matrix-free shape, the
+    // sliced-vs-single contour comparison (2-sector partition), and the
+    // calibrated auto-tuned row (`SsConfig::auto()`: the probe picks the
+    // cell; `bench_check` gates its wall to within 10% of the best fixed
+    // row of the same sweep kind).
+    let matrix: Vec<(&'static str, BlockPolicy, PrecondPolicy, SlicePolicy, bool)> = vec![
+        ("", BlockPolicy::PerNode, PrecondPolicy::MatrixFree, single, false),
+        ("_per_rhs", BlockPolicy::PerRhs, PrecondPolicy::MatrixFree, single, false),
+        ("_assembled", BlockPolicy::PerNode, PrecondPolicy::Assembled, single, false),
+        ("_ilu0", BlockPolicy::PerNode, PrecondPolicy::AssembledIlu0, single, false),
+        // The auto row sits right after the ilu0 row it is expected to
+        // commit to, so the gate's comparison pair shares machine state.
+        ("_auto", BlockPolicy::PerNode, PrecondPolicy::MatrixFree, single, true),
+        ("_ilu0_smw", BlockPolicy::PerNode, PrecondPolicy::AssembledIlu0Smw, single, false),
+        ("_sliced2", BlockPolicy::PerNode, PrecondPolicy::MatrixFree, lean_sectors(2), false),
     ];
 
     // `CBS_BENCH_SMOKE=1` skips the sampled criterion group and keeps only
@@ -156,21 +181,22 @@ fn bench_sweep(c: &mut Criterion) {
     if !smoke {
         let mut group = c.benchmark_group("sweep_cbs");
         group.sample_size(10);
-        for &(tag, block, precond, slice) in &matrix {
+        for &(tag, block, precond, slice, auto) in &matrix {
             group.bench_function(&format!("cold_8_energies{tag}"), |b| {
-                let config = cold(block, precond, slice);
+                let config = cold(block, precond, slice, auto);
                 b.iter(|| run_sweep(&h, &energies, config));
             });
             group.bench_function(&format!("warm_8_energies{tag}"), |b| {
-                let config = warm(block, precond, slice);
+                let config = warm(block, precond, slice, auto);
                 b.iter(|| run_sweep(&h, &energies, config));
             });
         }
         group.finish();
     }
 
-    // Machine-readable perf trajectory: one timed run per combination (a
-    // separate pass so the counters come from exactly the timed sweep).
+    // Machine-readable perf trajectory: three timed runs per combination,
+    // keeping the fastest (a separate pass so the counters come from
+    // exactly the timed sweep).
     // With `CBS_TRACE=<path>` set, each timed run records under its own
     // trace session (warmups stay untraced), the wall-ns columns of
     // `BENCH_sweep.json` fill from the span aggregation, and the reference
@@ -187,22 +213,39 @@ fn bench_sweep(c: &mut Criterion) {
         }
     });
     let mut rows = Vec::new();
-    for &(tag, block, precond, slice) in &matrix {
-        for (sweep_kind, config) in
-            [("cold", cold(block, precond, slice)), ("warm", warm(block, precond, slice))]
-        {
+    for &(tag, block, precond, slice, auto) in &matrix {
+        for (sweep_kind, config) in [
+            ("cold", cold(block, precond, slice, auto)),
+            ("warm", warm(block, precond, slice, auto)),
+        ] {
             let name = format!("{sweep_kind}_8_energies{tag}");
             let _warmup = run_sweep(&h, &energies, config);
-            let session = trace_path
-                .as_ref()
-                .and_then(|_| cbs_trace::TraceSession::begin(cbs_trace::TraceLevel::from_env()));
-            let t = Instant::now();
-            let result = run_sweep(&h, &energies, config);
-            let wall_seconds = t.elapsed().as_secs_f64();
-            if let Some(session) = session {
-                let report = session.finish();
+            // Three timed runs, keeping the fastest (result, wall and
+            // trace report travel together, so the attribution columns
+            // stay consistent with the emitted wall clock).  The solver
+            // counters are bit-deterministic, so the runs differ only by
+            // scheduler noise — which the 10% auto gate in `bench_check`
+            // is sensitive to.
+            let timed_run = || {
+                let session = trace_path.as_ref().and_then(|_| {
+                    cbs_trace::TraceSession::begin(cbs_trace::TraceLevel::from_env())
+                });
+                let t = Instant::now();
+                let result = run_sweep(&h, &energies, config);
+                let wall = t.elapsed().as_secs_f64();
+                (result, wall, session.map(cbs_trace::TraceSession::finish))
+            };
+            let mut best = timed_run();
+            for _ in 0..2 {
+                let next = timed_run();
+                if next.1 < best.1 {
+                    best = next;
+                }
+            }
+            let (result, wall_seconds, report) = best;
+            if let Some(report) = report {
                 if name == "cold_8_energies" {
-                    let path = trace_path.as_ref().expect("session implies a trace path");
+                    let path = trace_path.as_ref().expect("report implies a trace path");
                     match report.save_chrome_trace(path) {
                         Ok(()) => println!("wrote {}", path.display()),
                         Err(e) => eprintln!("could not write {}: {e}", path.display()),

@@ -125,6 +125,16 @@ impl BlockPolicy {
             Self::PerNode => "per-node",
         }
     }
+
+    /// Decode the serialized discriminant (checkpoint format): 0 =
+    /// per-rhs, 1 = per-node; `None` otherwise.
+    pub fn from_index(index: u64) -> Option<Self> {
+        match index {
+            0 => Some(Self::PerRhs),
+            1 => Some(Self::PerNode),
+            _ => None,
+        }
+    }
 }
 
 impl cbs_trace::Knob for BlockPolicy {
@@ -246,6 +256,18 @@ impl PrecondPolicy {
             Self::Assembled => 1,
             Self::AssembledIlu0 => 2,
             Self::AssembledIlu0Smw => 3,
+        }
+    }
+
+    /// Decode the serialized discriminant (checkpoint format; same codes
+    /// as [`trace_code`](Self::trace_code)); `None` for unknown values.
+    pub fn from_index(index: u64) -> Option<Self> {
+        match index {
+            0 => Some(Self::MatrixFree),
+            1 => Some(Self::Assembled),
+            2 => Some(Self::AssembledIlu0),
+            3 => Some(Self::AssembledIlu0Smw),
+            _ => None,
         }
     }
 }

@@ -101,6 +101,16 @@ pub struct SsConfig {
     /// [`block`](Self::block) it is **not** part of the sweep checkpoint
     /// fingerprint: results are bitwise identical with tracing on or off.
     pub trace: cbs_trace::TraceLevel,
+    /// Calibrated auto-tuning (env knob `CBS_AUTO`, fingerprint class): a
+    /// sweep-level flag — `cbs-sweep` probes 2-3 candidate policy cells on
+    /// the first scan energy, fits a `cbs_parallel::CostModel` from the
+    /// measured counters + trace wall-ns, and commits the rest of the sweep
+    /// to the predicted winner.  The committed cell is recorded in the
+    /// sweep checkpoint (format v5), so kill/resume *replays* the recorded
+    /// decision instead of re-probing: results stay bit-identical to the
+    /// fixed configuration the probe selected.  Single `solve_qep` calls
+    /// ignore the flag (they have no sweep to amortize a probe over).
+    pub auto: bool,
 }
 
 impl Default for SsConfig {
@@ -129,12 +139,62 @@ impl SsConfig {
             precond: crate::engine::PrecondPolicy::Assembled,
             slice: SlicePolicy::single(),
             trace: cbs_trace::TraceLevel::Stage,
+            auto: false,
         }
     }
 
     /// A cheaper configuration for unit tests and examples on small systems.
     pub fn small() -> Self {
         Self { n_int: 16, n_mm: 4, n_rh: 8, ..Self::paper() }
+    }
+
+    /// The paper configuration with calibrated auto-tuning enabled: a
+    /// sweep probes candidate policy cells on its first energy and commits
+    /// to the measured winner (see [`auto`](Self::auto)).
+    pub fn auto() -> Self {
+        Self { auto: true, ..Self::paper() }
+    }
+
+    /// Whether this run should auto-tune: the [`auto`](Self::auto) field,
+    /// or the `CBS_AUTO` env knob (fingerprint class — the chosen cell
+    /// changes results only via the policies it commits, and the committed
+    /// decision is checkpoint-recorded so resume replays it).
+    pub fn auto_enabled(&self) -> bool {
+        self.auto || cbs_trace::knob::<u64>("CBS_AUTO").is_some_and(|v| v != 0)
+    }
+
+    /// Substitute a committed auto-tuning decision into this configuration,
+    /// producing the *effective* fixed configuration the sweep runs under.
+    ///
+    /// `None` (the probe failed to fit a model — degenerate samples) falls
+    /// back to the default policy cell of [`SsConfig::default`] with a
+    /// warn-once to stderr.  Either way the returned configuration has
+    /// [`auto`](Self::auto) cleared: it *is* the decision.
+    pub fn resolve_auto(&self, cell: Option<AutoCell>) -> SsConfig {
+        match cell {
+            Some(c) => Self {
+                block: c.block,
+                precond: c.precond,
+                slice: if c.slices > 1 {
+                    SlicePolicy::sectors(c.slices)
+                } else {
+                    SlicePolicy::single()
+                },
+                auto: false,
+                ..*self
+            },
+            None => {
+                static FALLBACK_WARNED: std::sync::Once = std::sync::Once::new();
+                FALLBACK_WARNED.call_once(|| {
+                    eprintln!(
+                        "cbs-core: auto-tuning probe produced no usable cost model; \
+                         falling back to the default policy cell"
+                    );
+                });
+                let d = Self::default();
+                Self { block: d.block, precond: d.precond, slice: d.slice, auto: false, ..*self }
+            }
+        }
     }
 
     /// Maximum number of eigenvalues the projected problem can represent.
@@ -185,6 +245,20 @@ impl SsConfig {
             ..*self
         }
     }
+}
+
+/// A committed auto-tuning decision: the policy cell the calibration probe
+/// selected.  Produced by `cbs-sweep`'s probe, consumed by
+/// [`SsConfig::resolve_auto`], and serialized into sweep checkpoints
+/// (format v5) so kill/resume replays the decision instead of re-probing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AutoCell {
+    /// Committed job granularity.
+    pub block: crate::engine::BlockPolicy,
+    /// Committed operator representation / preconditioning.
+    pub precond: crate::engine::PrecondPolicy,
+    /// Committed slice count (1 = single contour).
+    pub slices: usize,
 }
 
 /// One converged eigenpair of the QEP.

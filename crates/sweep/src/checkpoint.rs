@@ -17,10 +17,54 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use cbs_core::CbsPoint;
+use cbs_core::{AutoCell, BlockPolicy, CbsPoint, PrecondPolicy};
 use cbs_linalg::{c64, CVector};
 
 use crate::sweep::{EnergyOrigin, EnergyRecord, EnergyStats, SeedTable};
+
+/// One probe measurement of a candidate policy cell, recorded in the
+/// checkpoint for inspection and for BENCH provenance.  The counters are
+/// bit-deterministic per cell; only `wall_ns` is a measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeSample {
+    /// Probed job granularity.
+    pub block: BlockPolicy,
+    /// Probed operator representation.
+    pub precond: PrecondPolicy,
+    /// BiCG iterations of the probe solve.
+    pub iterations: u64,
+    /// Operator-storage traversals of the probe solve.
+    pub traversals: u64,
+    /// Numeric pattern refills of the probe solve.
+    pub assemblies: u64,
+    /// Measured wall-clock of the probe solve (nanoseconds).
+    pub wall_ns: u64,
+}
+
+/// The committed auto-tuning decision of a sweep: the selected policy cell
+/// plus the probe measurements it was derived from.  Serialized in the v5
+/// checkpoint so kill/resume *replays* the decision instead of re-probing
+/// — the replayed sweep is bit-identical to the uninterrupted one even
+/// though probe wall-clocks are not reproducible.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AutoDecision {
+    /// Committed job granularity.
+    pub block: BlockPolicy,
+    /// Committed operator representation / preconditioning.
+    pub precond: PrecondPolicy,
+    /// Committed slice count (1 = single contour).
+    pub slices: usize,
+    /// The probe measurements behind the decision, in probe order.
+    pub probe: Vec<ProbeSample>,
+}
+
+impl AutoDecision {
+    /// The committed policy cell, in the form
+    /// [`cbs_core::SsConfig::resolve_auto`] consumes.
+    pub fn cell(&self) -> AutoCell {
+        AutoCell { block: self.block, precond: self.precond, slices: self.slices }
+    }
+}
 
 /// Everything needed to resume a killed sweep bit-identically.
 #[derive(Clone, Debug, Default)]
@@ -28,6 +72,10 @@ pub struct SweepCheckpoint {
     /// Bit-exact configuration + period fingerprint
     /// ([`crate::SweepConfig::fingerprint`]).
     pub fingerprint: Vec<u64>,
+    /// The committed auto-tuning decision, when the sweep ran with
+    /// `SsConfig::auto()` / `CBS_AUTO=1` (v5).  Resume replays this cell
+    /// instead of re-probing.
+    pub auto: Option<AutoDecision>,
     /// The initial (pre-refinement) energy grid, ascending.
     pub initial_energies: Vec<f64>,
     /// Completed energies, in completion order.
@@ -87,10 +135,16 @@ impl std::error::Error for CheckpointError {}
 //       fingerprint and seed tables became slice-major concatenations
 //       whose length depends on the partition — a v3 bank restored into a
 //       sliced sweep would mis-split, so the version gates it.
+//   v5  calibrated auto-tuning: an `auto` section (the committed policy
+//       cell + the probe samples behind it) between fingerprint and grid,
+//       and the fingerprint gained the auto-enabled bit plus, when
+//       auto-tuning, the committed cell — a v4 reader would choke on the
+//       section and a v4 writer cannot carry the decision resume needs to
+//       replay, so the version gates both directions.
 // Older checkpoints are rejected with a dedicated
 // [`CheckpointError::IncompatibleVersion`] rather than read with silently
 // zeroed or misaligned counters.
-const MAGIC: &str = "cbs-sweep-checkpoint v4";
+const MAGIC: &str = "cbs-sweep-checkpoint v5";
 
 /// Prefix shared by every version's magic line; anything with this prefix
 /// but the wrong version is an incompatible (not malformed) checkpoint.
@@ -161,6 +215,34 @@ impl SweepCheckpoint {
             let _ = write!(out, " {f:016x}");
         }
         out.push('\n');
+        match &self.auto {
+            None => {
+                let _ = writeln!(out, "auto 0");
+            }
+            Some(d) => {
+                let _ = writeln!(out, "auto 1");
+                let _ = writeln!(
+                    out,
+                    "cell {:x} {:x} {:x}",
+                    d.block as u64,
+                    d.precond.trace_code(),
+                    d.slices
+                );
+                let _ = writeln!(out, "probe {:x}", d.probe.len());
+                for s in &d.probe {
+                    let _ = writeln!(
+                        out,
+                        "sample {:x} {:x} {:x} {:x} {:x} {:x}",
+                        s.block as u64,
+                        s.precond.trace_code(),
+                        s.iterations,
+                        s.traversals,
+                        s.assemblies,
+                        s.wall_ns,
+                    );
+                }
+            }
+        }
         let _ = write!(out, "grid {:x}", self.initial_energies.len());
         for &e in &self.initial_energies {
             let _ = write!(out, " {}", hex(e));
@@ -263,6 +345,41 @@ impl SweepCheckpoint {
         let nf = t.usize()?;
         let fingerprint = (0..nf).map(|_| t.u64()).collect::<Result<Vec<_>, _>>()?;
 
+        let mut t = lines.expect("auto")?;
+        let auto = if t.bool()? {
+            let mut t = lines.expect("cell")?;
+            let block_idx = t.u64()?;
+            let block = BlockPolicy::from_index(block_idx)
+                .ok_or_else(|| err(format!("unknown block policy index `{block_idx}`")))?;
+            let precond_idx = t.u64()?;
+            let precond = PrecondPolicy::from_index(precond_idx)
+                .ok_or_else(|| err(format!("unknown precond policy index `{precond_idx}`")))?;
+            let slices = t.usize()?.max(1);
+            let mut t = lines.expect("probe")?;
+            let np = t.usize()?;
+            let mut probe = Vec::with_capacity(np);
+            for _ in 0..np {
+                let mut t = lines.expect("sample")?;
+                let block_idx = t.u64()?;
+                let block = BlockPolicy::from_index(block_idx)
+                    .ok_or_else(|| err(format!("unknown block policy index `{block_idx}`")))?;
+                let precond_idx = t.u64()?;
+                let precond = PrecondPolicy::from_index(precond_idx)
+                    .ok_or_else(|| err(format!("unknown precond policy index `{precond_idx}`")))?;
+                probe.push(ProbeSample {
+                    block,
+                    precond,
+                    iterations: t.u64()?,
+                    traversals: t.u64()?,
+                    assemblies: t.u64()?,
+                    wall_ns: t.u64()?,
+                });
+            }
+            Some(AutoDecision { block, precond, slices, probe })
+        } else {
+            None
+        };
+
         let mut t = lines.expect("grid")?;
         let ng = t.usize()?;
         let initial_energies = (0..ng).map(|_| t.f64()).collect::<Result<Vec<_>, _>>()?;
@@ -341,7 +458,7 @@ impl SweepCheckpoint {
         let seed_bank = banks.pop().unwrap();
         lines.expect("end")?;
 
-        Ok(Self { fingerprint, initial_energies, records, seed_bank, pending_donations })
+        Ok(Self { fingerprint, auto, initial_energies, records, seed_bank, pending_donations })
     }
 
     /// Write atomically (temp file + rename) so a kill mid-save leaves the
@@ -412,6 +529,7 @@ mod tests {
         )];
         SweepCheckpoint {
             fingerprint: vec![1, 2, 0xdeadbeef],
+            auto: None,
             initial_energies: vec![-0.5, 0.125, 0.475],
             records: vec![rec, rec2],
             seed_bank: vec![(0.125, table)],
@@ -509,17 +627,70 @@ mod tests {
         }
         // The v2 layout (pre-`operator_assemblies`) is likewise refused up
         // front instead of being parsed with misaligned counters.
-        let v2 = sample().serialize_to_string().replacen("v4", "v2", 1);
+        let v2 = sample().serialize_to_string().replacen("v5", "v2", 1);
         let err = SweepCheckpoint::parse(&v2).unwrap_err();
         assert!(matches!(err, CheckpointError::IncompatibleVersion { .. }));
         // And v3 (pre-slicing): its fingerprint lacks the slice-policy
         // fields and its seed tables predate the slice-major layout.
-        let v3 = sample().serialize_to_string().replacen("v4", "v3", 1);
+        let v3 = sample().serialize_to_string().replacen("v5", "v3", 1);
         let err = SweepCheckpoint::parse(&v3).unwrap_err();
         assert!(matches!(err, CheckpointError::IncompatibleVersion { .. }));
         // The message tells the operator what to do.
         let msg = err.to_string();
         assert!(msg.contains("incompatible checkpoint version"), "{msg}");
         assert!(msg.contains("delete the checkpoint and re-sweep"), "{msg}");
+    }
+
+    #[test]
+    fn v4_checkpoints_are_refused_and_the_message_names_the_version() {
+        // v4 predates the auto section (and the auto fingerprint bits): it
+        // must hit the dedicated incompatible-version path, and the error
+        // message must name the version found so the operator knows which
+        // file is stale.
+        let v4 = sample().serialize_to_string().replacen("v5", "v4", 1);
+        match SweepCheckpoint::parse(&v4) {
+            Err(CheckpointError::IncompatibleVersion { ref found }) => {
+                assert_eq!(found, "cbs-sweep-checkpoint v4");
+                let msg = CheckpointError::IncompatibleVersion { found: found.clone() }.to_string();
+                assert!(msg.contains("cbs-sweep-checkpoint v4"), "{msg}");
+                assert!(msg.contains("cbs-sweep-checkpoint v5"), "{msg}");
+            }
+            other => panic!("expected IncompatibleVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_decision_round_trips_exactly() {
+        let mut cp = sample();
+        cp.auto = Some(AutoDecision {
+            block: BlockPolicy::PerNode,
+            precond: PrecondPolicy::AssembledIlu0,
+            slices: 1,
+            probe: vec![
+                ProbeSample {
+                    block: BlockPolicy::PerNode,
+                    precond: PrecondPolicy::MatrixFree,
+                    iterations: 3090,
+                    traversals: 4686,
+                    assemblies: 0,
+                    wall_ns: 120_000_000,
+                },
+                ProbeSample {
+                    block: BlockPolicy::PerNode,
+                    precond: PrecondPolicy::AssembledIlu0,
+                    iterations: 1033,
+                    traversals: 533,
+                    assemblies: 8,
+                    wall_ns: 55_000_000,
+                },
+            ],
+        });
+        let text = cp.serialize_to_string();
+        let back = SweepCheckpoint::parse(&text).expect("parse");
+        assert_eq!(back.auto, cp.auto);
+        assert_eq!(back.auto.as_ref().unwrap().cell().precond, PrecondPolicy::AssembledIlu0);
+        // A corrupted policy discriminant is malformed, not silently mapped.
+        let bad = text.replacen("cell 1 2 1", "cell 1 9 1", 1);
+        assert!(matches!(SweepCheckpoint::parse(&bad), Err(CheckpointError::Malformed(_))));
     }
 }

@@ -47,7 +47,7 @@ pub mod config;
 mod pool;
 pub mod sweep;
 
-pub use checkpoint::{CheckpointError, SweepCheckpoint};
+pub use checkpoint::{AutoDecision, CheckpointError, ProbeSample, SweepCheckpoint};
 pub use config::SweepConfig;
 pub use sweep::{
     sweep_cbs, BandEdgeRefiner, EnergyOrigin, EnergyRecord, EnergyStats, EnergySweep,

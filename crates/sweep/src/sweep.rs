@@ -23,19 +23,49 @@ use std::collections::{BTreeMap, VecDeque};
 use std::path::Path;
 
 use cbs_core::{
-    classify_point, extract_from_moments, extract_sliced, CbsPoint, CbsStatistics,
-    ComplexBandStructure, QepProblem, SlicedPlan,
+    classify_point, extract_from_moments, extract_sliced, solve_qep_with, BlockPolicy, CbsPoint,
+    CbsStatistics, ComplexBandStructure, PrecondPolicy, QepProblem, SlicedPlan, SsConfig,
 };
 use cbs_dft::BandStructure;
 use cbs_linalg::CVector;
-use cbs_parallel::TaskExecutor;
+use cbs_parallel::{
+    CalibrationSample, CellId, CostModel, SerialExecutor, TaskExecutor, WorkloadSpec,
+};
 use cbs_sparse::{AssembledPattern, FactoredProjector, KernelLayout, LinearOperator};
 use cbs_trace::TraceHandle;
 use serde::{Deserialize, Serialize};
 
-use crate::checkpoint::{CheckpointError, SweepCheckpoint};
+use crate::checkpoint::{AutoDecision, CheckpointError, ProbeSample, SweepCheckpoint};
 use crate::config::SweepConfig;
 use crate::pool::{solve_round, SolveGroup};
+
+/// Hysteresis margin of the auto-tuning decision: a challenger cell only
+/// displaces the incumbent when its predicted wall-clock wins by this
+/// fraction, so probe timing jitter below the margin cannot flip the
+/// committed decision (the measured gaps between cells — ILU(0) roughly
+/// halving the assembled wall, per-node ~20% under per-rhs — are well
+/// above it).
+const AUTO_MARGIN: f64 = 0.10;
+
+/// Largest slice count the auto-tuning slice tuner will consider.
+const AUTO_MAX_SLICES: u32 = 4;
+
+/// Process-wide memo of probe measurements ("wisdom", FFTW-style), keyed
+/// by everything the probe counters depend on (system identity, probe
+/// configuration, candidate set).  Two sweeps of the same workload in one
+/// process — serial and rayon, or back-to-back runs in a test — reuse the
+/// first probe's samples and therefore commit the *same* decision; without
+/// the memo, millisecond-scale wall jitter could rank two near-tied cells
+/// differently between runs.  Across processes the checkpoint replay (not
+/// the memo) is what pins a resumed sweep's decision.
+#[allow(clippy::type_complexity)]
+fn probe_memo(
+) -> &'static std::sync::Mutex<Vec<(Vec<u64>, Vec<CalibrationSample>, Vec<ProbeSample>)>> {
+    static MEMO: std::sync::OnceLock<
+        std::sync::Mutex<Vec<(Vec<u64>, Vec<CalibrationSample>, Vec<ProbeSample>)>>,
+    > = std::sync::OnceLock::new();
+    MEMO.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
 
 /// A full `(x, x̃)` solution table in engine job order
 /// (`point_index * N_rh + rhs_index`) — the currency of warm-starting: each
@@ -166,6 +196,9 @@ pub struct SweepResult {
     pub stats: CbsStatistics,
     /// Per-energy records, ascending in energy.
     pub records: Vec<EnergyRecord>,
+    /// The committed auto-tuning decision, when the sweep ran with
+    /// `SsConfig::auto()` / `CBS_AUTO=1` (`None` for fixed configurations).
+    pub auto: Option<AutoDecision>,
 }
 
 /// Optional knobs of [`EnergySweep::run_with`].
@@ -339,13 +372,45 @@ impl<'a> EnergySweep<'a> {
         let stage_start = cbs_sparse::stage_snapshot();
         let cpu_start = cbs_trace::cpu_totals();
         let trace_t0 = cbs_trace::now_ns();
+
+        // Ascending, bit-deduplicated grid: the canonical processing order.
+        let mut grid: Vec<f64> = energies.to_vec();
+        grid.sort_by(|a, b| a.partial_cmp(b).expect("scan energies must not be NaN"));
+        grid.dedup_by(|a, b| a.to_bits() == b.to_bits());
+        assert!(!grid.is_empty(), "need at least one scan energy");
+
+        // Calibrated auto-tuning: decide the policy cell *before* the
+        // fingerprint, because the fingerprint carries the effective
+        // (post-decision) policy.  A resumed sweep replays the checkpoint's
+        // committed decision instead of re-probing — probe wall-clocks are
+        // not reproducible, the recorded decision is.
+        let auto_enabled = self.config.ss.auto_enabled();
+        let decision: Option<AutoDecision> = if auto_enabled {
+            match opts.resume.as_ref() {
+                Some(cp) => Some(cp.auto.clone().ok_or_else(|| {
+                    CheckpointError::Mismatch(
+                        "checkpoint carries no auto-tuning decision: cannot resume a \
+                         fixed-policy checkpoint into an auto-tuned sweep"
+                            .into(),
+                    )
+                })?),
+                None => Some(self.calibration_probe(grid[0], grid.len())),
+            }
+        } else {
+            None
+        };
+        let ss_eff: SsConfig = match &decision {
+            Some(d) => self.config.ss.resolve_auto(Some(d.cell())),
+            None => self.config.ss,
+        };
+
         let mut fingerprint = self.config.fingerprint(self.period);
         // The *effective* operator policy is part of the resume contract:
         // an assembled `PrecondPolicy` without an attached pattern silently
         // falls back to matrix-free arithmetic, so a checkpoint written in
         // that state must not be resumable by a sweep that does carry a
         // pattern (or vice versa) — the two trajectories differ bitwise.
-        let assembled_effective = self.config.ss.precond.is_assembled() && self.pattern.is_some();
+        let assembled_effective = ss_eff.precond.is_assembled() && self.pattern.is_some();
         fingerprint.push(assembled_effective as u64);
         // Two further arithmetic-changing knobs of the assembled path: a
         // non-empty factored projector (CSR + low-rank split instead of the
@@ -360,12 +425,16 @@ impl<'a> EnergySweep<'a> {
                 && self.pattern.as_ref().is_some_and(|p| p.layout() == KernelLayout::Split))
                 as u64,
         );
-
-        // Ascending, bit-deduplicated grid: the canonical processing order.
-        let mut grid: Vec<f64> = energies.to_vec();
-        grid.sort_by(|a, b| a.partial_cmp(b).expect("scan energies must not be NaN"));
-        grid.dedup_by(|a, b| a.to_bits() == b.to_bits());
-        assert!(!grid.is_empty(), "need at least one scan energy");
+        // Auto-tuning joins the resume contract: the flag itself (an auto
+        // and a fixed sweep of the same nominal config must not share
+        // checkpoints), and, when on, the committed arithmetic-changing
+        // policies (precond, slices — block is bitwise-interchangeable and
+        // stays out, matching the fixed-config fingerprint rules).
+        fingerprint.push(auto_enabled as u64);
+        if let Some(d) = &decision {
+            fingerprint.push(d.precond.trace_code() as u64);
+            fingerprint.push(d.slices as u64);
+        }
 
         let mut st = State {
             records: Vec::new(),
@@ -400,14 +469,15 @@ impl<'a> EnergySweep<'a> {
         }
 
         // The sliced plan (partition geometry, per-slice configurations and
-        // source blocks) depends only on the dimension and the
+        // source blocks) depends only on the dimension and the *effective*
         // configuration, so one instance serves every scan energy of the
         // sweep — the single-contour policy yields a trivial one-slice
         // plan whose source block is bitwise the historical `source_block`.
-        let plan = SlicedPlan::build(n, &self.config.ss)
-            .expect("invalid slice policy in sweep configuration");
+        let plan =
+            SlicedPlan::build(n, &ss_eff).expect("invalid slice policy in sweep configuration");
         let checkpoint = |st: &State| SweepCheckpoint {
             fingerprint: fingerprint.clone(),
+            auto: decision.clone(),
             initial_energies: grid.clone(),
             records: st.records.clone(),
             seed_bank: st.bank.entries.iter().cloned().collect(),
@@ -418,7 +488,7 @@ impl<'a> EnergySweep<'a> {
         for round in self.config.schedule().rounds(grid.len()) {
             let batch: Vec<(f64, EnergyOrigin)> =
                 round.into_iter().map(|i| (grid[i], EnergyOrigin::Initial(i))).collect();
-            match self.solve_batch(batch, &plan, executor, &mut st, &opts, &checkpoint)? {
+            match self.solve_batch(batch, &plan, &ss_eff, executor, &mut st, &opts, &checkpoint)? {
                 BatchStatus::Done => {}
                 BatchStatus::BudgetExhausted => {
                     return Ok(RunOutcome::Interrupted(checkpoint(&st)))
@@ -457,6 +527,7 @@ impl<'a> EnergySweep<'a> {
                 match self.solve_batch(
                     candidates.clone(),
                     &plan,
+                    &ss_eff,
                     executor,
                     &mut st,
                     &opts,
@@ -484,7 +555,183 @@ impl<'a> EnergySweep<'a> {
             cbs_sparse::stage_delta(stage_start),
             extraction_ns,
             wall,
+            decision,
         )))
+    }
+
+    /// Run the calibration probe: solve the first scan energy under 2-3
+    /// candidate policy cells with a reduced configuration, fit a
+    /// [`CostModel`] from the measured counters + stage wall-ns, and commit
+    /// the predicted winner (slice count included).
+    ///
+    /// Determinism of the committed decision rests on four legs: the probe
+    /// always runs on the [`SerialExecutor`] (so its counters are identical
+    /// whatever executor drives the sweep); candidate order is fixed and
+    /// the model only switches cells past the [`AUTO_MARGIN`] hysteresis
+    /// (so timing jitter cannot flip a ranking with a real gap); probe
+    /// measurements are memoized per process ([`probe_memo`]) so every
+    /// sweep of the same workload in a process derives its decision from
+    /// one consistent sample set — serial and rayon runs of the same
+    /// system commit the *same* cell; and the decision is recorded in the
+    /// v5 checkpoint (so kill/resume *replays* it rather than re-probing,
+    /// across process boundaries where the memo cannot reach).  Probe
+    /// solves are throwaway — their solutions never enter the warm-start
+    /// bank, so an auto sweep stays bit-identical to the fixed
+    /// configuration it selects.
+    fn calibration_probe(&self, energy: f64, n_energies: usize) -> AutoDecision {
+        let n = self.h00.dim();
+        let nominal = self.config.ss;
+        let nnz = self.pattern.as_ref().map_or(n * n, cbs_sparse::AssembledPattern::nnz);
+        // Candidate cells, cheapest-to-assemble first (the fixed priority
+        // order the hysteresis respects).  With a pattern attached the
+        // interesting axis is the preconditioner ladder; without one every
+        // assembled policy would silently fall back to matrix-free, so the
+        // axis left is the block granularity.
+        let candidates: Vec<(BlockPolicy, PrecondPolicy)> = if self.pattern.is_some() {
+            vec![
+                (nominal.block, PrecondPolicy::MatrixFree),
+                (nominal.block, PrecondPolicy::Assembled),
+                (nominal.block, PrecondPolicy::AssembledIlu0),
+            ]
+        } else {
+            vec![
+                (BlockPolicy::PerNode, PrecondPolicy::MatrixFree),
+                (BlockPolicy::PerRhs, PrecondPolicy::MatrixFree),
+            ]
+        };
+        // The reduced probe configuration: enough quadrature and sources to
+        // exercise the real kernels, cheap enough that the probe stays a
+        // few percent of the sweep (the bench gate holds the auto row to
+        // within 10% of the best fixed row, probe included).
+        let probe_ss = SsConfig {
+            n_int: (nominal.n_int / 2).max(4),
+            n_rh: (nominal.n_rh / 2).max(2),
+            bicg_tolerance: nominal.bicg_tolerance.max(1e-6),
+            slice: cbs_core::SlicePolicy::single(),
+            auto: false,
+            ..nominal
+        };
+        // Everything the probe's counters and walls can depend on goes
+        // into the memo key: system identity (dimension, pattern nnz,
+        // probe energy, period), the reduced configuration, and the
+        // candidate set.
+        let mut key: Vec<u64> = vec![
+            n as u64,
+            nnz as u64,
+            probe_ss.n_int as u64,
+            probe_ss.n_mm as u64,
+            probe_ss.n_rh as u64,
+            probe_ss.bicg_max_iterations as u64,
+            probe_ss.bicg_tolerance.to_bits(),
+            probe_ss.seed,
+            energy.to_bits(),
+            self.period.to_bits(),
+        ];
+        for &(block, precond) in &candidates {
+            key.push(block as u64);
+            key.push(precond.trace_code() as u64);
+        }
+        let memoized = probe_memo()
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(k, _, _)| *k == key)
+            .map(|(_, s, p)| (s.clone(), p.clone()));
+        let (samples, probe) = match memoized {
+            Some(hit) => hit,
+            None => self.measure_probe_candidates(energy, &candidates, &probe_ss, n, nnz, key),
+        };
+        let workload =
+            WorkloadSpec { dimension: n, nnz, n_rh: nominal.n_rh, energies: n_energies.max(1) };
+        let cell = CostModel::fit(&samples).and_then(|model| {
+            let best = model.best_cell(&workload, AUTO_MARGIN)?;
+            let slices = model.tune_slices(best, &workload, AUTO_MAX_SLICES, AUTO_MARGIN);
+            Some(cbs_core::AutoCell {
+                block: if best.per_rhs { BlockPolicy::PerRhs } else { BlockPolicy::PerNode },
+                precond: PrecondPolicy::from_index(best.precond as u64)?,
+                slices: slices as usize,
+            })
+        });
+        // `resolve_auto` handles the degenerate-probe fallback (default
+        // policy cell, warn-once); either way the *resolved* cell is what
+        // the checkpoint commits, so resume replays exactly what ran.
+        let resolved = nominal.resolve_auto(cell);
+        AutoDecision {
+            block: resolved.block,
+            precond: resolved.precond,
+            slices: resolved.slice.slice_count(),
+            probe,
+        }
+    }
+
+    /// Measure every candidate cell with one throwaway probe solve each and
+    /// record the resulting samples in the process-wide [`probe_memo`]
+    /// under `key`.
+    fn measure_probe_candidates(
+        &self,
+        energy: f64,
+        candidates: &[(BlockPolicy, PrecondPolicy)],
+        probe_ss: &SsConfig,
+        n: usize,
+        nnz: usize,
+        key: Vec<u64>,
+    ) -> (Vec<CalibrationSample>, Vec<ProbeSample>) {
+        let mut samples = Vec::with_capacity(candidates.len());
+        let mut probe = Vec::with_capacity(candidates.len());
+        for &(block, precond) in candidates {
+            let cfg = SsConfig { block, precond, ..*probe_ss };
+            let problem = QepProblem::new(self.h00, self.h01, energy, self.period);
+            let problem = match &self.pattern {
+                Some(pattern) => problem.with_pattern(pattern),
+                None => problem,
+            };
+            let problem = match &self.projector {
+                Some(proj) => problem.with_projector(proj),
+                None => problem,
+            };
+            // Stage wall-ns needs a recording session; when an outer one is
+            // already active we piggyback on it, otherwise we open our own
+            // for the duration of the probe solve.
+            let own_session = cbs_trace::TraceSession::begin(cbs_trace::TraceLevel::Stage);
+            let t0_ns = cbs_trace::now_ns();
+            let t0 = std::time::Instant::now(); // cbs-audit: allow(D002) reason="probe wall feeds the cost model; the committed decision is checkpoint-recorded so resume replays it bit-identically"
+            let result = solve_qep_with(&problem, &cfg, &SerialExecutor);
+            let wall_ns = t0.elapsed().as_nanos() as u64;
+            let agg = cbs_trace::aggregate_window(t0_ns, cbs_trace::now_ns());
+            if let Some(s) = own_session {
+                s.finish();
+            }
+            let stage_wall = |stage: cbs_trace::Stage| agg.as_ref().map_or(0, |a| a.wall(stage));
+            samples.push(CalibrationSample {
+                cell: CellId {
+                    per_rhs: block == BlockPolicy::PerRhs,
+                    precond: precond.trace_code(),
+                    slices: 1,
+                },
+                dimension: n,
+                nnz,
+                n_rh: cfg.n_rh,
+                energies: 1,
+                iterations: result.total_bicg_iterations as u64,
+                traversals: result.total_traversals as u64,
+                assemblies: result.operator_assemblies as u64,
+                wall_ns,
+                kernel_wall_ns: stage_wall(cbs_trace::Stage::Kernel),
+                precond_wall_ns: stage_wall(cbs_trace::Stage::IluFactor)
+                    + stage_wall(cbs_trace::Stage::TriSweep),
+                extraction_wall_ns: stage_wall(cbs_trace::Stage::Extraction),
+            });
+            probe.push(ProbeSample {
+                block,
+                precond,
+                iterations: result.total_bicg_iterations as u64,
+                traversals: result.total_traversals as u64,
+                assemblies: result.operator_assemblies as u64,
+                wall_ns,
+            });
+        }
+        probe_memo().lock().unwrap().push((key, samples.clone(), probe.clone()));
+        (samples, probe)
     }
 
     /// Solve one *logical* batch of energies (a release round or refinement
@@ -497,10 +744,12 @@ impl<'a> EnergySweep<'a> {
     /// committed together once its last energy finishes — so donors depend
     /// solely on which *batches* completed, never on where inside a batch a
     /// previous run was killed.
+    #[allow(clippy::too_many_arguments)]
     fn solve_batch<E: TaskExecutor>(
         &self,
         batch: Vec<(f64, EnergyOrigin)>,
         plan: &SlicedPlan,
+        ss: &SsConfig,
         executor: &E,
         st: &mut State,
         opts: &RunOptions<'_>,
@@ -524,8 +773,7 @@ impl<'a> EnergySweep<'a> {
         // ascending `energy_index` is only known at the end).  The handle
         // resolves to a no-op when no `cbs_trace::TraceSession` records.
         let record_base = st.records.len();
-        let trace = TraceHandle::resolve(self.config.ss.trace)
-            .with_policy(self.config.ss.precond.trace_code());
+        let trace = TraceHandle::resolve(ss.trace).with_policy(ss.precond.trace_code());
 
         if !to_solve.is_empty() {
             let problems: Vec<QepProblem<'_>> = to_solve
@@ -563,7 +811,7 @@ impl<'a> EnergySweep<'a> {
                 .collect();
 
             let t0 = std::time::Instant::now(); // cbs-audit: allow(D002) reason="per-run wall-clock counter; resume stays bit-identical (timings are per-run)"
-            let outcomes = solve_round(&groups, plan, &self.config.ss, executor);
+            let outcomes = solve_round(&groups, plan, ss, executor);
             st.linear_solve_seconds += t0.elapsed().as_secs_f64();
             drop(groups);
             drop(donors);
@@ -580,7 +828,7 @@ impl<'a> EnergySweep<'a> {
                         outcome.slices.pop().expect("single-slice plan yields one outcome");
                     extract_from_moments(
                         &problems[i],
-                        &self.config.ss,
+                        ss,
                         &plan.v_cols[0],
                         slice_outcome.acc,
                         outcome.iterations,
@@ -590,13 +838,7 @@ impl<'a> EnergySweep<'a> {
                         0.0,
                     )
                 } else {
-                    extract_sliced(
-                        &problems[i],
-                        &self.config.ss,
-                        plan,
-                        std::mem::take(&mut outcome.slices),
-                        0.0,
-                    )
+                    extract_sliced(&problems[i], ss, plan, std::mem::take(&mut outcome.slices), 0.0)
                 };
                 st.extraction_seconds += result.timings.extraction_seconds;
                 // `energy_index` is a placeholder until assembly fixes the
@@ -706,6 +948,7 @@ impl<'a> EnergySweep<'a> {
         stage: cbs_sparse::StageTimes,
         extraction_ns: u64,
         wall: Option<cbs_trace::StageAgg>,
+        auto: Option<AutoDecision>,
     ) -> SweepResult {
         let mut records = st.records;
         records.sort_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap());
@@ -746,7 +989,7 @@ impl<'a> EnergySweep<'a> {
                 stats.refined_energies += 1;
             }
         }
-        SweepResult { cbs: ComplexBandStructure { points, energies }, stats, records }
+        SweepResult { cbs: ComplexBandStructure { points, energies }, stats, records, auto }
     }
 }
 

@@ -278,7 +278,7 @@ fn resume_is_bit_identical_under_seed_bank_eviction() {
 }
 
 /// A sliced (partitioned-contour) sweep killed mid-round resumes from its
-/// v4 checkpoint to results bit-identical with an uninterrupted run, on
+/// v5 checkpoint to results bit-identical with an uninterrupted run, on
 /// both executors; the slice policy is part of the resume fingerprint; and
 /// pre-slicing v3 checkpoints are refused with the dedicated
 /// `IncompatibleVersion` error instead of a mis-split seed bank.
@@ -338,11 +338,11 @@ fn sliced_sweep_kill_resume_is_bit_identical_and_v3_is_refused() {
         }
     }
 
-    // The checkpoint on disk is v4; a v3 (pre-slicing) one is refused with
+    // The checkpoint on disk is v5; a v3 (pre-slicing) one is refused with
     // the dedicated error, not parsed into a mis-split seed bank.
     let text = std::fs::read_to_string(&path).unwrap();
-    assert!(text.starts_with("cbs-sweep-checkpoint v4"), "unexpected magic in {path:?}");
-    let v3 = text.replacen("cbs-sweep-checkpoint v4", "cbs-sweep-checkpoint v3", 1);
+    assert!(text.starts_with("cbs-sweep-checkpoint v5"), "unexpected magic in {path:?}");
+    let v3 = text.replacen("cbs-sweep-checkpoint v5", "cbs-sweep-checkpoint v3", 1);
     match cbs::sweep::SweepCheckpoint::parse(&v3) {
         Err(cbs::sweep::CheckpointError::IncompatibleVersion { found }) => {
             assert_eq!(found, "cbs-sweep-checkpoint v3");
